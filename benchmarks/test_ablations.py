@@ -1,0 +1,173 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation sweeps one calibration constant or design parameter and
+reports how the headline results move -- quantifying which mechanism is
+responsible for which effect.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import (
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+from repro.core.spec import DeploymentSpec
+from repro.experiments.fig5_latency import measure_latency
+from repro.experiments.common import ConfigPoint
+from repro.measure.reporting import Series, Table
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+from repro.perfmodel.paths import throughput
+from repro.units import MPPS, USEC
+
+
+def _spec(level=SecurityLevel.LEVEL_2, vms=4, us=True,
+          mode=ResourceMode.ISOLATED, **kwargs):
+    return DeploymentSpec(level=level, num_vswitch_vms=vms, user_space=us,
+                          resource_mode=mode, **kwargs)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_hairpin_capacity_sweep(benchmark):
+    """How the NIC's VF-to-VF switching capacity sets the MTS DPDK p2v
+    plateau (the paper's 2.3 Mpps saturation)."""
+
+    def sweep():
+        table = Table(title="Ablation: NIC hairpin capacity vs MTS DPDK "
+                            "p2v saturation", unit="Mpps",
+                      fmt=lambda v: f"{v:.2f}")
+        series = Series(label="L2(4)+L3 p2v")
+        for capacity in (2.3e6, 4.6e6, 9.2e6, 18.4e6):
+            cal = DEFAULT_CALIBRATION.with_overrides(
+                nic_hairpin_capacity=capacity)
+            d = build_deployment(_spec(), TrafficScenario.P2V,
+                                 calibration=cal)
+            series.add(f"{capacity / 1e6:.1f}M/s",
+                       throughput(d, TrafficScenario.P2V).aggregate_pps / MPPS)
+        table.add_series(series)
+        return table
+
+    table = benchmark(sweep)
+    emit(table)
+    # Doubling hairpin capacity doubles the plateau until CPU binds.
+    assert table.series_by_label("L2(4)+L3 p2v").get("9.2M/s") > 2 * \
+        table.series_by_label("L2(4)+L3 p2v").get("4.6M/s") * 0.9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_vhost_cost_sweep(benchmark):
+    """The Baseline's p2v deficit is the vhost crossing cost: halving it
+    halves the MTS advantage."""
+
+    def sweep():
+        table = Table(title="Ablation: vhost crossing cycles vs Baseline "
+                            "kernel p2v throughput", unit="Mpps",
+                      fmt=lambda v: f"{v:.3f}")
+        series = Series(label="Baseline p2v")
+        base_costs = DEFAULT_CALIBRATION.kernel_costs
+        for factor in (0.5, 1.0, 2.0):
+            from dataclasses import replace
+            from repro.vswitch.datapath import PortClass
+            rx = dict(base_costs.rx_cycles)
+            tx = dict(base_costs.tx_cycles)
+            rx[PortClass.VHOST] = rx[PortClass.VHOST] * factor
+            tx[PortClass.VHOST] = tx[PortClass.VHOST] * factor
+            cal = DEFAULT_CALIBRATION.with_overrides(
+                kernel_costs=replace(base_costs, rx_cycles=rx, tx_cycles=tx))
+            d = build_deployment(
+                _spec(level=SecurityLevel.BASELINE, vms=1, us=False,
+                      mode=ResourceMode.SHARED),
+                TrafficScenario.P2V, calibration=cal)
+            series.add(f"x{factor}",
+                       throughput(d, TrafficScenario.P2V).aggregate_pps / MPPS)
+        table.add_series(series)
+        return table
+
+    table = benchmark(sweep)
+    emit(table)
+    s = table.series_by_label("Baseline p2v")
+    assert s.get("x0.5") > s.get("x1.0") > s.get("x2.0")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_frame_size_latency_sweep(benchmark):
+    """The paper's latency study covers 64/512/1500/2048 B frames."""
+
+    def sweep():
+        table = Table(title="Ablation: frame size vs one-way latency "
+                            "(L1, p2v, 10 kpps)", unit="us",
+                      fmt=lambda v: f"{v:.1f}")
+        config = ConfigPoint("L1", SecurityLevel.LEVEL_1, 1, 1,
+                             ResourceMode.ISOLATED, False)
+        series = Series(label="L1 p2v median")
+        for size in (64, 512, 1500, 2048):
+            stats = measure_latency(config, TrafficScenario.P2V,
+                                    frame_bytes=size, duration=0.05).stats
+            series.add(f"{size}B", stats.median / USEC)
+        table.add_series(series)
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    emit(table)
+    s = table.series_by_label("L1 p2v median")
+    assert s.get("2048B") > s.get("64B")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_spoof_filter_overhead(benchmark):
+    """The NIC security filters are free at the pps level (hardware
+    match) -- verify the DES agrees: delivery and latency unchanged."""
+
+    def run_pair():
+        from repro.traffic import TestbedHarness
+        results = {}
+        for strip_filters in (False, True):
+            d = build_deployment(
+                _spec(level=SecurityLevel.LEVEL_1, vms=1, us=False,
+                      mode=ResourceMode.SHARED),
+                TrafficScenario.P2V)
+            if strip_filters:
+                d.server.nic.filters._filters.clear()
+            h = TestbedHarness(d)
+            h.configure_tenant_flows(rate_per_flow_pps=2500)
+            result = h.run(duration=0.05)
+            stats = result.latency_stats()
+            results["off" if strip_filters else "on"] = stats.median
+        return results
+
+    results = benchmark.pedantic(run_pair, iterations=1, rounds=1)
+    table = Table(title="Ablation: NIC wildcard filters on/off (L1 p2v "
+                        "median latency)", unit="us", fmt=lambda v: f"{v:.2f}")
+    series = Series(label="median latency")
+    series.add("filters-on", results["on"] / USEC)
+    series.add("filters-off", results["off"] / USEC)
+    table.add_series(series)
+    emit(table)
+    assert results["on"] == pytest.approx(results["off"], rel=0.05)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_compartment_count_scaling(benchmark):
+    """Beyond the paper: how far does Level-2 scale on a 16-core box?"""
+
+    def sweep():
+        table = Table(title="Ablation: compartments vs isolated-mode p2p "
+                            "throughput (kernel)", unit="Mpps",
+                      fmt=lambda v: f"{v:.2f}")
+        series = Series(label="L2(n) p2p")
+        for vms in (2, 3, 4):
+            spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                  num_vswitch_vms=vms,
+                                  resource_mode=ResourceMode.ISOLATED)
+            d = build_deployment(spec, TrafficScenario.P2P)
+            series.add(f"{vms}VM",
+                       throughput(d, TrafficScenario.P2P).aggregate_pps / MPPS)
+        table.add_series(series)
+        return table
+
+    table = benchmark(sweep)
+    emit(table)
+    s = table.series_by_label("L2(n) p2p")
+    assert s.get("4VM") > s.get("2VM")

@@ -1,0 +1,50 @@
+"""Extension bench: networking energy per configuration (§4.3)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario, build_deployment
+from repro.core.spec import DeploymentSpec
+from repro.measure.reporting import Series, Table
+from repro.perfmodel.energy import energy_report
+from repro.units import KPPS
+
+
+def _configs():
+    return [
+        ("Baseline", DeploymentSpec(level=SecurityLevel.BASELINE)),
+        ("L2(4) shared", DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                        num_vswitch_vms=4)),
+        ("L2(4) isolated", DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                          num_vswitch_vms=4,
+                                          resource_mode=ResourceMode.ISOLATED)),
+        ("L2(4)+L3", DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                    num_vswitch_vms=4, user_space=True,
+                                    resource_mode=ResourceMode.ISOLATED)),
+    ]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_energy_by_configuration(benchmark):
+    def sweep():
+        table = Table(title="Networking power draw at 100 kpps p2v "
+                            "(extension of the paper's energy claim)",
+                      unit="W", fmt=lambda v: f"{v:.1f}")
+        watts = Series(label="networking watts")
+        cores = Series(label="physical cores")
+        for label, spec in _configs():
+            d = build_deployment(spec, TrafficScenario.P2V)
+            report = energy_report(d, TrafficScenario.P2V,
+                                   offered_pps=100 * KPPS)
+            watts.add(label, report.networking_watts)
+            cores.add(label, float(report.networking_cores))
+        table.add_series(watts)
+        table.add_series(cores)
+        return table
+
+    table = benchmark(sweep)
+    emit(table)
+    w = table.series_by_label("networking watts")
+    # DPDK's busy-polling is the energy cliff the paper warns about.
+    assert w.get("L2(4)+L3") > 1.5 * w.get("L2(4) isolated")
+    assert w.get("L2(4) shared") < w.get("L2(4) isolated")

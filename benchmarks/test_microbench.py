@@ -1,0 +1,118 @@
+"""Micro-benchmarks of the simulator's own hot paths.
+
+These keep the reproduction usable: the DES must push enough simulated
+packets per wall-clock second that the latency experiments stay cheap.
+"""
+
+import pytest
+
+from repro.net import Frame, IPv4Address, MacAddress
+from repro.net.interfaces import PortPair
+from repro.sim import Simulator
+from repro.sriov.switch import VebSwitch, UNTAGGED
+from repro.sriov.vf import VirtualFunction
+from repro.vswitch import FlowMatch, FlowRule, FlowTable, Output
+
+
+@pytest.mark.benchmark(group="micro")
+def test_flow_table_lookup_rate(benchmark):
+    table = FlowTable()
+    for t in range(4):
+        for port in range(1, 11):
+            table.add(FlowRule(
+                match=FlowMatch(in_port=port,
+                                dst_ip=IPv4Address.parse(f"10.0.{t}.10")),
+                actions=[Output(1)], priority=200, tenant_id=t))
+    frame = Frame(src_mac=MacAddress(1), dst_mac=MacAddress(2),
+                  dst_ip=IPv4Address.parse("10.0.3.10"))
+    result = benchmark(table.lookup, frame, 10)
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="micro")
+def test_veb_forwarding_rate(benchmark):
+    veb = VebSwitch()
+    vfs = []
+    for i in range(16):
+        vf = VirtualFunction(index=i, pf_index=0)
+        vf.mac = MacAddress(0x100 + i)
+        vf.vlan = 100 + (i % 4)
+        veb.attach(vf)
+        vfs.append(vf)
+    frame = Frame(src_mac=MacAddress(0x100), dst_mac=MacAddress(0x104))
+    decision = benchmark(veb.forward, "pf0vf0", 100, frame)
+    assert decision.destinations
+
+
+@pytest.mark.benchmark(group="micro")
+def test_des_event_rate(benchmark):
+    def run_chain():
+        sim = Simulator()
+        count = [0]
+
+        def hop():
+            count[0] += 1
+            if count[0] < 5000:
+                sim.call_later(1e-6, hop)
+
+        sim.call_later(0.0, hop)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_chain) == 5000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_frame_copy_rate(benchmark):
+    frame = Frame(src_mac=MacAddress(1), dst_mac=MacAddress(2),
+                  dst_ip=IPv4Address.parse("10.0.0.10"), vlan=100)
+    copy = benchmark(frame.copy)
+    assert copy.vlan == 100
+
+
+@pytest.mark.benchmark(group="micro")
+def test_megaflow_hit_rate(benchmark):
+    from repro.vswitch.megaflow import MegaflowCache
+    cache = MegaflowCache()
+    frame = Frame(src_mac=MacAddress(1), dst_mac=MacAddress(2),
+                  dst_ip=IPv4Address.parse("10.0.0.10"), src_port=1234)
+    cache.lookup_cost(frame, 1)  # install
+    cost = benchmark(cache.lookup_cost, frame, 1)
+    assert cost == 0.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_ofctl_parse_rate(benchmark):
+    from repro.vswitch.ofctl import parse_flow
+    rule = benchmark(
+        parse_flow,
+        "table=0,priority=200,in_port=1,ip,nw_dst=10.0.0.10,"
+        "actions=mod_dl_dst:02:4d:54:00:00:07,output:3")
+    assert rule.priority == 200
+
+
+@pytest.mark.benchmark(group="micro")
+def test_deployment_build_rate(benchmark):
+    """Building a full L2(2) deployment (VMs, VFs, rules, filters) --
+    the cost of one experiment iteration."""
+    from repro.core import SecurityLevel, TrafficScenario, build_deployment
+    from repro.core.spec import DeploymentSpec
+
+    def build():
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        return build_deployment(spec, TrafficScenario.P2V)
+
+    deployment = benchmark(build)
+    assert len(deployment.vswitch_vms) == 2
+
+
+@pytest.mark.benchmark(group="micro")
+def test_capacity_solve_rate(benchmark):
+    from repro.core import SecurityLevel, TrafficScenario, build_deployment
+    from repro.core.spec import DeploymentSpec
+    from repro.perfmodel.paths import throughput
+    spec = DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=2)
+    d = build_deployment(spec, TrafficScenario.P2V)
+    result = benchmark(throughput, d, TrafficScenario.P2V)
+    assert result.aggregate_pps > 0

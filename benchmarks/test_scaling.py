@@ -1,0 +1,24 @@
+"""Extension benches: tenant scaling and frame-size throughput sweeps."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.scaling import frame_size_throughput, tenant_scaling
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_tenant_scaling(benchmark):
+    table = benchmark(tenant_scaling)
+    emit(table)
+    per = table.series_by_label("L2(2) per-tenant")
+    assert per.get("2T") > per.get("8T")
+    agg = table.series_by_label("L2(2) agg")
+    assert agg.get("2T") == pytest.approx(agg.get("8T"), rel=0.02)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_frame_size_throughput(benchmark):
+    table = benchmark(frame_size_throughput)
+    emit(table)
+    assert table.series_by_label("L2(2)").get("1514B") > 9.5
+    assert table.series_by_label("Baseline(2)").get("1514B") < 6.0

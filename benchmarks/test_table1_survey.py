@@ -1,0 +1,17 @@
+"""Table 1: the vswitch survey and its section 2.1 statistics."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.table1_survey import render_full, run
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark):
+    table = benchmark(run)
+    emit(table)
+    print("\n" + render_full())
+    fraction = table.series_by_label("fraction")
+    assert fraction.get("monolithic") > 0.9
+    assert fraction.get("co-located") == pytest.approx(0.64, abs=0.05)
+    assert fraction.get("kernel-involved") == pytest.approx(0.68, abs=0.05)

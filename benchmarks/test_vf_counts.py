@@ -1,0 +1,16 @@
+"""Section 3.2 VF budgets: the 3/9 and 6/12 examples + the 64-VF ceiling."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.vf_table import run
+
+
+@pytest.mark.benchmark(group="vf-budgets")
+def test_vf_budgets(benchmark):
+    table = benchmark(run)
+    emit(table)
+    l1 = table.series_by_label("Level-1")
+    assert (l1.get("1T"), l1.get("4T")) == (3, 9)
+    l2 = table.series_by_label("Level-2 (per-tenant)")
+    assert (l2.get("2T"), l2.get("4T")) == (6, 12)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cloud application workloads: iperf, Apache, Memcached (Fig. 6).
+
+Benchmarks the three workloads the paper evaluates against every
+security level in the shared resource mode, and prints a Fig. 6-style
+comparison: aggregate throughput and response times, Baseline vs MTS.
+
+Run:  python examples/cloud_workloads.py
+"""
+
+from repro.core import (
+    DeploymentSpec,
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+from repro.units import MSEC
+from repro.workloads import ApacheModel, IperfModel, MemcachedModel
+
+CONFIGS = [
+    ("Baseline", SecurityLevel.BASELINE, 1),
+    ("L1      ", SecurityLevel.LEVEL_1, 1),
+    ("L2(2)   ", SecurityLevel.LEVEL_2, 2),
+    ("L2(4)   ", SecurityLevel.LEVEL_2, 4),
+]
+
+
+def deploy(level, vms):
+    spec = DeploymentSpec(
+        level=level,
+        num_tenants=4,
+        num_vswitch_vms=vms,
+        resource_mode=ResourceMode.SHARED,
+        nic_ports=1,  # the Fig. 6 workload topology uses one port
+    )
+    return build_deployment(spec, TrafficScenario.P2V)
+
+
+def main() -> None:
+    print("=== Cloud workloads, shared resource mode, p2v (Fig. 6 row 1) ===")
+    print()
+    header = (f"{'config':<10} {'iperf Gbps':>11} {'apache rps':>11} "
+              f"{'apache ms':>10} {'memcached ops':>14} {'mc ms':>7}")
+    print(header)
+    print("-" * len(header))
+
+    baseline_row = None
+    for label, level, vms in CONFIGS:
+        d = deploy(level, vms)
+        iperf = IperfModel(d).run()
+        apache = ApacheModel(d).run()
+        memcached = MemcachedModel(d).run()
+        row = (iperf.aggregate_gbps, apache.aggregate_rps,
+               apache.mean_response_time / MSEC,
+               memcached.aggregate_ops,
+               memcached.mean_response_time / MSEC)
+        if level is SecurityLevel.BASELINE:
+            baseline_row = row
+        print(f"{label:<10} {row[0]:>11.2f} {row[1]:>11.0f} {row[2]:>10.1f} "
+              f"{row[3]:>14.0f} {row[4]:>7.2f}")
+
+    print()
+    d = deploy(SecurityLevel.LEVEL_2, 4)
+    iperf = IperfModel(d).run()
+    apache = ApacheModel(d).run()
+    print("MTS L2(4) vs Baseline:")
+    print(f"  iperf throughput:     {iperf.aggregate_gbps / baseline_row[0]:.1f}x")
+    print(f"  apache throughput:    {apache.aggregate_rps / baseline_row[1]:.1f}x")
+    print(f"  apache response time: "
+          f"{baseline_row[2] / (apache.mean_response_time / MSEC):.1f}x faster")
+    print("\n(the paper: \"biting the bullet for shared resources offers "
+          "4x isolation and approximately 1.5-2x application performance\")")
+
+    print("\nWhere does each configuration saturate?")
+    for label, level, vms in CONFIGS:
+        d = deploy(level, vms)
+        report = IperfModel(d).run()
+        bottlenecks = sorted(set(report.result.bottleneck_of.values()))
+        print(f"  {label}: {bottlenecks}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Security audit: the paper's section 2 arguments, executed.
+
+Walks every security level through the threat model of section 2.2:
+design-principle scoring, trusted-computing-base accounting, exploit
+distances, blast radii -- and then demonstrates the NIC's enforcement
+live by having a malicious tenant attempt (a) source-MAC spoofing and
+(b) directly addressing another tenant's VF.
+
+Run:  python examples/security_audit.py
+"""
+
+from repro.core import (
+    DeploymentSpec,
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+from repro.net import Frame, MacAddress
+from repro.security import assess_compromise, score_principles, tcb_report
+from repro.security.survey import render_table, survey_statistics
+from repro.traffic import TestbedHarness
+
+LEVELS = [
+    dict(level=SecurityLevel.BASELINE),
+    dict(level=SecurityLevel.BASELINE, user_space=True, baseline_cores=2,
+         resource_mode=ResourceMode.ISOLATED),
+    dict(level=SecurityLevel.LEVEL_1),
+    dict(level=SecurityLevel.LEVEL_2, num_vswitch_vms=2),
+    dict(level=SecurityLevel.LEVEL_2, num_vswitch_vms=4),
+    dict(level=SecurityLevel.LEVEL_2, num_vswitch_vms=4, user_space=True,
+         resource_mode=ResourceMode.ISOLATED),
+]
+
+
+def audit_levels() -> None:
+    print("=== Design-principle scores and attack surfaces ===\n")
+    for kwargs in LEVELS:
+        spec = DeploymentSpec(num_tenants=4, **kwargs)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        scores = score_principles(d)
+        tcb = tcb_report(d)
+        assessment = assess_compromise(d)
+        print(scores.row())
+        print(f"{'':<17}exploits to host: {assessment.exploits_to_host}, "
+              f"vswitch blast radius: {assessment.vswitch_blast_radius}")
+        print(f"{'':<17}{tcb.row().split(maxsplit=1)[1]}")
+        print()
+
+
+def demonstrate_enforcement() -> None:
+    print("=== Live enforcement: a malicious tenant vs the NIC ===\n")
+    spec = DeploymentSpec(level=SecurityLevel.LEVEL_2, num_tenants=4,
+                          num_vswitch_vms=4)
+    d = build_deployment(spec, TrafficScenario.P2V)
+    TestbedHarness(d)
+
+    # Attack 1: source-MAC spoofing from tenant 0's VF.
+    spoofed = Frame(src_mac=MacAddress.parse("02:66:66:66:66:66"),
+                    dst_mac=d.gw_vf[(0, 0)].mac,
+                    dst_ip=d.plan.tenant_ip(1))
+    d.tenant_vf[(0, 0)].port.transmit(spoofed)
+    d.sim.run(until=d.sim.now + 1.0)
+    drops = d.server.nic.total_drops()
+    print(f"spoofed source MAC:        dropped by anti-spoofing "
+          f"(spoof drops = {drops.spoof})")
+
+    # Attack 2: correctly-sourced frame aimed straight at tenant 1.
+    received_by_victim = []
+    d.tenant_vf[(1, 0)].port.rx.connect(received_by_victim.append)
+    direct = Frame(src_mac=d.tenant_vf[(0, 0)].mac,
+                   dst_mac=d.tenant_vf[(1, 0)].mac,
+                   dst_ip=d.plan.tenant_ip(1))
+    d.tenant_vf[(0, 0)].port.transmit(direct)
+    d.sim.run(until=d.sim.now + 1.0)
+    drops = d.server.nic.total_drops()
+    print(f"direct tenant-to-tenant:   dropped by wildcard filter "
+          f"(filter drops = {drops.filtered}, victim received "
+          f"{len(received_by_victim)})")
+
+    # Attack 3: ARP-poisoning the gateway binding.
+    table = d.tenant_arp[0]
+    poisoned = table.learn(d.plan.tenant_gw_ip(0),
+                           MacAddress.parse("02:66:66:66:66:66"))
+    print(f"gateway ARP poisoning:     "
+          f"{'SUCCEEDED' if poisoned else 'rejected (static entry pinned)'}")
+
+    # Misconfiguration detection: a sloppy cross-tenant rule.
+    conflicts = [b.table.check_conflicts() for b in d.bridges]
+    print(f"flow-table conflict audit: "
+          f"{sum(len(c) for c in conflicts)} cross-tenant overlaps found")
+
+
+def main() -> None:
+    audit_levels()
+    demonstrate_enforcement()
+    print("\n=== Table 1: why this matters across the ecosystem ===\n")
+    stats = survey_statistics()
+    print(f"{stats['monolithic_fraction']:.0%} of surveyed vswitches are "
+          f"monolithic; {stats['colocated_fraction']:.0%} are co-located "
+          f"with the host; {stats['kernel_involved_fraction']:.0%} touch "
+          f"the kernel.\n")
+    print(render_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Reproduction of "MTS: Bringing Multi-Tenancy to Virtual Networking".
+
+MTS (Thimmaraju, Hermak, Retvari, Schmid; USENIX ATC 2019) is a secure
+virtual-switch architecture for multi-tenant clouds: virtual switches are
+compartmentalized into dedicated VMs, all tenant traffic is completely
+mediated through the embedded L2 switch of an SR-IOV NIC, and the vswitch
+datapath can optionally run in user space (DPDK) for an extra security
+boundary.
+
+This package provides:
+
+- ``repro.sim`` -- a discrete-event simulation kernel.
+- ``repro.net`` -- addresses, frames, ARP, links and taps.
+- ``repro.sriov`` -- a functional SR-IOV NIC model (PF/VFs, embedded VEB
+  L2 switch with VLANs and MAC learning, anti-spoof and wildcard filters,
+  PCIe model).
+- ``repro.vswitch`` -- OpenFlow-style flow tables, an OVS-like bridge,
+  kernel and DPDK datapath models, a Linux bridge and a DPDK l2fwd app.
+- ``repro.host`` -- servers, CPU cores, memory/hugepages, VMs and a
+  libvirt-like hypervisor.
+- ``repro.core`` -- the MTS contribution: deployment specs, the planner,
+  Baseline/Level-1/Level-2/Level-3 deployments, the central controller,
+  VF-allocation formulas and resource strategies.
+- ``repro.security`` -- secure-design-principle analysis, TCB accounting,
+  compromise propagation, and the Table 1 vswitch survey.
+- ``repro.traffic`` / ``repro.workloads`` -- packet generators, the
+  p2p/p2v/v2v scenarios, and iperf/Apache/Memcached workload models.
+- ``repro.perfmodel`` -- the calibrated capacity and latency models.
+- ``repro.experiments`` -- one module per paper figure/table.
+
+Quickstart::
+
+    from repro.core import DeploymentSpec, SecurityLevel, ResourceMode, build_deployment
+    spec = DeploymentSpec(level=SecurityLevel.LEVEL_2, num_tenants=4,
+                          num_vswitch_vms=2, resource_mode=ResourceMode.SHARED)
+    deployment = build_deployment(spec)
+    print(deployment.describe())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

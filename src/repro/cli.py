@@ -1,0 +1,216 @@
+"""Command-line interface: drive the framework like the paper's scripts.
+
+::
+
+    python -m repro describe   --level l2 --vms 2
+    python -m repro plan       --level l2 --vms 4 --dpdk --mode isolated
+    python -m repro throughput --level l1 --scenario p2v
+    python -m repro latency    --level baseline --scenario p2v
+    python -m repro audit      --level l2 --vms 4
+    python -m repro survey
+    python -m repro experiments --only fig5-throughput-shared
+
+Every subcommand builds the requested deployment from scratch (the
+simulated testbed is cheap), so commands compose without shared state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.deployment import build_deployment, plan_deployment
+from repro.core.levels import ResourceMode, SecurityLevel
+from repro.core.spec import DeploymentSpec, TrafficScenario
+from repro.units import MPPS, USEC
+
+_LEVELS = {
+    "baseline": SecurityLevel.BASELINE,
+    "l1": SecurityLevel.LEVEL_1,
+    "l2": SecurityLevel.LEVEL_2,
+}
+
+
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", metavar="SPEC.json",
+                        help="load the deployment spec from a JSON file "
+                             "(overrides the other spec flags)")
+    parser.add_argument("--level", choices=sorted(_LEVELS), default="l1",
+                        help="security level (default: l1)")
+    parser.add_argument("--vms", type=int, default=None,
+                        help="vswitch VMs for Level-2 (default: 2)")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--mode", choices=["shared", "isolated"],
+                        default="shared")
+    parser.add_argument("--dpdk", action="store_true",
+                        help="Level-3 user-space datapath (isolated only)")
+    parser.add_argument("--baseline-cores", type=int, default=1)
+    parser.add_argument("--ports", type=int, default=2, choices=[1, 2])
+    parser.add_argument("--scenario", choices=["p2p", "p2v", "v2v"],
+                        default="p2v")
+
+
+def _spec_from(args: argparse.Namespace) -> DeploymentSpec:
+    if getattr(args, "config", None):
+        import json
+        with open(args.config) as handle:
+            return DeploymentSpec.from_dict(json.load(handle))
+    level = _LEVELS[args.level]
+    vms = args.vms
+    if vms is None:
+        vms = 2 if level is SecurityLevel.LEVEL_2 else 1
+    return DeploymentSpec(
+        level=level,
+        num_tenants=args.tenants,
+        num_vswitch_vms=vms,
+        resource_mode=(ResourceMode.ISOLATED if args.mode == "isolated"
+                       or args.dpdk else ResourceMode.SHARED),
+        user_space=args.dpdk,
+        baseline_cores=args.baseline_cores,
+        nic_ports=args.ports,
+    )
+
+
+def _scenario_from(args: argparse.Namespace) -> TrafficScenario:
+    return TrafficScenario(args.scenario)
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    deployment = build_deployment(_spec_from(args), _scenario_from(args))
+    print(deployment.describe())
+    print()
+    print(deployment.resource_report().row())
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    plan = plan_deployment(_spec_from(args), _scenario_from(args))
+    print(plan.dump())
+    print(f"\n{len(plan)} primitive operations ({plan.summary()})")
+    return 0
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.perfmodel.paths import throughput
+    scenario = _scenario_from(args)
+    deployment = build_deployment(_spec_from(args), scenario)
+    result = throughput(deployment, scenario,
+                        frame_bytes=args.frame_bytes)
+    print(f"{deployment.spec.label} {scenario.value} "
+          f"({args.frame_bytes} B frames)")
+    for flow, rate in sorted(result.rates_pps.items()):
+        print(f"  {flow}: {rate / MPPS:.3f} Mpps "
+              f"(bottleneck: {result.bottleneck_of[flow]})")
+    print(f"aggregate: {result.aggregate_pps / MPPS:.3f} Mpps")
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    from repro.traffic.harness import TestbedHarness
+    scenario = _scenario_from(args)
+    deployment = build_deployment(_spec_from(args), scenario)
+    harness = TestbedHarness(deployment)
+    harness.configure_tenant_flows(
+        rate_per_flow_pps=args.rate_pps / args.tenants,
+        frame_bytes=args.frame_bytes)
+    result = harness.run(duration=args.duration,
+                         warmup=args.duration / 5)
+    stats = result.latency_stats()
+    print(f"{deployment.spec.label} {scenario.value} @ {args.rate_pps:.0f} pps, "
+          f"{args.frame_bytes} B ({stats.count} samples)")
+    print(f"  median {stats.median / USEC:.1f} us   "
+          f"p25/p75 {stats.p25 / USEC:.1f}/{stats.p75 / USEC:.1f} us   "
+          f"p99 {stats.p99 / USEC:.1f} us")
+    print(f"  delivered {result.delivered}/{result.sent} "
+          f"(loss {result.loss_fraction:.2%})")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.verification import audit_deployment
+    from repro.security import assess_compromise, score_principles, tcb_report
+    deployment = build_deployment(_spec_from(args), _scenario_from(args))
+    print(score_principles(deployment).row())
+    print(tcb_report(deployment).row())
+    assessment = assess_compromise(deployment)
+    print(f"exploits to host: {assessment.exploits_to_host}; "
+          f"vswitch blast radius: {assessment.vswitch_blast_radius}; "
+          f"extra-layer rule: "
+          f"{'met' if assessment.meets_extra_layer_rule else 'NOT met'}")
+    report = audit_deployment(deployment)
+    print(report.render())
+    return 0 if report.ok else 2
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    from repro.security.survey import render_table, survey_statistics
+    print(render_table())
+    stats = survey_statistics()
+    print(f"\nmonolithic: {stats['monolithic_fraction']:.0%}  "
+          f"co-located: {stats['colocated_fraction']:.0%}  "
+          f"kernel-involved: {stats['kernel_involved_fraction']:.0%}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_everything, run_extensions
+    tables = run_everything(quick=not args.full)
+    if args.extensions:
+        tables.update(run_extensions(quick=not args.full))
+    keys = sorted(tables)
+    if args.only:
+        keys = [k for k in keys if args.only in k]
+        if not keys:
+            print(f"no experiment matches {args.only!r}; available:",
+                  ", ".join(sorted(tables)), file=sys.stderr)
+            return 1
+    for key in keys:
+        print(tables[key].render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MTS reproduction: build deployments, measure, audit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, extra in [
+        ("describe", cmd_describe, False),
+        ("plan", cmd_plan, False),
+        ("throughput", cmd_throughput, True),
+        ("latency", cmd_latency, True),
+        ("audit", cmd_audit, False),
+    ]:
+        p = sub.add_parser(name)
+        _add_spec_args(p)
+        if extra:
+            p.add_argument("--frame-bytes", type=int, default=64)
+        if name == "latency":
+            p.add_argument("--rate-pps", type=float, default=10_000)
+            p.add_argument("--duration", type=float, default=0.2)
+        p.set_defaults(func=fn)
+
+    p = sub.add_parser("survey")
+    p.set_defaults(func=cmd_survey)
+
+    p = sub.add_parser("experiments")
+    p.add_argument("--only", help="substring filter on experiment ids")
+    p.add_argument("--full", action="store_true",
+                   help="longer DES windows (more latency samples)")
+    p.add_argument("--extensions", action="store_true",
+                   help="include the beyond-the-paper experiments")
+    p.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""The MTS contribution: secure multi-tenant vswitch deployments.
+
+This package is the reproduction of the paper's actual artifact -- "a
+set of primitives that can be composed to configure MTS to conduct all
+the experiments described in this paper":
+
+- :mod:`repro.core.levels` -- the Baseline / Level-1 / Level-2 / Level-3
+  security levels and the shared/isolated resource modes (paper 2.3, 3.2).
+- :mod:`repro.core.spec` -- the declarative deployment spec + validation.
+- :mod:`repro.core.vf_allocation` -- the VF-count formulas of section 3.2.
+- :mod:`repro.core.primitives` -- the audit log of primitive operations a
+  deployment is composed of.
+- :mod:`repro.core.controller` -- the centralized controller: VF
+  configuration (MACs, VLANs, spoof-check), flow rules for the ingress/
+  egress chains, static ARP / proxy-ARP, NIC security filters.
+- :mod:`repro.core.deployment` -- builds a runnable deployment (server,
+  VMs, bridges, NIC wiring) for any spec and traffic scenario.
+- :mod:`repro.core.resources` -- the CPU/memory accounting behind the
+  paper's Fig. 5(c,f,i).
+"""
+
+from repro.core.levels import ResourceMode, SecurityLevel
+from repro.core.spec import ArpMode, CompartmentKind, DeploymentSpec, TrafficScenario
+from repro.core.deployment import Deployment, build_deployment, plan_deployment
+from repro.core.vf_allocation import VfBudget, vf_budget
+from repro.core.resources import ResourceReport
+from repro.core.accounting import NetworkingMeter, PricingModel, bill
+from repro.core.orchestrator import MtsOrchestrator
+from repro.core.multiserver import MultiServerCloud
+from repro.core.verification import AuditReport, audit_deployment
+
+__all__ = [
+    "ResourceMode",
+    "SecurityLevel",
+    "ArpMode",
+    "CompartmentKind",
+    "DeploymentSpec",
+    "TrafficScenario",
+    "Deployment",
+    "build_deployment",
+    "plan_deployment",
+    "VfBudget",
+    "vf_budget",
+    "ResourceReport",
+    "NetworkingMeter",
+    "PricingModel",
+    "bill",
+    "MtsOrchestrator",
+    "MultiServerCloud",
+    "AuditReport",
+    "audit_deployment",
+]

@@ -1,0 +1,70 @@
+"""The in-vswitch proxy-ARP responder, wired into the dataplane.
+
+Section 3.2 offers two ways to point tenants at their gateway: static
+ARP entries, "or using the centralized controller and vswitch as a
+proxy-ARP/ARP-responder".  This module is the second option's
+dataplane: the controller installs a high-priority punt rule for ARP
+on every gateway port, and this app answers requests from the
+controller-fed binding table -- the reply leaves on the same gateway
+port, crosses the NIC, and lands in the asking tenant's VF.
+
+ARP frames are modelled structurally: a *request* is an
+``EtherType.ARP`` broadcast whose ``dst_ip`` is the IP being resolved
+(``src_mac``/``src_ip`` identify the asker); the *reply* is unicast
+back with ``src_mac`` = the resolved MAC and ``src_ip`` = the resolved
+IP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.arp import ProxyArpResponder
+from repro.net.packet import EtherType, Frame
+from repro.vswitch.ovs import OvsBridge
+
+
+def make_arp_request(src_mac: MacAddress, src_ip: IPv4Address,
+                     requested_ip: IPv4Address) -> Frame:
+    """A who-has broadcast, as a tenant VM would emit it."""
+    from repro.net.addresses import BROADCAST_MAC
+    return Frame(
+        src_mac=src_mac,
+        dst_mac=BROADCAST_MAC,
+        ethertype=EtherType.ARP,
+        src_ip=src_ip,
+        dst_ip=requested_ip,
+    )
+
+
+class ArpResponderApp:
+    """Answers punted ARP requests from the responder's bindings."""
+
+    def __init__(self, bridge: OvsBridge,
+                 responder: ProxyArpResponder) -> None:
+        self.bridge = bridge
+        self.responder = responder
+        self.replies_sent = 0
+        self.ignored = 0
+        bridge.punt_handler = self.handle
+
+    def handle(self, frame: Frame, in_port: int) -> None:
+        if frame.ethertype is not EtherType.ARP or frame.dst_ip is None:
+            self.ignored += 1
+            return
+        mac = self.responder.respond(frame.dst_ip)
+        if mac is None:
+            self.ignored += 1
+            return
+        reply = Frame(
+            src_mac=mac,
+            dst_mac=frame.src_mac,
+            ethertype=EtherType.ARP,
+            src_ip=frame.dst_ip,
+            dst_ip=frame.src_ip,
+        )
+        self.replies_sent += 1
+        # Back out the port the request arrived on: the NIC's VLAN
+        # domain carries it to the asking tenant's VF.
+        self.bridge.port(in_port).pair.transmit(reply)

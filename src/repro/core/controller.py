@@ -1,0 +1,442 @@
+"""The centralized controller.
+
+MTS keeps the conventional cloud control plane (paper section 3.2,
+"System support"): a logically centralized controller that (i) assigns
+per-tenant VLAN tags and MAC addresses to VFs, (ii) installs the flow
+rules realizing the ingress and egress chains of Fig. 3 into each
+vswitch compartment, (iii) arranges the default-gateway ARP entry in
+every tenant VM (statically or via a proxy-ARP responder), and (iv)
+deploys the NIC security filters (source-MAC anti-spoofing plus
+wildcard rules that pin tenant VFs to their gateway).
+
+The controller also programs the Baseline's host-resident OVS with the
+per-tenant logical datapaths of the state-of-the-art design, so both
+architectures are driven by the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.arp import ArpTable, ProxyArpResponder
+from repro.core.spec import ArpMode, TrafficScenario
+from repro.sriov.filters import FilterAction, WildcardFilter
+from repro.sriov.nic import SriovNic
+from repro.vswitch.actions import Output, PopTunnel, PushTunnel, SetDstMac
+from repro.vswitch.flowtable import FlowRule
+from repro.vswitch.matches import FlowMatch
+from repro.vswitch.ovs import OvsBridge
+
+#: Rule priorities, most-specific first.
+PRIO_V2V = 300
+PRIO_INGRESS = 200
+PRIO_EGRESS = 100
+
+
+@dataclass
+class AddressPlan:
+    """The deployment's addressing scheme.
+
+    Tenant ``t`` lives in ``10.0.t.0/24`` (VM at ``.10``, its default
+    gateway -- the vswitch's Gw VF -- at ``.1``), carries VLAN
+    ``100 + t`` inside the NIC, and VNI ``vni_base + t`` when overlay
+    tunneling is enabled.  External endpoints live in ``192.168.0.0/16``.
+    """
+
+    external_gw_mac: MacAddress
+    vni_base: int = 5000
+    #: Site/server index for multi-server clouds: keeps tenant subnets
+    #: and VNIs cluster-unique (site 0 matches the single-server plan).
+    site_id: int = 0
+    external_subnet: IPv4Address = field(
+        default_factory=lambda: IPv4Address.parse("192.168.0.0")
+    )
+    external_prefix: int = 16
+
+    def tenant_ip(self, tenant_id: int) -> IPv4Address:
+        return IPv4Address.parse(f"10.{self.site_id}.{tenant_id}.10")
+
+    def tenant_gw_ip(self, tenant_id: int) -> IPv4Address:
+        return IPv4Address.parse(f"10.{self.site_id}.{tenant_id}.1")
+
+    def vlan(self, tenant_id: int) -> int:
+        return 100 + tenant_id
+
+    def vni(self, tenant_id: int) -> int:
+        return self.vni_base + 100 * self.site_id + tenant_id
+
+    def external_ip(self, flow_index: int = 0) -> IPv4Address:
+        return IPv4Address.parse(f"192.168.1.{10 + flow_index}")
+
+
+@dataclass
+class CompartmentView:
+    """What the controller needs to know about one vswitch compartment."""
+
+    index: int
+    bridge: OvsBridge
+    tenants: List[int]
+    #: NIC port index -> bridge port number of the In/Out port.
+    inout_port_no: Dict[int, int]
+    #: (tenant, NIC port) -> bridge port number of the gateway port.
+    gw_port_no: Dict[Tuple[int, int], int]
+    #: (tenant, NIC port) -> the tenant VF's MAC on that port.
+    tenant_vf_mac: Dict[Tuple[int, int], MacAddress]
+    #: (tenant, NIC port) -> the gateway VF's MAC (ARP target).
+    gw_vf_mac: Dict[Tuple[int, int], MacAddress]
+
+
+@dataclass
+class BaselineView:
+    """The Baseline's host bridge as the controller sees it."""
+
+    bridge: OvsBridge
+    tenants: List[int]
+    #: NIC port index -> bridge port number of the physical port.
+    phys_port_no: Dict[int, int]
+    #: (tenant, side) -> bridge port number of the tenant vhost port.
+    vhost_port_no: Dict[Tuple[int, int], int]
+
+
+class Controller:
+    """Programs compartments, the Baseline bridge, ARP and NIC filters."""
+
+    #: Per-tenant OpenFlow table ids start here in multi-table mode.
+    TENANT_TABLE_BASE = 10
+
+    def __init__(self, plan: AddressPlan, nic_ports: int,
+                 tunneling: bool = False, multi_table: bool = False) -> None:
+        self.plan = plan
+        self.nic_ports = nic_ports
+        self.tunneling = tunneling
+        self.multi_table = multi_table
+        self.rules_installed = 0
+        self.proxy_arp: Dict[int, ProxyArpResponder] = {}
+
+    # -- MTS compartments -------------------------------------------------
+
+    def program_compartment(self, view: CompartmentView,
+                            scenario: TrafficScenario) -> None:
+        if self.multi_table:
+            if scenario is not TrafficScenario.P2V:
+                from repro.errors import ValidationError
+                raise ValidationError(
+                    "multi-table programming is implemented for the p2v "
+                    "(workload) wiring")
+            self._mts_multi_table(view)
+            return
+        if scenario is TrafficScenario.P2P:
+            self._mts_p2p(view)
+            return
+        self._mts_tenant_delivery(view)
+        self._mts_egress(view)
+        if scenario is TrafficScenario.V2V:
+            self._mts_v2v(view)
+
+    def _mts_multi_table(self, view: CompartmentView) -> None:
+        """OVN-style layout: table 0 classifies the tenant and jumps to
+        its logical-datapath table; each tenant table holds only that
+        tenant's delivery + default-route rules."""
+        from repro.vswitch.actions import GotoTable
+        for tenant in view.tenants:
+            tenant_table = self.TENANT_TABLE_BASE + tenant
+            for p, in_port in view.inout_port_no.items():
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(in_port=in_port,
+                                    dst_ip=self.plan.tenant_ip(tenant)),
+                    actions=[GotoTable(tenant_table)],
+                    priority=PRIO_INGRESS,
+                    tenant_id=tenant,
+                    table_id=0,
+                ))
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(in_port=view.gw_port_no[(tenant, p)]),
+                    actions=[GotoTable(tenant_table)],
+                    priority=PRIO_EGRESS,
+                    tenant_id=tenant,
+                    table_id=0,
+                ))
+                # Inside the tenant's own table:
+                actions = []
+                match_kwargs = dict(in_port=in_port,
+                                    dst_ip=self.plan.tenant_ip(tenant))
+                if self.tunneling:
+                    match_kwargs["tunnel_id"] = self.plan.vni(tenant)
+                    actions.append(PopTunnel())
+                actions.append(SetDstMac(view.tenant_vf_mac[(tenant, p)]))
+                actions.append(Output(view.gw_port_no[(tenant, p)]))
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(**match_kwargs),
+                    actions=actions,
+                    priority=PRIO_INGRESS,
+                    tenant_id=tenant,
+                    table_id=tenant_table,
+                ))
+                egress_actions = [SetDstMac(self.plan.external_gw_mac)]
+                if self.tunneling:
+                    egress_actions.append(PushTunnel(self.plan.vni(tenant)))
+                egress_actions.append(Output(view.inout_port_no[p]))
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(in_port=view.gw_port_no[(tenant, p)]),
+                    actions=egress_actions,
+                    priority=PRIO_EGRESS,
+                    tenant_id=tenant,
+                    table_id=tenant_table,
+                ))
+
+    def _egress_port_for(self, ingress_port: int) -> int:
+        """Micro-benchmark traffic exits the 'other' NIC port (two-port
+        runs) or hairpins back out the same port (one-port runs)."""
+        if self.nic_ports == 1:
+            return 0
+        return 1 - ingress_port
+
+    def _add(self, bridge: OvsBridge, rule: FlowRule) -> None:
+        bridge.add_flow(rule)
+        self.rules_installed += 1
+
+    def _mts_p2p(self, view: CompartmentView) -> None:
+        """Port-to-port forwarding: one rule per tenant flow, no tenant
+        VM involved (Fig. 4 p2p)."""
+        for tenant in view.tenants:
+            for p, in_port in view.inout_port_no.items():
+                out = view.inout_port_no[self._egress_port_for(p)]
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(in_port=in_port,
+                                    dst_ip=self.plan.tenant_ip(tenant)),
+                    actions=[SetDstMac(self.plan.external_gw_mac), Output(out)],
+                    priority=PRIO_INGRESS,
+                    tenant_id=tenant,
+                ))
+
+    def _mts_tenant_delivery(self, view: CompartmentView) -> None:
+        """Ingress chain (Fig. 3a): rewrite to the tenant VF's MAC and
+        emit on the tenant's gateway port."""
+        for tenant in view.tenants:
+            self._tenant_delivery_rules(view, tenant)
+
+    def _tenant_delivery_rules(self, view: CompartmentView,
+                               tenant: int) -> None:
+        for p, in_port in view.inout_port_no.items():
+            actions = []
+            match_kwargs = dict(in_port=in_port,
+                                dst_ip=self.plan.tenant_ip(tenant))
+            if self.tunneling:
+                match_kwargs["tunnel_id"] = self.plan.vni(tenant)
+                actions.append(PopTunnel())
+            actions.append(SetDstMac(view.tenant_vf_mac[(tenant, p)]))
+            actions.append(Output(view.gw_port_no[(tenant, p)]))
+            self._add(view.bridge, FlowRule(
+                match=FlowMatch(**match_kwargs),
+                actions=actions,
+                priority=PRIO_INGRESS,
+                tenant_id=tenant,
+            ))
+
+    def _mts_egress(self, view: CompartmentView) -> None:
+        """Egress chain (Fig. 3b): traffic returning on a gateway port
+        defaults out the In/Out VF with the external gateway's MAC.
+        The rule is a per-gateway-port catch-all (a default route);
+        v2v chain rules override it at higher priority."""
+        for tenant in view.tenants:
+            self._tenant_egress_rules(view, tenant)
+
+    def _tenant_egress_rules(self, view: CompartmentView,
+                             tenant: int) -> None:
+        for p in view.inout_port_no:
+            actions = [SetDstMac(self.plan.external_gw_mac)]
+            if self.tunneling:
+                actions.append(PushTunnel(self.plan.vni(tenant)))
+            actions.append(Output(view.inout_port_no[p]))
+            self._add(view.bridge, FlowRule(
+                match=FlowMatch(in_port=view.gw_port_no[(tenant, p)]),
+                actions=actions,
+                priority=PRIO_EGRESS,
+                tenant_id=tenant,
+            ))
+
+    def program_single_tenant(self, view: CompartmentView,
+                              tenant: int) -> None:
+        """Runtime provisioning: delivery + egress rules for one tenant
+        (p2v connectivity; the orchestrator uses this for hot-add and
+        migration)."""
+        self._tenant_delivery_rules(view, tenant)
+        self._tenant_egress_rules(view, tenant)
+
+    def unprogram_tenant(self, view: CompartmentView, tenant: int) -> int:
+        """Withdraw one tenant's logical datapath from a compartment."""
+        removed = view.bridge.table.remove_tenant(tenant)
+        self.rules_installed -= removed
+        return removed
+
+    def v2v_partner(self, view: CompartmentView, tenant: int) -> int:
+        """The next tenant in the same compartment (wrapping)."""
+        tenants = view.tenants
+        return tenants[(tenants.index(tenant) + 1) % len(tenants)]
+
+    def _mts_v2v(self, view: CompartmentView) -> None:
+        """Service chaining: after the first tenant returns the flow, pass
+        it through the partner tenant, then out."""
+        for tenant in view.tenants:
+            partner = self.v2v_partner(view, tenant)
+            flow_ip = self.plan.tenant_ip(tenant)
+            for p in view.inout_port_no:
+                # Hop 2: back from the flow's tenant -> to the partner
+                # (partners are always delivered on NIC port 0).
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(in_port=view.gw_port_no[(tenant, p)],
+                                    dst_ip=flow_ip),
+                    actions=[SetDstMac(view.tenant_vf_mac[(partner, 0)]),
+                             Output(view.gw_port_no[(partner, 0)])],
+                    priority=PRIO_V2V,
+                    tenant_id=tenant,
+                ))
+                # Hop 3: back from the partner -> out.
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(in_port=view.gw_port_no[(partner, p)],
+                                    dst_ip=flow_ip),
+                    actions=[SetDstMac(self.plan.external_gw_mac),
+                             Output(view.inout_port_no[self._egress_port_for(0)])],
+                    priority=PRIO_V2V,
+                    tenant_id=tenant,
+                ))
+
+    # -- Baseline -----------------------------------------------------------
+
+    def program_baseline(self, view: BaselineView,
+                         scenario: TrafficScenario) -> None:
+        if scenario is TrafficScenario.P2P:
+            for tenant in view.tenants:
+                for p, in_port in view.phys_port_no.items():
+                    out = view.phys_port_no[self._egress_port_for(p)]
+                    self._add(view.bridge, FlowRule(
+                        match=FlowMatch(in_port=in_port,
+                                        dst_ip=self.plan.tenant_ip(tenant)),
+                        actions=[Output(out)],
+                        priority=PRIO_INGRESS,
+                        tenant_id=tenant,
+                    ))
+            return
+        for tenant in view.tenants:
+            for p, in_port in view.phys_port_no.items():
+                # Deliver to the tenant's first interface...
+                self._add(view.bridge, FlowRule(
+                    match=FlowMatch(in_port=in_port,
+                                    dst_ip=self.plan.tenant_ip(tenant)),
+                    actions=[Output(view.vhost_port_no[(tenant, 0)])],
+                    priority=PRIO_INGRESS,
+                    tenant_id=tenant,
+                ))
+            # ...and take it back from the second interface (catch-all
+            # default; v2v chain rules override at higher priority).
+            return_port = view.vhost_port_no[
+                (tenant, 1 if (tenant, 1) in view.vhost_port_no else 0)
+            ]
+            self._add(view.bridge, FlowRule(
+                match=FlowMatch(in_port=return_port),
+                actions=[Output(view.phys_port_no[self._egress_port_for(0)])],
+                priority=PRIO_EGRESS,
+                tenant_id=tenant,
+            ))
+        if scenario is TrafficScenario.V2V:
+            self._baseline_v2v(view)
+
+    def _baseline_v2v(self, view: BaselineView) -> None:
+        tenants = view.tenants
+        for tenant in tenants:
+            partner = tenants[(tenants.index(tenant) + 1) % len(tenants)]
+            flow_ip = self.plan.tenant_ip(tenant)
+            return_side = 1 if (tenant, 1) in view.vhost_port_no else 0
+            partner_return = 1 if (partner, 1) in view.vhost_port_no else 0
+            self._add(view.bridge, FlowRule(
+                match=FlowMatch(in_port=view.vhost_port_no[(tenant, return_side)],
+                                dst_ip=flow_ip),
+                actions=[Output(view.vhost_port_no[(partner, 0)])],
+                priority=PRIO_V2V,
+                tenant_id=tenant,
+            ))
+            self._add(view.bridge, FlowRule(
+                match=FlowMatch(in_port=view.vhost_port_no[(partner, partner_return)],
+                                dst_ip=flow_ip),
+                actions=[Output(view.phys_port_no[self._egress_port_for(0)])],
+                priority=PRIO_V2V,
+                tenant_id=tenant,
+            ))
+
+    # -- ARP (section 3.2: static entry or proxy-ARP responder) ------------
+
+    #: Priority of the ARP punt rules (above everything else: ARP must
+    #: not fall into the IP pipeline).
+    PRIO_ARP_PUNT = 400
+
+    def setup_arp(self, mode: ArpMode, view: CompartmentView,
+                  tenant_arp_tables: Dict[int, ArpTable]) -> None:
+        if mode is ArpMode.STATIC:
+            for tenant in view.tenants:
+                table = tenant_arp_tables[tenant]
+                table.add_static(self.plan.tenant_gw_ip(tenant),
+                                 view.gw_vf_mac[(tenant, 0)])
+            return
+        responder = ProxyArpResponder()
+        for tenant in view.tenants:
+            responder.install(self.plan.tenant_gw_ip(tenant),
+                              view.gw_vf_mac[(tenant, 0)])
+            responder.install(self.plan.tenant_ip(tenant),
+                              view.tenant_vf_mac[(tenant, 0)])
+        self.proxy_arp[view.index] = responder
+        # Wire the dataplane: punt ARP from every gateway port to the
+        # in-vswitch responder app.
+        from repro.core.arp_responder import ArpResponderApp
+        from repro.net.packet import EtherType
+        from repro.vswitch.actions import Punt
+        ArpResponderApp(view.bridge, responder)
+        for (tenant, p), port_no in view.gw_port_no.items():
+            self._add(view.bridge, FlowRule(
+                match=FlowMatch(in_port=port_no,
+                                ethertype=EtherType.ARP),
+                actions=[Punt()],
+                priority=self.PRIO_ARP_PUNT,
+                tenant_id=tenant,
+            ))
+
+    # -- NIC security filters ----------------------------------------------
+
+    def install_nic_filters(self, nic: SriovNic,
+                            view: CompartmentView,
+                            tenant_vf_names: Dict[Tuple[int, int], str],
+                            allow_broadcast_arp: bool = False) -> None:
+        """Pin each tenant VF to its gateway: allow frames to the Gw VF's
+        MAC, drop everything else the tenant emits (including attempts to
+        reach the Host PF or other tenants directly).
+
+        In proxy-ARP mode tenants must additionally be able to broadcast
+        who-has requests (confined to their VLAN by the VEB); in static
+        mode even that stays closed -- the tighter posture.
+        """
+        from repro.net.addresses import BROADCAST_MAC
+        for (tenant, p), vf_name in tenant_vf_names.items():
+            if tenant not in view.tenants:
+                continue
+            nic.install_filter(WildcardFilter(
+                action=FilterAction.ALLOW,
+                priority=10,
+                ingress_vf=vf_name,
+                dst_mac=view.gw_vf_mac[(tenant, p)],
+                name=f"allow-t{tenant}-gw-p{p}",
+            ))
+            if allow_broadcast_arp:
+                nic.install_filter(WildcardFilter(
+                    action=FilterAction.ALLOW,
+                    priority=10,
+                    ingress_vf=vf_name,
+                    dst_mac=BROADCAST_MAC,
+                    name=f"allow-t{tenant}-arp-p{p}",
+                ))
+            nic.install_filter(WildcardFilter(
+                action=FilterAction.DROP,
+                priority=5,
+                ingress_vf=vf_name,
+                name=f"drop-t{tenant}-rest-p{p}",
+            ))

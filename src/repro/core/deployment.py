@@ -1,0 +1,544 @@
+"""Build runnable deployments from specs.
+
+``build_deployment(spec, scenario)`` assembles, on a simulated server,
+everything the paper's framework sets up on real hardware:
+
+- VMs (vswitch compartments and tenants) with pinned cores, RAM and
+  hugepages per the spec's resource mode;
+- SR-IOV VFs, configured with MACs, per-tenant VLAN tags and
+  anti-spoofing, attached to their VMs (MTS), or virtio/vhost paths
+  (Baseline);
+- an OVS-like bridge per compartment (or the host-resident Baseline
+  bridge), kernel or DPDK datapath per the spec;
+- tenant-side apps: the adapted DPDK l2fwd (MTS) or a Linux bridge
+  (Baseline);
+- the controller-programmed flow rules, ARP entries and NIC filters.
+
+Every step lands in the deployment's :class:`~repro.core.primitives.OpLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller import AddressPlan, BaselineView, CompartmentView, Controller
+from repro.core.levels import ResourceMode
+from repro.core.primitives import OpLog
+from repro.core.resources import ResourceReport, measure_resources
+from repro.core.spec import ArpMode, CompartmentKind, DeploymentSpec, TrafficScenario
+from repro.host.hypervisor import Hypervisor, PinPolicy, VmSpec
+from repro.host.server import Server
+from repro.host.virtio import VhostCosts, VhostPath
+from repro.host.vm import Vm, VmRole
+from repro.net.addresses import MacAddress, MacAllocator
+from repro.net.arp import ArpTable
+from repro.net.interfaces import Port, PortPair
+from repro.net.link import Link
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.sriov.vf import FunctionKind, VirtualFunction
+from repro.units import GIB, MIB
+from repro.vswitch.datapath import DatapathMode, PortClass
+from repro.vswitch.l2fwd import L2Fwd
+from repro.vswitch.linux_bridge import LinuxBridge
+from repro.vswitch.megaflow import (
+    DPDK_UPCALL_CYCLES,
+    KERNEL_UPCALL_CYCLES,
+    MegaflowCache,
+)
+from repro.vswitch.ovs import OvsBridge
+
+
+@dataclass
+class Deployment:
+    """A built, runnable configuration."""
+
+    spec: DeploymentSpec
+    scenario: TrafficScenario
+    sim: Simulator
+    server: Server
+    hypervisor: Hypervisor
+    calibration: Calibration
+    controller: Controller
+    oplog: OpLog
+    plan: AddressPlan
+    vswitch_vms: List[Vm] = field(default_factory=list)
+    tenant_vms: List[Vm] = field(default_factory=list)
+    bridges: List[OvsBridge] = field(default_factory=list)
+    compartment_views: List[CompartmentView] = field(default_factory=list)
+    baseline_view: Optional[BaselineView] = None
+    tenant_arp: Dict[int, ArpTable] = field(default_factory=dict)
+    # MTS wiring maps
+    inout_vf: Dict[Tuple[int, int], VirtualFunction] = field(default_factory=dict)
+    gw_vf: Dict[Tuple[int, int], VirtualFunction] = field(default_factory=dict)
+    tenant_vf: Dict[Tuple[int, int], VirtualFunction] = field(default_factory=dict)
+    # Baseline wiring
+    phys_pairs: Dict[int, PortPair] = field(default_factory=dict)
+    vhost_paths: Dict[Tuple[int, int], VhostPath] = field(default_factory=dict)
+    #: Runtime tenant -> compartment overrides (hot-added or migrated
+    #: tenants); consulted before the spec's static assignment.
+    runtime_compartment: Dict[int, int] = field(default_factory=dict)
+
+    # -- traffic attachment -------------------------------------------------
+
+    def external_ingress(self, port_index: int = 0) -> Port:
+        """Where the load generator's link delivers frames."""
+        if self.spec.level.is_mts:
+            return self.server.nic.port(port_index).fabric_rx
+        return self.phys_pairs[port_index].rx
+
+    def connect_egress(self, port_index: int, link: Link) -> None:
+        """Attach the outbound wire towards the sink/monitor."""
+        if self.spec.level.is_mts:
+            self.server.nic.port(port_index).connect_fabric(link)
+        else:
+            self.phys_pairs[port_index].attach_tx(link.send)
+
+    def egress_port_index(self) -> int:
+        """NIC port test traffic leaves on (1 on two-port runs)."""
+        return 0 if self.spec.nic_ports == 1 else 1
+
+    def ingress_dmac_for_tenant(self, tenant_id: int,
+                                port_index: int = 0) -> MacAddress:
+        """Destination MAC the load generator must use so the NIC's VEB
+        delivers the flow to the right compartment (MTS) -- or anything
+        bridge-local for the Baseline."""
+        if self.spec.level.is_mts:
+            k = self.compartment_of_tenant(tenant_id)
+            mac = self.inout_vf[(k, port_index)].mac
+            assert mac is not None
+            return mac
+        return self.plan.external_gw_mac
+
+    # -- structure accessors -------------------------------------------------
+
+    def compartment_of_tenant(self, tenant_id: int) -> int:
+        if tenant_id in self.runtime_compartment:
+            return self.runtime_compartment[tenant_id]
+        return self.spec.compartment_of_tenant(tenant_id)
+
+    def bridge_of_tenant(self, tenant_id: int) -> OvsBridge:
+        if not self.spec.level.is_mts:
+            return self.bridges[0]
+        return self.bridges[self.compartment_of_tenant(tenant_id)]
+
+    def tenant_vm(self, tenant_id: int) -> Vm:
+        return self.tenant_vms[tenant_id]
+
+    def set_offered_rate_hint(self, pps: float) -> None:
+        """Tell datapaths the aggregate offered rate (for the DPDK
+        multi-queue drain-anomaly model)."""
+        for bridge in self.bridges:
+            if bridge.model is not None:
+                bridge.model.offered_rate_hint_pps = pps
+
+    def resource_report(self) -> ResourceReport:
+        return measure_resources(self.server, self.spec.label)
+
+    def describe(self) -> str:
+        lines = [
+            f"deployment {self.spec.label} scenario={self.scenario.value} "
+            f"mode={self.spec.resource_mode.value}",
+            self.server.describe(),
+            f"ops: {self.oplog.summary()}",
+        ]
+        return "\n".join(lines)
+
+    def teardown(self) -> None:
+        """Undefine all VMs and release VFs (reverse of the build)."""
+        for vm in list(self.tenant_vms) + list(self.vswitch_vms):
+            self.hypervisor.undefine(vm)
+        for port in self.server.nic.ports:
+            port.detach_all()
+        for core in self.server.cores.cores:
+            for consumer in list(core.consumers):
+                if consumer.startswith("ovs."):
+                    self.server.cores.release(consumer)
+        self.server.memory.release("ovs-dpdk")
+        self.tenant_vms.clear()
+        self.vswitch_vms.clear()
+        self.oplog.record("teardown", "deployment", "all VMs undefined, VFs freed")
+
+
+def plan_deployment(spec: DeploymentSpec,
+                    scenario: TrafficScenario = TrafficScenario.P2V) -> OpLog:
+    """Dry-run: the primitive operations a spec expands to."""
+    deployment = build_deployment(spec, scenario)
+    return deployment.oplog
+
+
+def build_deployment(
+    spec: DeploymentSpec,
+    scenario: TrafficScenario = TrafficScenario.P2V,
+    sim: Optional[Simulator] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    server: Optional[Server] = None,
+    site_id: int = 0,
+) -> Deployment:
+    """Assemble a deployment for ``spec`` under ``scenario``.
+
+    ``site_id`` distinguishes servers in a multi-server cloud: it
+    offsets the tenant subnets, VNIs, and the MAC pool so two servers'
+    deployments never collide on the fabric.
+    """
+    spec.validate_scenario(scenario)
+    builder = _Builder(spec, scenario, sim, calibration, seed, server,
+                       site_id)
+    return builder.build()
+
+
+class _Builder:
+    def __init__(self, spec, scenario, sim, calibration, seed, server,
+                 site_id=0):
+        self.spec: DeploymentSpec = spec
+        self.scenario: TrafficScenario = scenario
+        self.sim = sim if sim is not None else Simulator()
+        self.calibration: Calibration = calibration
+        self.rng = RngStreams(seed)
+        self.server = server if server is not None else Server(
+            self.sim, freq_hz=calibration.cpu_freq_hz,
+            name=f"dut{site_id}" if site_id else "dut",
+        )
+        self.hypervisor = Hypervisor(self.server)
+        self.macs = MacAllocator(prefix=0x024D54 + (site_id << 8))
+        self.oplog = OpLog()
+        self.plan = AddressPlan(external_gw_mac=self.macs.allocate(),
+                                vni_base=spec.tunnel_vni_base,
+                                site_id=site_id)
+        self.controller = Controller(self.plan, nic_ports=spec.nic_ports,
+                                     tunneling=spec.tunneling,
+                                     multi_table=spec.multi_table)
+
+    # -- entry point ---------------------------------------------------------
+
+    def build(self) -> Deployment:
+        d = Deployment(
+            spec=self.spec, scenario=self.scenario, sim=self.sim,
+            server=self.server, hypervisor=self.hypervisor,
+            calibration=self.calibration, controller=self.controller,
+            oplog=self.oplog, plan=self.plan,
+        )
+        if self.spec.level.is_mts:
+            self._build_mts(d)
+        else:
+            self._build_baseline(d)
+        self.oplog.record("program-flows", "controller",
+                          f"{self.controller.rules_installed} rules for "
+                          f"{self.scenario.value}")
+        return d
+
+    # -- common pieces ---------------------------------------------------------
+
+    def _dpdk_mode(self) -> DatapathMode:
+        return DatapathMode.DPDK if self.spec.user_space else DatapathMode.KERNEL
+
+    def _bridge_costs(self):
+        return (self.calibration.dpdk_costs if self.spec.user_space
+                else self.calibration.kernel_costs)
+
+    def _flow_cache(self) -> MegaflowCache:
+        """Every OVS-style datapath fronts its pipeline with a flow
+        cache whose misses upcall to the slow path."""
+        upcall = (DPDK_UPCALL_CYCLES if self.spec.user_space
+                  else KERNEL_UPCALL_CYCLES)
+        return MegaflowCache(upcall_cycles=upcall)
+
+    def _define_tenant_vms(self, d: Deployment) -> None:
+        for t in range(self.spec.num_tenants):
+            vm_spec = VmSpec(
+                name=f"tenant{t}", role=VmRole.TENANT, tenant_id=t,
+                vcpus=self.spec.tenant_cores,
+                memory_bytes=self.spec.vm_memory_bytes,
+                hugepages_1g=self.spec.vm_hugepages_1g,
+                pin_policy=PinPolicy.DEDICATED,
+            )
+            vm = self.hypervisor.define_vm(vm_spec)
+            self.hypervisor.start(vm)
+            d.tenant_vms.append(vm)
+            d.tenant_arp[t] = ArpTable()
+            self.oplog.record("define-vm", vm.name,
+                              f"{vm_spec.vcpus} cores, 4 GiB, 1 hugepage")
+
+    # -- MTS -------------------------------------------------------------------
+
+    def _build_mts(self, d: Deployment) -> None:
+        spec = self.spec
+        self._define_vswitch_vms(d)
+        self._define_tenant_vms(d)
+        self._create_mts_vfs(d)
+        self._build_compartment_bridges(d)
+        self._install_tenant_l2fwd(d)
+        tenant_vf_names = {key: vf.name for key, vf in d.tenant_vf.items()}
+        for view in d.compartment_views:
+            self.controller.program_compartment(view, self.scenario)
+            self.controller.setup_arp(spec.arp_mode, view, d.tenant_arp)
+            self.controller.install_nic_filters(
+                self.server.nic, view, tenant_vf_names,
+                allow_broadcast_arp=spec.arp_mode is ArpMode.PROXY)
+        self.oplog.record("install-filters", "nic",
+                          f"{len(self.server.nic.filters)} wildcard filters, "
+                          "spoof-check on all tenant VFs")
+
+    def _define_vswitch_vms(self, d: Deployment) -> None:
+        spec = self.spec
+        shared = spec.resource_mode is ResourceMode.SHARED
+        containerized = spec.compartment_kind is CompartmentKind.CONTAINER
+        for k in range(spec.num_compartments):
+            if containerized:
+                # No guest OS: a fraction of the memory, and a hugepage
+                # only when the DPDK datapath needs one.
+                memory = 512 * MIB
+                hugepages = 1 if spec.user_space else 0
+                memory = max(memory, hugepages * GIB)
+            else:
+                memory = spec.vm_memory_bytes
+                hugepages = spec.vm_hugepages_1g
+            dedicated = (not shared) or k in spec.premium_compartments
+            vm_spec = VmSpec(
+                name=f"vsw{k}", role=VmRole.VSWITCH,
+                vcpus=1,
+                memory_bytes=memory,
+                hugepages_1g=hugepages,
+                pin_policy=(PinPolicy.DEDICATED if dedicated
+                            else PinPolicy.SHARED),
+            )
+            vm = self.hypervisor.define_vm(vm_spec)
+            self.hypervisor.start(vm)
+            d.vswitch_vms.append(vm)
+            self.oplog.record(
+                "define-vm" if not containerized else "define-container",
+                vm.name,
+                f"vswitch compartment, {'shared core' if shared else 'dedicated core'}"
+            )
+
+    def _create_mts_vfs(self, d: Deployment) -> None:
+        spec = self.spec
+        nic = self.server.nic
+        for k in range(spec.num_compartments):
+            vsw_vm = d.vswitch_vms[k]
+            for p in range(spec.nic_ports):
+                vf = nic.port(p).create_vf()
+                nic.port(p).configure_vf(vf, self.macs.allocate(), vlan=None,
+                                         spoof_check=False,
+                                         kind=FunctionKind.IN_OUT)
+                self.hypervisor.attach_vf(vsw_vm, vf, p)
+                d.inout_vf[(k, p)] = vf
+                self.oplog.record("create-vf", vf.name,
+                                  f"In/Out for {vsw_vm.name}, untagged")
+            for t in spec.tenants_of_compartment(k):
+                for p in range(spec.nic_ports):
+                    gw = nic.port(p).create_vf()
+                    nic.port(p).configure_vf(gw, self.macs.allocate(),
+                                             vlan=self.plan.vlan(t),
+                                             spoof_check=False,
+                                             kind=FunctionKind.GATEWAY)
+                    self.hypervisor.attach_vf(vsw_vm, gw, p)
+                    d.gw_vf[(t, p)] = gw
+                    self.oplog.record(
+                        "create-vf", gw.name,
+                        f"Gw for tenant{t} on {vsw_vm.name}, vlan {self.plan.vlan(t)}"
+                    )
+        for t in range(spec.num_tenants):
+            tenant_vm = d.tenant_vms[t]
+            for p in range(spec.nic_ports):
+                vf = nic.port(p).create_vf()
+                nic.port(p).configure_vf(vf, self.macs.allocate(),
+                                         vlan=self.plan.vlan(t),
+                                         spoof_check=True,
+                                         kind=FunctionKind.TENANT)
+                self.hypervisor.attach_vf(tenant_vm, vf, p)
+                d.tenant_vf[(t, p)] = vf
+                self.oplog.record(
+                    "create-vf", vf.name,
+                    f"tenant{t} VF, vlan {self.plan.vlan(t)}, spoof-check on"
+                )
+
+    def _build_compartment_bridges(self, d: Deployment) -> None:
+        spec = self.spec
+        for k in range(spec.num_compartments):
+            vm = d.vswitch_vms[k]
+            bridge = OvsBridge(
+                name=f"vsw{k}.br0",
+                mode=self._dpdk_mode(),
+                sim=self.sim,
+                costs=self._bridge_costs(),
+                rng=self.rng.stream(f"bridge.vsw{k}"),
+                cache=self._flow_cache(),
+            )
+            vm.install_app("bridge", bridge)
+            inout_port_no: Dict[int, int] = {}
+            gw_port_no: Dict[Tuple[int, int], int] = {}
+            for p in range(spec.nic_ports):
+                port = bridge.add_port(f"inout{p}", PortClass.VF,
+                                       d.inout_vf[(k, p)].port)
+                inout_port_no[p] = port.port_no
+                self.oplog.record("add-port", f"vsw{k}.br0",
+                                  f"inout{p} <- {d.inout_vf[(k, p)].name}")
+            for t in spec.tenants_of_compartment(k):
+                for p in range(spec.nic_ports):
+                    port = bridge.add_port(f"gw-t{t}-p{p}", PortClass.VF,
+                                           d.gw_vf[(t, p)].port)
+                    gw_port_no[(t, p)] = port.port_no
+                    self.oplog.record("add-port", f"vsw{k}.br0",
+                                      f"gw-t{t}-p{p} <- {d.gw_vf[(t, p)].name}")
+            bridge.set_compute(vm.compute)
+            d.bridges.append(bridge)
+            d.compartment_views.append(CompartmentView(
+                index=k,
+                bridge=bridge,
+                tenants=spec.tenants_of_compartment(k),
+                inout_port_no=inout_port_no,
+                gw_port_no=gw_port_no,
+                tenant_vf_mac={
+                    (t, p): d.tenant_vf[(t, p)].mac
+                    for t in spec.tenants_of_compartment(k)
+                    for p in range(spec.nic_ports)
+                },
+                gw_vf_mac={
+                    (t, p): d.gw_vf[(t, p)].mac
+                    for t in spec.tenants_of_compartment(k)
+                    for p in range(spec.nic_ports)
+                },
+            ))
+
+    def _install_tenant_l2fwd(self, d: Deployment) -> None:
+        """MTS tenants run the adapted DPDK l2fwd: bounce rx on one VF out
+        the other, rewriting dst MAC to the gateway VF (and src MAC to the
+        egress VF, passing the NIC's spoof check)."""
+        spec = self.spec
+        for t in range(spec.num_tenants):
+            vm = d.tenant_vms[t]
+            app = L2Fwd(name=f"tenant{t}.l2fwd", sim=self.sim,
+                        freq_hz=self.calibration.cpu_freq_hz,
+                        rng=self.rng.stream(f"l2fwd.t{t}"))
+            vm.install_app("l2fwd", app)
+            indices = {}
+            for p in range(spec.nic_ports):
+                indices[p] = app.add_port(d.tenant_vf[(t, p)].port)
+            if spec.nic_ports == 1:
+                app.set_route(indices[0], indices[0],
+                              new_dst_mac=d.gw_vf[(t, 0)].mac,
+                              new_src_mac=d.tenant_vf[(t, 0)].mac)
+            else:
+                app.set_route(indices[0], indices[1],
+                              new_dst_mac=d.gw_vf[(t, 1)].mac,
+                              new_src_mac=d.tenant_vf[(t, 1)].mac)
+                app.set_route(indices[1], indices[0],
+                              new_dst_mac=d.gw_vf[(t, 0)].mac,
+                              new_src_mac=d.tenant_vf[(t, 0)].mac)
+            self.oplog.record("install-app", vm.name,
+                              "adapted DPDK l2fwd (dst-MAC rewrite)")
+
+    # -- Baseline ----------------------------------------------------------------
+
+    def _build_baseline(self, d: Deployment) -> None:
+        spec = self.spec
+        self._define_tenant_vms(d)
+        bridge = OvsBridge(
+            name="host.br0",
+            mode=self._dpdk_mode(),
+            sim=self.sim,
+            costs=self._bridge_costs(),
+            rng=self.rng.stream("bridge.host"),
+            cache=self._flow_cache(),
+        )
+        d.bridges.append(bridge)
+
+        shares = []
+        if not spec.user_space:
+            # The kernel Baseline's first forwarding context shares the
+            # Host OS core (the paper's single-core Baseline consumes 1
+            # core total; N-core Baselines consume N, so MTS is always
+            # "one extra physical core relative to the Baseline").
+            shares.append(self.server.cores.allocate_host_share("ovs.pmd0"))
+            for i in range(1, spec.baseline_cores):
+                shares.append(self.server.cores.allocate_dedicated(f"ovs.pmd{i}"))
+            self.oplog.record(
+                "pin-cores", "host.br0",
+                f"host core + {spec.baseline_cores - 1} dedicated")
+        else:
+            # DPDK busy-polls: every PMD needs its own core.
+            for i in range(spec.baseline_cores):
+                shares.append(self.server.cores.allocate_dedicated(f"ovs.pmd{i}"))
+            self.oplog.record("pin-cores", "host.br0",
+                              f"{spec.baseline_cores} dedicated PMD cores")
+        if spec.user_space:
+            # Proportional hugepages for OVS-DPDK (paper: "a proportional
+            # amount of Huge pages was allocated").
+            self.server.memory.allocate("ovs-dpdk",
+                                        ram_bytes=spec.baseline_cores * GIB,
+                                        hugepages_1g=spec.baseline_cores)
+            self.oplog.record("alloc-hugepages", "ovs-dpdk",
+                              f"{spec.baseline_cores} x 1 GiB")
+
+        phys_port_no: Dict[int, int] = {}
+        for p in range(spec.nic_ports):
+            pair = PortPair(f"host.phys{p}")
+            d.phys_pairs[p] = pair
+            port = bridge.add_port(f"phys{p}", PortClass.PHYSICAL, pair)
+            phys_port_no[p] = port.port_no
+            self.oplog.record("add-port", "host.br0", f"phys{p}")
+
+        tenant_class = (PortClass.DPDK_VHOST_CLIENT if spec.user_space
+                        else PortClass.VHOST)
+        vhost_port_no: Dict[Tuple[int, int], int] = {}
+        vhost_costs = VhostCosts(
+            latency=(self.calibration.vhost_user_latency if spec.user_space
+                     else self.calibration.vhost_latency))
+        # Baseline tenants always get two paravirtual interfaces (in/out),
+        # regardless of how many physical ports the run uses.
+        sides = range(2)
+        for t in range(spec.num_tenants):
+            for side in sides:
+                path = VhostPath(self.sim, f"vhost-t{t}-{side}", costs=vhost_costs)
+                d.vhost_paths[(t, side)] = path
+                port = bridge.add_port(f"vhost-t{t}-{side}", tenant_class,
+                                       path.host_side)
+                vhost_port_no[(t, side)] = port.port_no
+                self.oplog.record("add-port", "host.br0",
+                                  f"vhost-t{t}-{side} ({tenant_class.value})")
+        bridge.set_compute(shares)
+
+        self._install_tenant_baseline_apps(d)
+        d.baseline_view = BaselineView(
+            bridge=bridge,
+            tenants=list(range(spec.num_tenants)),
+            phys_port_no=phys_port_no,
+            vhost_port_no=vhost_port_no,
+        )
+        self.controller.program_baseline(d.baseline_view, self.scenario)
+
+    def _install_tenant_baseline_apps(self, d: Deployment) -> None:
+        """Baseline tenants forward with the default Linux bridge (kernel
+        runs) or DPDK l2fwd over dpdkvhostuserclient ports (Level-3)."""
+        spec = self.spec
+        for t in range(spec.num_tenants):
+            vm = d.tenant_vms[t]
+            sides = [0, 1]
+            if spec.user_space:
+                app = L2Fwd(name=f"tenant{t}.l2fwd", sim=self.sim,
+                            freq_hz=self.calibration.cpu_freq_hz,
+                            rng=self.rng.stream(f"l2fwd.t{t}"))
+                indices = {s: app.add_port(d.vhost_paths[(t, s)].guest_side)
+                           for s in sides}
+                if len(sides) == 1:
+                    app.set_route(indices[0], indices[0],
+                                  new_dst_mac=self.plan.external_gw_mac)
+                else:
+                    app.set_route(indices[0], indices[1],
+                                  new_dst_mac=self.plan.external_gw_mac)
+                    app.set_route(indices[1], indices[0],
+                                  new_dst_mac=self.plan.external_gw_mac)
+                vm.install_app("l2fwd", app)
+                self.oplog.record("install-app", vm.name, "DPDK l2fwd (vhost-user)")
+            else:
+                app = LinuxBridge(name=f"tenant{t}.br0", sim=self.sim,
+                                  freq_hz=self.calibration.cpu_freq_hz,
+                                  rng=self.rng.stream(f"linuxbr.t{t}"))
+                for s in sides:
+                    app.add_port(d.vhost_paths[(t, s)].guest_side)
+                vm.install_app("linux-bridge", app)
+                self.oplog.record("install-app", vm.name, "default Linux bridge")

@@ -1,0 +1,69 @@
+"""Security levels and resource modes (paper sections 2.3 and 3.2)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SecurityLevel(Enum):
+    """Where the vswitch(es) live.
+
+    - **BASELINE**: one vswitch co-located with the Host OS; per-tenant
+      logical datapaths share its flow table.
+    - **LEVEL_1**: one dedicated vswitch VM; tenant traffic mediated by
+      the SR-IOV NIC.
+    - **LEVEL_2**: multiple vswitch VMs (per tenant or security zone).
+
+    Level-3 (user-space / DPDK datapath) is orthogonal and combines with
+    any of these; it is the ``user_space`` flag on the deployment spec.
+    """
+
+    BASELINE = "baseline"
+    LEVEL_1 = "level1"
+    LEVEL_2 = "level2"
+
+    @property
+    def is_mts(self) -> bool:
+        return self is not SecurityLevel.BASELINE
+
+
+class ResourceMode(Enum):
+    """How vswitch compartments map onto physical cores (section 3.2).
+
+    - **SHARED**: all vswitch compartments time-share one physical core.
+    - **ISOLATED**: each compartment gets a dedicated core (and the
+      Baseline receives a proportional number of cores).
+    """
+
+    SHARED = "shared"
+    ISOLATED = "isolated"
+
+
+def security_label(level: SecurityLevel, num_vswitch_vms: int,
+                   user_space: bool) -> str:
+    """The legend label used in the paper's figures, e.g. ``'L2(4)+L3'``."""
+    if level is SecurityLevel.BASELINE:
+        base = "Baseline"
+    elif level is SecurityLevel.LEVEL_1:
+        base = "L1"
+    else:
+        base = f"L2({num_vswitch_vms})"
+    return base + ("+L3" if user_space else "")
+
+
+def boundaries_to_host(level: SecurityLevel, user_space: bool) -> int:
+    """Independent security mechanisms that must fail for tenant code to
+    reach the Host OS via the vswitch (section 2.3's arithmetic).
+
+    Baseline: one -- compromising the kernel-resident vswitch through
+    crafted packets IS compromising the host.  Level-1/2 require a
+    second failure (a VM escape on top of the vswitch compromise);
+    Level-3 inside a vswitch VM adds the user/kernel split for a third.
+    Google's "extra security layer" rule demands at least two.
+    """
+    count = 1  # the vswitch's own packet-facing attack surface
+    if level.is_mts:
+        count += 1  # hypervisor boundary of the vswitch VM
+    if user_space:
+        count += 1  # user/kernel split wherever the vswitch runs
+    return count

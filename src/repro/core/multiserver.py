@@ -1,0 +1,217 @@
+"""Multi-server MTS: several DUTs behind one leaf switch.
+
+The paper evaluates a single server, but its architecture -- the
+ingress/egress chains, per-tenant VLANs *inside* each NIC, and overlay
+tunnels *between* servers -- is a datacenter design.  This module
+assembles it: ``MultiServerCloud`` builds one MTS deployment per
+server, connects every server's NIC port 0 to a
+:class:`~repro.net.fabric.FabricSwitch`, gives tenants cluster-global
+identities, and has the centralized controller install
+
+- static fabric entries for every compartment's In/Out VF MAC (the
+  EVPN-ish piece), and
+- inter-server flow rules in every compartment: traffic from a local
+  tenant to a *remote* tenant's IP is rewritten to the remote
+  compartment's In/Out MAC (and VXLAN-encapsulated when tunneling is
+  on) and sent out the fabric, where the remote server's normal
+  Fig.-3a ingress chain takes over.
+
+Single-port deployments only (one fabric uplink per server), matching
+the paper's workload topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.deployment import Deployment, build_deployment
+from repro.core.spec import DeploymentSpec, TrafficScenario
+from repro.errors import ConfigurationError, ValidationError
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.fabric import FabricSwitch
+from repro.net.link import Link
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.sim.kernel import Simulator
+from repro.units import GBPS
+from repro.vswitch.actions import Output, PushTunnel, SetDstMac
+from repro.vswitch.flowtable import FlowRule
+from repro.vswitch.matches import FlowMatch
+
+#: Priority of inter-server rules: above the egress catch-all, below
+#: the intra-compartment v2v chains.
+PRIO_INTER_SERVER = 250
+
+
+@dataclass
+class GlobalTenant:
+    """Cluster-wide tenant identity."""
+
+    global_id: int
+    server_index: int
+    local_id: int
+    ip: IPv4Address
+    compartment_inout_mac: MacAddress
+
+
+class MultiServerCloud:
+    """N servers x one spec, interconnected by a leaf switch."""
+
+    def __init__(
+        self,
+        spec: DeploymentSpec,
+        num_servers: int = 2,
+        sim: Optional[Simulator] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        link_bandwidth_bps: float = 10 * GBPS,
+        seed: int = 0,
+    ) -> None:
+        if not spec.level.is_mts:
+            raise ConfigurationError(
+                "the multi-server fabric routes on In/Out VF MACs; build "
+                "it with an MTS spec")
+        if spec.nic_ports != 1:
+            raise ValidationError(
+                "multi-server deployments use the single-port (workload) "
+                "topology: one fabric uplink per server")
+        if num_servers < 2:
+            raise ValidationError("need at least two servers")
+        self.spec = spec
+        self.sim = sim if sim is not None else Simulator()
+        self.fabric = FabricSwitch(self.sim, num_ports=num_servers + 2)
+        self.deployments: List[Deployment] = []
+        self.tenants: Dict[int, GlobalTenant] = {}
+
+        for s in range(num_servers):
+            deployment = build_deployment(spec, TrafficScenario.P2V,
+                                          sim=self.sim,
+                                          calibration=calibration,
+                                          seed=seed + s,
+                                          site_id=s)
+            self._wire_server(s, deployment, link_bandwidth_bps)
+            self.deployments.append(deployment)
+        self._register_tenants()
+        self._program_fabric()
+        self._program_inter_server_rules()
+
+    # -- construction ------------------------------------------------------
+
+    def _wire_server(self, index: int, deployment: Deployment,
+                     bandwidth: float) -> None:
+        rx, set_link = self.fabric.attach(index)
+        # server -> fabric
+        deployment.connect_egress(0, Link(self.sim, rx,
+                                          bandwidth_bps=bandwidth,
+                                          name=f"uplink.s{index}"))
+        # fabric -> server
+        set_link(Link(self.sim, deployment.external_ingress(0),
+                      bandwidth_bps=bandwidth,
+                      name=f"downlink.s{index}"))
+
+    def _register_tenants(self) -> None:
+        per_server = self.spec.num_tenants
+        for s, deployment in enumerate(self.deployments):
+            for local in range(per_server):
+                global_id = s * per_server + local
+                k = deployment.compartment_of_tenant(local)
+                mac = deployment.inout_vf[(k, 0)].mac
+                assert mac is not None
+                self.tenants[global_id] = GlobalTenant(
+                    global_id=global_id,
+                    server_index=s,
+                    local_id=local,
+                    ip=self._global_ip(s, local),
+                    compartment_inout_mac=mac,
+                )
+
+    def _global_ip(self, server: int, local: int) -> IPv4Address:
+        """Cluster-global tenant addressing, straight from each site's
+        own address plan (10.<site>.<tenant>.10)."""
+        return self.deployments[server].plan.tenant_ip(local)
+
+    def _program_fabric(self) -> None:
+        for s, deployment in enumerate(self.deployments):
+            for (_k, _p), vf in deployment.inout_vf.items():
+                assert vf.mac is not None
+                self.fabric.install_static(vf.mac, s)
+
+    def _program_inter_server_rules(self) -> None:
+        """Every compartment learns how to reach every remote tenant."""
+        for s, deployment in enumerate(self.deployments):
+            remote = [t for t in self.tenants.values() if t.server_index != s]
+            for view in deployment.compartment_views:
+                for target in remote:
+                    for local_tenant in view.tenants:
+                        actions = [SetDstMac(target.compartment_inout_mac)]
+                        if self.spec.tunneling:
+                            # VNIs come from the *target* site's plan so
+                            # the remote ingress chain matches them.
+                            target_plan = self.deployments[
+                                target.server_index].plan
+                            actions.append(PushTunnel(
+                                target_plan.vni(target.local_id)))
+                        actions.append(Output(view.inout_port_no[0]))
+                        rule = FlowRule(
+                            match=FlowMatch(
+                                in_port=view.gw_port_no[(local_tenant, 0)],
+                                dst_ip=target.ip),
+                            actions=actions,
+                            priority=PRIO_INTER_SERVER,
+                            tenant_id=local_tenant,
+                        )
+                        view.bridge.add_flow(rule)
+                        deployment.controller.rules_installed += 1
+
+    # -- use -------------------------------------------------------------------
+
+    def deployment_of(self, global_tenant: int) -> Deployment:
+        return self.deployments[self.tenants[global_tenant].server_index]
+
+    def send_between_tenants(self, src_global: int, dst_global: int,
+                             size_bytes: int = 64):
+        """Inject one frame from one tenant's VF towards another tenant
+        (possibly on another server); returns the frame for tracing."""
+        from repro.net.packet import Frame
+        src = self.tenants[src_global]
+        dst = self.tenants[dst_global]
+        deployment = self.deployments[src.server_index]
+        src_vf = deployment.tenant_vf[(src.local_id, 0)]
+        gw_mac = deployment.gw_vf[(src.local_id, 0)].mac
+        assert src_vf.mac is not None and gw_mac is not None
+        frame = Frame(
+            src_mac=src_vf.mac,
+            dst_mac=gw_mac,
+            src_ip=src.ip,
+            dst_ip=dst.ip,
+            size_bytes=size_bytes,
+            flow_id=dst.local_id,
+            tenant_id=src.local_id,
+            created_at=self.sim.now,
+        )
+        src_vf.port.transmit(frame)
+        return frame
+
+    def attach_sink(self, global_tenant: int) -> List:
+        """Replace the tenant's forwarding app with a receive sink
+        (a tenant *hosting a service* consumes frames rather than
+        bouncing them like the benchmark l2fwd); returns the list the
+        received frames land in."""
+        tenant = self.tenants[global_tenant]
+        deployment = self.deployments[tenant.server_index]
+        received: List = []
+        vf = deployment.tenant_vf[(tenant.local_id, 0)]
+        vf.port.rx.connect(received.append)
+        return received
+
+    def run(self, duration: float = 1.0) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def describe(self) -> str:
+        lines = [f"cloud: {len(self.deployments)} servers x "
+                 f"{self.spec.label}, {len(self.tenants)} tenants, "
+                 f"leaf switch with {len(self.fabric.ports)} ports"]
+        for tenant in self.tenants.values():
+            lines.append(
+                f"  tenant {tenant.global_id}: server {tenant.server_index} "
+                f"local {tenant.local_id} ip {tenant.ip}")
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""The audit log of primitive operations composing a deployment.
+
+The paper's framework is "a set of primitives that can be composed to
+configure MTS to conduct all the experiments".  Every step the builder
+takes -- defining a VM, creating and configuring a VF, adding a bridge
+port, installing a flow rule or a NIC filter, injecting an ARP entry --
+is recorded as a :class:`Primitive` so that a deployment can be
+inspected, diffed and asserted on (and so ``plan_deployment`` can show
+an operator what a spec would do before touching anything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One recorded configuration step."""
+
+    verb: str      # e.g. "define-vm", "create-vf", "add-flow"
+    target: str    # the object acted on, e.g. "vsw0", "pf0vf3"
+    detail: str    # human-readable parameters
+
+    def __str__(self) -> str:
+        return f"{self.verb:<18} {self.target:<16} {self.detail}"
+
+
+class OpLog:
+    """Append-only record of a deployment's primitive operations."""
+
+    def __init__(self) -> None:
+        self._ops: List[Primitive] = []
+
+    def record(self, verb: str, target: str, detail: str = "") -> Primitive:
+        op = Primitive(verb, target, detail)
+        self._ops.append(op)
+        return op
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Primitive]:
+        return iter(self._ops)
+
+    def with_verb(self, verb: str) -> List[Primitive]:
+        return [op for op in self._ops if op.verb == verb]
+
+    def verbs(self) -> List[str]:
+        """Distinct verbs in first-appearance order."""
+        seen: List[str] = []
+        for op in self._ops:
+            if op.verb not in seen:
+                seen.append(op.verb)
+        return seen
+
+    def summary(self) -> str:
+        """Counts per verb, e.g. for a deployment's describe() output."""
+        lines = []
+        for verb in self.verbs():
+            lines.append(f"{verb}: {len(self.with_verb(verb))}")
+        return ", ".join(lines)
+
+    def dump(self) -> str:
+        return "\n".join(str(op) for op in self._ops)

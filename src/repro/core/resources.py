@@ -1,0 +1,86 @@
+"""Resource accounting: the data behind Fig. 5(c), (f) and (i).
+
+The paper reports, per configuration, the total physical CPU cores and
+the memory (hugepages) consumed by virtual networking: the Host OS core
+(always counted), the vswitch compartments' cores, and each VM's 1 GB
+hugepage.  Tenant VM resources are the tenant's own and are reported
+separately (they are constant across configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.server import Server
+from repro.host.vm import VmRole
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Totals for one deployment."""
+
+    label: str
+    host_cores: int
+    vswitch_cores: int
+    tenant_cores: int
+    vswitch_hugepages_1g: int
+    total_hugepages_1g: int
+    ram_bytes: int
+
+    @property
+    def networking_cores(self) -> int:
+        """Cores spent on virtual networking (host + vswitching) -- the
+        headline number of the paper's resource plots."""
+        return self.host_cores + self.vswitch_cores
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<16} cores(host+vswitch)={self.networking_cores} "
+            f"tenant_cores={self.tenant_cores} "
+            f"hugepages={self.total_hugepages_1g}"
+        )
+
+
+def measure_resources(server: Server, label: str) -> ResourceReport:
+    """Read a report off a built deployment's server."""
+    host_cores = 1
+    vswitch_cores = 0
+    tenant_cores = 0
+    vswitch_hugepages = 0
+
+    # Cores pinned to vswitch consumers that are not the host core, and
+    # not tenant VMs.  A consumer string is "<vm>.vcpuN" or a raw tag
+    # like "ovs-dpdk.pmd0".
+    tenant_vm_names = {vm.name for vm in server.vms.values()
+                       if vm.role == VmRole.TENANT}
+    vswitch_vm_names = {vm.name for vm in server.vms.values()
+                        if vm.role == VmRole.VSWITCH}
+
+    for core in server.cores.cores:
+        if not core.consumers:
+            continue
+        owners = {c.split(".")[0] for c in core.consumers}
+        if core is server.cores.host_core:
+            # The Baseline's kernel OVS shares this core; it is already
+            # counted as the host core.
+            continue
+        if owners & tenant_vm_names:
+            tenant_cores += 1
+        elif owners & vswitch_vm_names or any(
+            o.startswith("ovs") or o == "vswitch-shared" for o in owners
+        ):
+            vswitch_cores += 1
+
+    for owner, allocation in server.memory.owners().items():
+        if owner in vswitch_vm_names or owner.startswith("ovs"):
+            vswitch_hugepages += allocation.hugepages_1g
+
+    return ResourceReport(
+        label=label,
+        host_cores=host_cores,
+        vswitch_cores=vswitch_cores,
+        tenant_cores=tenant_cores,
+        vswitch_hugepages_1g=vswitch_hugepages,
+        total_hugepages_1g=server.memory.allocated_hugepages(),
+        ram_bytes=server.memory.allocated_bytes(),
+    )

@@ -1,0 +1,250 @@
+"""The declarative deployment spec and its validation rules.
+
+A :class:`DeploymentSpec` captures everything the paper varies between
+experimental runs: security level, number of vswitch compartments,
+resource mode, kernel vs user-space (DPDK) datapath, number of NIC
+ports (two for the Fig. 5 micro-benchmarks, one for the Fig. 6 workload
+runs), and the system-support options of section 3.2 (static ARP vs
+proxy ARP, overlay tunneling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.core.levels import ResourceMode, SecurityLevel, security_label
+from repro.units import GIB
+
+
+class TrafficScenario(Enum):
+    """The canonical cloud traffic scenarios of Fig. 4."""
+
+    P2P = "p2p"
+    P2V = "p2v"
+    V2V = "v2v"
+
+
+class ArpMode(Enum):
+    """How tenant VMs resolve their default gateway (section 3.2)."""
+
+    STATIC = "static"          # static ARP entry injected per tenant VM
+    PROXY = "proxy"            # controller-fed ARP responder in the vswitch
+
+
+class CompartmentKind(Enum):
+    """What isolates a vswitch compartment (section 3.1 lists VMs,
+    OS-level sandboxes/containers, enclaves...; section 6 notes that
+    container compartments trade the VM boundary for density but run
+    into the NIC's VF ceiling)."""
+
+    VM = "vm"
+    CONTAINER = "container"
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """One experimental configuration."""
+
+    level: SecurityLevel
+    num_tenants: int = 4
+    num_vswitch_vms: int = 1
+    resource_mode: ResourceMode = ResourceMode.SHARED
+    user_space: bool = False          # Level-3: DPDK datapath
+    baseline_cores: int = 1           # cores given to the Baseline vswitch
+    nic_ports: int = 2
+    tenant_cores: int = 2
+    vm_memory_bytes: int = 4 * GIB
+    vm_hugepages_1g: int = 1
+    arp_mode: ArpMode = ArpMode.STATIC
+    tunneling: bool = False
+    tunnel_vni_base: int = 5000
+    #: Optional explicit security-zone assignment: ``zone_of_tenant[t]``
+    #: is the compartment tenant ``t``'s vswitch runs in (the paper's
+    #: "based on security zones or on a per-tenant basis").  ``None``
+    #: falls back to contiguous blocks.
+    zone_of_tenant: Optional[Tuple[int, ...]] = None
+    #: VM compartments (the paper's prototype) or containers (denser:
+    #: no guest OS, 512 MiB instead of 4 GiB, no hugepage unless DPDK --
+    #: but one security boundary weaker and still VF-limited).
+    compartment_kind: CompartmentKind = CompartmentKind.VM
+    #: The §3.2 "resource allocation spectrum": with the SHARED mode,
+    #: these compartments nevertheless get a dedicated core (premium
+    #: tenants buy isolation; the rest stack on the shared core).
+    premium_compartments: Tuple[int, ...] = ()
+    #: Program compartments OVN-style: table 0 classifies per tenant
+    #: and jumps to a per-tenant table (one logical datapath per
+    #: OpenFlow table) instead of one flat prioritized table.
+    #: Behaviourally identical; structurally closer to production
+    #: controllers.
+    multi_table: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        if self.level is SecurityLevel.BASELINE:
+            base = f"Baseline({self.baseline_cores})"
+            return base + ("+L3" if self.user_space else "")
+        return security_label(self.level, self.num_vswitch_vms, self.user_space)
+
+    @property
+    def num_compartments(self) -> int:
+        """Vswitch compartments (0 for the Baseline's host-resident OVS)."""
+        return 0 if self.level is SecurityLevel.BASELINE else self.num_vswitch_vms
+
+    def tenants_of_compartment(self, k: int) -> List[int]:
+        """Tenants whose vswitch lives in compartment ``k``: the explicit
+        zone map if given, contiguous blocks otherwise."""
+        if self.level is SecurityLevel.BASELINE:
+            return list(range(self.num_tenants))
+        if self.zone_of_tenant is not None:
+            return [t for t, zone in enumerate(self.zone_of_tenant)
+                    if zone == k]
+        per = self.num_tenants // self.num_vswitch_vms
+        extra = self.num_tenants % self.num_vswitch_vms
+        start = k * per + min(k, extra)
+        size = per + (1 if k < extra else 0)
+        return list(range(start, start + size))
+
+    def compartment_of_tenant(self, tenant_id: int) -> int:
+        for k in range(max(1, self.num_compartments)):
+            if tenant_id in self.tenants_of_compartment(k):
+                return k
+        raise ValidationError(f"tenant {tenant_id} out of range")
+
+    # -- (de)serialization -----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (enums by value)."""
+        return {
+            "level": self.level.value,
+            "num_tenants": self.num_tenants,
+            "num_vswitch_vms": self.num_vswitch_vms,
+            "resource_mode": self.resource_mode.value,
+            "user_space": self.user_space,
+            "baseline_cores": self.baseline_cores,
+            "nic_ports": self.nic_ports,
+            "tenant_cores": self.tenant_cores,
+            "vm_memory_bytes": self.vm_memory_bytes,
+            "vm_hugepages_1g": self.vm_hugepages_1g,
+            "arp_mode": self.arp_mode.value,
+            "tunneling": self.tunneling,
+            "tunnel_vni_base": self.tunnel_vni_base,
+            "zone_of_tenant": (list(self.zone_of_tenant)
+                               if self.zone_of_tenant is not None else None),
+            "compartment_kind": self.compartment_kind.value,
+            "premium_compartments": list(self.premium_compartments),
+            "multi_table": self.multi_table,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so
+        config typos fail loudly."""
+        known = {
+            "level", "num_tenants", "num_vswitch_vms", "resource_mode",
+            "user_space", "baseline_cores", "nic_ports", "tenant_cores",
+            "vm_memory_bytes", "vm_hugepages_1g", "arp_mode", "tunneling",
+            "tunnel_vni_base", "zone_of_tenant", "compartment_kind",
+            "premium_compartments", "multi_table",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(f"unknown spec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["level"] = SecurityLevel(kwargs["level"])
+        if "resource_mode" in kwargs:
+            kwargs["resource_mode"] = ResourceMode(kwargs["resource_mode"])
+        if "arp_mode" in kwargs:
+            kwargs["arp_mode"] = ArpMode(kwargs["arp_mode"])
+        if "compartment_kind" in kwargs:
+            kwargs["compartment_kind"] = CompartmentKind(
+                kwargs["compartment_kind"])
+        if kwargs.get("zone_of_tenant") is not None:
+            kwargs["zone_of_tenant"] = tuple(kwargs["zone_of_tenant"])
+        if "premium_compartments" in kwargs:
+            kwargs["premium_compartments"] = tuple(
+                kwargs["premium_compartments"])
+        return cls(**kwargs)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        if self.num_tenants < 1:
+            raise ValidationError("need at least one tenant")
+        if self.nic_ports not in (1, 2):
+            raise ValidationError("the testbed NIC has one or two ports")
+        if self.tenant_cores < 1:
+            raise ValidationError("tenant VMs need at least one core")
+        if self.level is SecurityLevel.BASELINE:
+            if self.baseline_cores < 1:
+                raise ValidationError("the Baseline vswitch needs >= 1 core")
+        elif self.level is SecurityLevel.LEVEL_1:
+            if self.num_vswitch_vms != 1:
+                raise ValidationError("Level-1 means exactly one vswitch VM")
+        else:  # LEVEL_2
+            if self.num_vswitch_vms < 2:
+                raise ValidationError(
+                    "Level-2 means multiple vswitch VMs; use Level-1 for one"
+                )
+            if self.num_vswitch_vms > self.num_tenants:
+                raise ValidationError(
+                    "more vswitch VMs than tenants leaves empty compartments"
+                )
+        if self.zone_of_tenant is not None:
+            if self.level is SecurityLevel.BASELINE:
+                raise ValidationError("the Baseline has no compartments to "
+                                      "zone tenants into")
+            if len(self.zone_of_tenant) != self.num_tenants:
+                raise ValidationError(
+                    f"zone map covers {len(self.zone_of_tenant)} tenants, "
+                    f"expected {self.num_tenants}")
+            zones = set(self.zone_of_tenant)
+            if not zones <= set(range(self.num_vswitch_vms)):
+                raise ValidationError(
+                    f"zone map references unknown compartments: "
+                    f"{sorted(zones - set(range(self.num_vswitch_vms)))}")
+            if zones != set(range(self.num_vswitch_vms)):
+                raise ValidationError(
+                    "every compartment needs at least one tenant "
+                    "(empty compartments waste a core and a VM)")
+        if self.premium_compartments:
+            if not self.level.is_mts:
+                raise ValidationError("the Baseline has no compartments "
+                                      "to upgrade")
+            unknown = set(self.premium_compartments) - set(
+                range(self.num_vswitch_vms))
+            if unknown:
+                raise ValidationError(
+                    f"premium compartments {sorted(unknown)} do not exist")
+            if self.resource_mode is ResourceMode.ISOLATED:
+                raise ValidationError(
+                    "premium compartments only make sense in the shared "
+                    "mode (isolated already dedicates every core)")
+        if self.user_space and self.resource_mode is not ResourceMode.ISOLATED:
+            # "one physical core needs to be allocated for each ovs-DPDK
+            # compartment ... hence, only the isolated mode was used".
+            raise ValidationError(
+                "the DPDK datapath busy-polls a full core: Level-3 requires "
+                "the isolated resource mode (paper section 4, Resources)"
+            )
+
+    def validate_scenario(self, scenario: TrafficScenario) -> None:
+        """Scenario-specific feasibility (the paper's v2v restriction)."""
+        if scenario is TrafficScenario.V2V and self.level.is_mts:
+            for k in range(self.num_compartments):
+                if len(self.tenants_of_compartment(k)) < 2:
+                    raise ValidationError(
+                        "v2v chains two tenant VMs behind one vswitch VM; "
+                        f"compartment {k} has fewer than 2 tenants (this is "
+                        "why the paper could not evaluate 4 vswitch VMs in "
+                        "v2v)"
+                    )
+        if scenario is TrafficScenario.V2V and self.num_tenants < 2:
+            raise ValidationError("v2v needs at least two tenants")

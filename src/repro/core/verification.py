@@ -1,0 +1,266 @@
+"""Static verification of a deployment's control plane.
+
+The paper's motivation for compartmentalization starts with
+configuration fragility: "Those sets of flow rules are complex: with a
+small error in one rule potentially having security consequences,
+e.g., making intra-tenant traffic visible to other tenants."  This
+module audits a *built* deployment without sending traffic:
+
+- **reachability**: for every tenant, a representative ingress packet
+  symbolically walks the compartment's pipeline and must reach that
+  tenant's gateway port with the tenant VF's MAC (the Fig. 3a chain);
+- **return path**: a representative packet entering on the gateway
+  port must reach an In/Out port;
+- **black holes**: rules outputting to ports that do not exist;
+- **shadowed rules**: rules that can never fire because an
+  earlier/higher-priority rule in the same table covers them;
+- **cross-tenant leaks**: tenant A's representative packet must never
+  be emitted on tenant B's gateway port (flow-table-level isolation,
+  checked rather than hoped for);
+- plus the existing cross-tenant **conflict** audit on every table.
+
+The result is an audit report the operator can gate deployments on --
+the static complement of the packet-level integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.deployment import Deployment
+from repro.core.spec import TrafficScenario
+from repro.net.addresses import MacAddress
+from repro.net.packet import Frame
+from repro.vswitch.actions import ActionType
+from repro.vswitch.ovs import OvsBridge
+
+#: A neutral source for representative packets.
+_PROBE_SRC = MacAddress.parse("02:99:00:00:00:01")
+
+
+@dataclass
+class Finding:
+    severity: str          # "error" | "warning"
+    kind: str              # "unreachable", "leak", "black-hole", ...
+    bridge: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.kind} @ {self.bridge}: {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        if not self.findings:
+            return "control-plane audit: clean"
+        return "\n".join(str(f) for f in self.findings)
+
+
+def _walk_pipeline(bridge: OvsBridge, frame: Frame,
+                   in_port: int) -> Tuple[Set[int], bool]:
+    """Symbolically execute the pipeline for one concrete packet.
+
+    Returns (egress port numbers, dropped_explicitly).  Uses copies so
+    counters and the packet itself are untouched.
+    """
+    probe = frame.copy()
+    out_ports: Set[int] = set()
+    table_id: Optional[int] = 0
+    hops = 0
+    while table_id is not None:
+        hops += 1
+        if hops > OvsBridge.MAX_PIPELINE_DEPTH:
+            return out_ports, False
+        table = bridge.tables.get(table_id)
+        rule = None
+        if table is not None:
+            for candidate in table:
+                if candidate.match.matches(probe, in_port):
+                    rule = candidate
+                    break
+        if rule is None:
+            return out_ports, False
+        table_id = None
+        for action in rule.actions:
+            if action.type is ActionType.DROP:
+                return out_ports, True
+            if action.type is ActionType.OUTPUT:
+                out_ports.add(action.port_no)  # type: ignore[attr-defined]
+            elif action.type is ActionType.GOTO_TABLE:
+                table_id = action.table_id  # type: ignore[attr-defined]
+            elif action.type is not ActionType.NORMAL:
+                action.apply(probe)
+    return out_ports, False
+
+
+def _probe_for_tenant(deployment: Deployment, tenant: int) -> Frame:
+    plan = deployment.plan
+    return Frame(
+        src_mac=_PROBE_SRC,
+        dst_mac=deployment.ingress_dmac_for_tenant(tenant, 0),
+        src_ip=plan.external_ip(0),
+        dst_ip=plan.tenant_ip(tenant),
+        tunnel_id=(plan.vni(tenant) if deployment.spec.tunneling else None),
+        size_bytes=114 if deployment.spec.tunneling else 64,
+    )
+
+
+def audit_deployment(deployment: Deployment) -> AuditReport:
+    """Run every static check against an MTS deployment."""
+    report = AuditReport()
+    spec = deployment.spec
+    if not spec.level.is_mts:
+        _audit_tables_only(deployment, report)
+        return report
+
+    for view in deployment.compartment_views:
+        bridge = view.bridge
+        valid_ports = {p.port_no for p in bridge.ports()}
+        gw_ports = {view.gw_port_no[key]: key for key in view.gw_port_no}
+        inout_ports = set(view.inout_port_no.values())
+
+        _check_black_holes(bridge, valid_ports, report)
+        _check_shadowing(bridge, report)
+        _check_conflicts(bridge, report)
+
+        for tenant in view.tenants:
+            probe = _probe_for_tenant(deployment, tenant)
+            in_port = view.inout_port_no[0]
+            outs, dropped = _walk_pipeline(bridge, probe, in_port)
+            expected = view.gw_port_no[(tenant, 0)]
+            if expected not in outs:
+                report.findings.append(Finding(
+                    "error", "unreachable", bridge.name,
+                    f"tenant {tenant}'s ingress probe never reaches its "
+                    f"gateway port {expected} (got {sorted(outs)}, "
+                    f"dropped={dropped})"))
+            foreign = {p for p in outs
+                       if p in gw_ports and gw_ports[p][0] != tenant}
+            if foreign:
+                leaked_to = sorted({gw_ports[p][0] for p in foreign})
+                report.findings.append(Finding(
+                    "error", "leak", bridge.name,
+                    f"tenant {tenant}'s traffic also emitted on tenant(s) "
+                    f"{leaked_to}'s gateway port(s)"))
+
+            # Return path: from the gateway port back out.  The tenant
+            # sees the frame decapsulated (the ingress chain popped any
+            # tunnel), so the return probe is untunnelled.
+            back = probe.copy()
+            back.tunnel_id = None
+            back.src_mac = deployment.tenant_vf[(tenant, 0)].mac or _PROBE_SRC
+            return_port = view.gw_port_no[
+                (tenant, deployment.spec.nic_ports - 1)]
+            outs, dropped = _walk_pipeline(bridge, back, return_port)
+            if not outs & inout_ports and not (
+                    deployment.scenario is TrafficScenario.V2V):
+                report.findings.append(Finding(
+                    "error", "no-return-path", bridge.name,
+                    f"tenant {tenant}'s return probe from port "
+                    f"{return_port} reaches no In/Out port"))
+    return report
+
+
+def _audit_tables_only(deployment: Deployment, report: AuditReport) -> None:
+    for bridge in deployment.bridges:
+        valid_ports = {p.port_no for p in bridge.ports()}
+        _check_black_holes(bridge, valid_ports, report)
+        _check_shadowing(bridge, report)
+        _check_conflicts(bridge, report)
+
+
+def _check_black_holes(bridge: OvsBridge, valid_ports: Set[int],
+                       report: AuditReport) -> None:
+    for table_id, table in bridge.tables.items():
+        for rule in table:
+            for action in rule.actions:
+                if action.type is ActionType.OUTPUT:
+                    port = action.port_no  # type: ignore[attr-defined]
+                    if port not in valid_ports:
+                        report.findings.append(Finding(
+                            "error", "black-hole", bridge.name,
+                            f"rule cookie={rule.cookie} outputs to "
+                            f"nonexistent port {port}"))
+                if (action.type is ActionType.GOTO_TABLE
+                        and not len(bridge.tables.get(
+                            action.table_id,  # type: ignore[attr-defined]
+                            []))):
+                    report.findings.append(Finding(
+                        "error", "black-hole", bridge.name,
+                        f"rule cookie={rule.cookie} jumps to empty "
+                        f"table {action.table_id}"))  # type: ignore[attr-defined]
+
+
+def _check_shadowing(bridge: OvsBridge, report: AuditReport) -> None:
+    """A rule is (conservatively) shadowed when an earlier rule at
+    >= priority has a match that is no more specific and overlaps it."""
+    for table_id, table in bridge.tables.items():
+        rules = list(table)
+        for i, rule in enumerate(rules):
+            for earlier in rules[:i]:
+                if earlier.priority < rule.priority:
+                    continue
+                if (earlier.match.overlaps(rule.match)
+                        and earlier.match.specificity()
+                        <= rule.match.specificity()
+                        and _covers(earlier.match, rule.match)):
+                    report.findings.append(Finding(
+                        "warning", "shadowed", bridge.name,
+                        f"rule cookie={rule.cookie} can never fire: "
+                        f"covered by cookie={earlier.cookie} in table "
+                        f"{table_id}"))
+                    break
+
+
+def _covers(general, specific) -> bool:
+    """True when every field the general match constrains, the specific
+    match constrains identically (so general ⊇ specific)."""
+    pairs = [
+        (general.in_port, specific.in_port),
+        (general.src_mac, specific.src_mac),
+        (general.dst_mac, specific.dst_mac),
+        (general.ethertype, specific.ethertype),
+        (general.vlan, specific.vlan),
+        (general.proto, specific.proto),
+        (general.src_port, specific.src_port),
+        (general.dst_port, specific.dst_port),
+        (general.tunnel_id, specific.tunnel_id),
+    ]
+    for g, s in pairs:
+        if g is not None and s != g:
+            return False
+    if general.dst_ip is not None:
+        if specific.dst_ip is None:
+            return False
+        if specific.dst_ip_prefix < general.dst_ip_prefix:
+            return False
+        if not specific.dst_ip.in_subnet(general.dst_ip,
+                                         general.dst_ip_prefix):
+            return False
+    return True
+
+
+def _check_conflicts(bridge: OvsBridge, report: AuditReport) -> None:
+    for table_id, table in bridge.tables.items():
+        for a, b in table.check_conflicts():
+            report.findings.append(Finding(
+                "error", "cross-tenant-conflict", bridge.name,
+                f"tenants {a.tenant_id} and {b.tenant_id} have "
+                f"overlapping same-priority rules (cookies {a.cookie}, "
+                f"{b.cookie}) in table {table_id}"))

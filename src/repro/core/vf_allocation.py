@@ -1,0 +1,97 @@
+"""SR-IOV VF budgeting (paper section 3.2, "Resource allocation").
+
+The paper derives how many VFs each security level needs and checks it
+against the 64-VFs-per-PF ceiling of the SR-IOV standard:
+
+- Level-1, 1 NIC port: ``1 In/Out + T gateway + T tenant`` VFs
+  (1 tenant -> 3, 4 tenants -> 9).
+- Level-2, 1 NIC port, one vswitch VM per tenant:
+  ``T In/Out + T gateway + T tenant`` (2 tenants -> 6, 4 -> 12).
+
+The functions below generalize to any compartment count and NIC port
+count (the Fig. 5 experiments use 2 ports: 2 In/Out VFs per vswitch VM
+and 2 gateway VFs per tenant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.core.levels import SecurityLevel
+from repro.core.spec import DeploymentSpec
+from repro.sriov.nic import MAX_VFS_PER_PF
+
+
+@dataclass(frozen=True)
+class VfBudget:
+    """VF counts per role, plus the per-PF feasibility verdict."""
+
+    in_out: int
+    gateway: int
+    tenant: int
+    nic_ports: int
+
+    @property
+    def total(self) -> int:
+        return self.in_out + self.gateway + self.tenant
+
+    @property
+    def per_pf(self) -> int:
+        """VFs on each physical port (roles are split evenly per port)."""
+        return self.total // self.nic_ports
+
+    def fits(self, max_vfs_per_pf: int = MAX_VFS_PER_PF) -> bool:
+        return self.per_pf <= max_vfs_per_pf
+
+
+def vf_budget(
+    level: SecurityLevel,
+    num_tenants: int,
+    num_vswitch_vms: int = 1,
+    nic_ports: int = 1,
+) -> VfBudget:
+    """VF counts for a configuration (0 in/out + 0 gw for the Baseline,
+    which attaches tenants over virtio and owns the ports via the PF)."""
+    if num_tenants < 1:
+        raise ValidationError("need at least one tenant")
+    if nic_ports < 1:
+        raise ValidationError("need at least one NIC port")
+    if level is SecurityLevel.BASELINE:
+        return VfBudget(in_out=0, gateway=0, tenant=0, nic_ports=nic_ports)
+    if level is SecurityLevel.LEVEL_1:
+        num_vswitch_vms = 1
+    elif num_vswitch_vms < 1:
+        raise ValidationError("Level-2 needs at least one vswitch VM")
+    return VfBudget(
+        in_out=num_vswitch_vms * nic_ports,
+        gateway=num_tenants * nic_ports,
+        tenant=num_tenants * nic_ports,
+        nic_ports=nic_ports,
+    )
+
+
+def vf_budget_for_spec(spec: DeploymentSpec) -> VfBudget:
+    return vf_budget(
+        spec.level,
+        num_tenants=spec.num_tenants,
+        num_vswitch_vms=max(1, spec.num_compartments),
+        nic_ports=spec.nic_ports,
+    )
+
+
+def max_tenants(level: SecurityLevel, nic_ports: int = 1,
+                per_tenant_vswitch: bool = False,
+                max_vfs_per_pf: int = MAX_VFS_PER_PF) -> int:
+    """Largest tenant count whose VF budget still fits per PF -- the
+    scaling ceiling the paper's discussion section worries about."""
+    tenants = 0
+    while True:
+        candidate = tenants + 1
+        vms = candidate if per_tenant_vswitch else 1
+        lvl = SecurityLevel.LEVEL_2 if per_tenant_vswitch else level
+        budget = vf_budget(lvl, candidate, num_vswitch_vms=vms,
+                           nic_ports=nic_ports)
+        if not budget.fits(max_vfs_per_pf):
+            return tenants
+        tenants = candidate

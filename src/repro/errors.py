@@ -1,0 +1,55 @@
+"""Exception hierarchy for the MTS reproduction.
+
+All errors raised by this package derive from :class:`ReproError` so that
+callers can catch everything from one root, while still being able to
+discriminate configuration problems from resource exhaustion or simulation
+bugs.
+"""
+
+
+class ReproError(Exception):
+    """Root of the package exception hierarchy."""
+
+
+class ConfigurationError(ReproError):
+    """A spec, address, or device was configured inconsistently."""
+
+
+class ValidationError(ConfigurationError):
+    """A deployment spec failed validation before planning."""
+
+
+class ResourceError(ReproError):
+    """A physical resource (cores, memory, VFs) was exhausted."""
+
+
+class VFExhaustedError(ResourceError):
+    """No more SR-IOV virtual functions are available on the PF."""
+
+
+class CoreExhaustedError(ResourceError):
+    """No more physical CPU cores are available on the server."""
+
+
+class MemoryExhaustedError(ResourceError):
+    """Not enough RAM or hugepages are available on the server."""
+
+
+class AddressError(ConfigurationError):
+    """A MAC or IP address was malformed or duplicated."""
+
+
+class FlowTableError(ReproError):
+    """A flow rule is malformed or conflicts with an existing rule."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SecurityViolation(ReproError):
+    """A packet or operation violated a configured security policy.
+
+    Raised only in *strict* enforcement contexts; the normal dataplane
+    silently drops offending packets and counts them, as a real NIC does.
+    """

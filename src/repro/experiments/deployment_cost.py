@@ -1,0 +1,66 @@
+"""The cost of deploying MTS: control-plane operations per configuration.
+
+The paper's pitch includes operations: MTS is "incrementally deployable,
+providing an inexpensive deployment experience for cloud operators" --
+"MTS can easily be scripted into existing cloud systems".  This
+experiment quantifies the scripting surface: how many primitive
+operations (VM definitions, VF configurations, bridge ports, flow
+rules, filters) each configuration takes to stand up, and what the
+*delta* from the Baseline is -- the upgrade path's size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.deployment import plan_deployment
+from repro.core.levels import ResourceMode, SecurityLevel
+from repro.core.spec import DeploymentSpec, TrafficScenario
+from repro.measure.reporting import Series, Table
+
+#: Control-plane verbs grouped for reporting.
+GROUPS = {
+    "VMs": ("define-vm", "define-container"),
+    "VFs": ("create-vf",),
+    "bridge ports": ("add-port",),
+    "apps": ("install-app",),
+    "other": ("pin-cores", "alloc-hugepages", "install-filters",
+              "program-flows"),
+}
+
+
+def op_counts(spec: DeploymentSpec,
+              scenario: TrafficScenario = TrafficScenario.P2V) -> Dict[str, int]:
+    plan = plan_deployment(spec, scenario)
+    counts = {group: 0 for group in GROUPS}
+    counts["total"] = len(plan)
+    for group, verbs in GROUPS.items():
+        counts[group] = sum(len(plan.with_verb(v)) for v in verbs)
+    return counts
+
+
+def run(scenario: TrafficScenario = TrafficScenario.P2V) -> Table:
+    table = Table(
+        title=f"Deployment cost: primitive control-plane operations "
+              f"({scenario.value})",
+        fmt=lambda v: f"{v:.0f}",
+    )
+    configs = [
+        DeploymentSpec(level=SecurityLevel.BASELINE),
+        DeploymentSpec(level=SecurityLevel.LEVEL_1),
+        DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=2),
+        DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=4),
+    ]
+    baseline_total = None
+    for spec in configs:
+        counts = op_counts(spec, scenario)
+        if baseline_total is None:
+            baseline_total = counts["total"]
+        series = Series(label=spec.label)
+        for group in GROUPS:
+            series.add(group, float(counts[group]))
+        series.add("total", float(counts["total"]))
+        series.add("delta vs Baseline",
+                   float(counts["total"] - baseline_total))
+        table.add_series(series)
+    return table

@@ -1,0 +1,96 @@
+"""Fig. 5(b,e,h): one-way forwarding latency distributions.
+
+Methodology mirrors the paper: a constant aggregate 10 kpps stream (4
+flows) is replayed while both links are tapped; only samples from the
+post-warmup window count.  The paper sends for 30 s and evaluates the
+10-20 s slice; the discrete-event simulation reproduces the same
+pipeline at a shorter (configurable) timescale -- the distributions are
+stationary, so the window length only controls sample count.
+
+The paper reports 64 B distributions and studied 512/1500/2048 B as
+well; ``frame_bytes`` selects the size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.deployment import build_deployment
+from repro.core.spec import TrafficScenario
+from repro.experiments.common import ConfigPoint, EvalMode, configs_for_mode
+from repro.measure.reporting import Series, Table
+from repro.measure.stats import SummaryStats, summarize
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.traffic.harness import TestbedHarness
+from repro.units import KPPS, USEC
+
+SCENARIOS = (TrafficScenario.P2P, TrafficScenario.P2V, TrafficScenario.V2V)
+
+#: The paper's latency-test load.
+DEFAULT_AGGREGATE_PPS = 10 * KPPS
+
+
+@dataclass
+class LatencyMeasurement:
+    config_label: str
+    scenario: TrafficScenario
+    stats: SummaryStats
+
+
+def measure_latency(
+    config: ConfigPoint,
+    scenario: TrafficScenario,
+    frame_bytes: int = 64,
+    aggregate_pps: float = DEFAULT_AGGREGATE_PPS,
+    duration: float = 0.3,
+    warmup: float = 0.05,
+    seed: int = 0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> LatencyMeasurement:
+    """Packet-level DES measurement of one configuration point."""
+    warmup = min(warmup, duration / 3.0)
+    spec = config.spec()
+    deployment = build_deployment(spec, scenario, seed=seed,
+                                  calibration=calibration)
+    harness = TestbedHarness(deployment)
+    harness.configure_tenant_flows(
+        rate_per_flow_pps=aggregate_pps / spec.num_tenants,
+        frame_bytes=frame_bytes,
+    )
+    result = harness.run(duration=duration, warmup=warmup)
+    if not result.latencies:
+        raise RuntimeError(
+            f"no latency samples for {config.label}/{scenario.value}"
+        )
+    return LatencyMeasurement(config.label, scenario,
+                              summarize(result.latencies))
+
+
+def run(mode: str = EvalMode.SHARED, frame_bytes: int = 64,
+        duration: float = 0.3,
+        calibration: Calibration = DEFAULT_CALIBRATION) -> Table:
+    """One row of Fig. 5's latency column (medians, in microseconds)."""
+    figure = {EvalMode.SHARED: "Fig. 5(b)", EvalMode.ISOLATED: "Fig. 5(e)",
+              EvalMode.DPDK: "Fig. 5(h)"}[mode]
+    table = Table(
+        title=f"{figure} median one-way latency, {mode} mode, "
+              f"{frame_bytes} B @ 10 kpps",
+        unit="us",
+        fmt=lambda v: f"{v:.1f}",
+    )
+    for config in configs_for_mode(mode):
+        series = Series(label=config.label)
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            measurement = measure_latency(config, scenario, frame_bytes,
+                                          duration=duration,
+                                          calibration=calibration)
+            series.add(scenario.value, measurement.stats.median / USEC)
+        table.add_series(series)
+    return table
+
+
+def run_all(frame_bytes: int = 64, duration: float = 0.3) -> Dict[str, Table]:
+    return {mode: run(mode, frame_bytes, duration) for mode in EvalMode.ALL}

@@ -1,0 +1,40 @@
+"""Fig. 5(c,f,i): CPU cores and memory per configuration.
+
+Reads the resource accounting off built deployments: physical cores
+consumed by virtual networking (host + vswitch compartments) and total
+1 GB hugepages.  These are exact (not modelled) quantities -- the same
+arithmetic the paper's bars show: e.g. the shared mode costs one extra
+core regardless of compartment count, while isolated/DPDK modes grow
+linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.deployment import build_deployment
+from repro.core.spec import TrafficScenario
+from repro.experiments.common import EvalMode, configs_for_mode
+from repro.measure.reporting import Series, Table
+
+
+def run(mode: str = EvalMode.SHARED) -> Table:
+    figure = {EvalMode.SHARED: "Fig. 5(c)", EvalMode.ISOLATED: "Fig. 5(f)",
+              EvalMode.DPDK: "Fig. 5(i)"}[mode]
+    table = Table(
+        title=f"{figure} resources, {mode} mode",
+        fmt=lambda v: f"{v:.0f}",
+    )
+    for config in configs_for_mode(mode):
+        deployment = build_deployment(config.spec(), TrafficScenario.P2V)
+        report = deployment.resource_report()
+        series = Series(label=config.label)
+        series.add("networking-cores", float(report.networking_cores))
+        series.add("tenant-cores", float(report.tenant_cores))
+        series.add("hugepages-1G", float(report.total_hugepages_1g))
+        table.add_series(series)
+    return table
+
+
+def run_all() -> Dict[str, Table]:
+    return {mode: run(mode) for mode in EvalMode.ALL}

@@ -1,0 +1,60 @@
+"""Fig. 5(a,d,g): aggregate forwarding throughput, 64 B frames.
+
+The load generator offers 4 flows at line rate (14.88 Mpps aggregate at
+64 B on 10G); the reported number is the aggregate delivered rate,
+computed by the max-min capacity solver over the deployment's resource
+pools.  ``run(mode)`` produces one figure row: a table of Mpps per
+(scenario, configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.deployment import build_deployment
+from repro.core.spec import TrafficScenario
+from repro.experiments.common import EvalMode, configs_for_mode
+from repro.measure.reporting import Series, Table
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.paths import throughput
+from repro.units import LINE_RATE_10G_64B_PPS, MPPS
+
+SCENARIOS = (TrafficScenario.P2P, TrafficScenario.P2V, TrafficScenario.V2V)
+
+
+def aggregate_mpps(config, scenario: TrafficScenario,
+                   frame_bytes: int = 64,
+                   calibration: Calibration = DEFAULT_CALIBRATION) -> float:
+    """Saturation throughput of one configuration point, in Mpps."""
+    spec = config.spec()
+    deployment = build_deployment(spec, scenario, calibration=calibration)
+    offered_per_flow = LINE_RATE_10G_64B_PPS / spec.num_tenants
+    result = throughput(deployment, scenario, frame_bytes=frame_bytes,
+                        offered_per_flow_pps=offered_per_flow)
+    return result.aggregate_pps / MPPS
+
+
+def run(mode: str = EvalMode.SHARED, frame_bytes: int = 64,
+        calibration: Calibration = DEFAULT_CALIBRATION) -> Table:
+    """One row of Fig. 5's throughput column."""
+    figure = {EvalMode.SHARED: "Fig. 5(a)", EvalMode.ISOLATED: "Fig. 5(d)",
+              EvalMode.DPDK: "Fig. 5(g)"}[mode]
+    table = Table(
+        title=f"{figure} throughput, {mode} mode, {frame_bytes} B frames",
+        unit="Mpps",
+        fmt=lambda v: f"{v:.2f}",
+    )
+    for config in configs_for_mode(mode):
+        series = Series(label=config.label)
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            series.add(scenario.value,
+                       aggregate_mpps(config, scenario, frame_bytes,
+                                      calibration))
+        table.add_series(series)
+    return table
+
+
+def run_all(frame_bytes: int = 64) -> Dict[str, Table]:
+    return {mode: run(mode, frame_bytes) for mode in EvalMode.ALL}

@@ -1,0 +1,80 @@
+"""Fig. 6(b,g,l) and (d,i,n): Apache throughput and response time.
+
+ApacheBench against each tenant's webserver: a static 11.3 KB page,
+up to 1000 concurrent connections per client, 100 s, 5 repetitions
+with 95% confidence.  In v2v only two client-server pairs run (the
+other tenants forward), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.deployment import build_deployment
+from repro.core.spec import TrafficScenario
+from repro.experiments.common import ConfigPoint, EvalMode, configs_for_mode, repeat_with_noise
+from repro.measure.reporting import Series, Table
+from repro.units import MSEC
+from repro.workloads.httpd import ApacheModel
+
+SCENARIOS = (TrafficScenario.P2V, TrafficScenario.V2V)
+
+
+def apache_metrics(config: ConfigPoint,
+                   scenario: TrafficScenario) -> Tuple[float, float]:
+    """(aggregate requests/s, mean response time seconds)."""
+    deployment = build_deployment(config.spec(nic_ports=1), scenario)
+    report = ApacheModel(deployment, scenario).run()
+    return report.aggregate_rps, report.mean_response_time
+
+
+def run_throughput(mode: str = EvalMode.SHARED) -> Table:
+    figure = {EvalMode.SHARED: "Fig. 6(b)", EvalMode.ISOLATED: "Fig. 6(g)",
+              EvalMode.DPDK: "Fig. 6(l)"}[mode]
+    table = Table(
+        title=f"{figure} Apache throughput, {mode} mode",
+        unit="req/s",
+        fmt=lambda v: f"{v:.0f}",
+    )
+    for config in configs_for_mode(mode):
+        series = Series(label=config.label)
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            mean, _ci = repeat_with_noise(
+                lambda: apache_metrics(config, scenario)[0],
+                seed=hash(("ab-rps", config.label, scenario.value)) & 0xFFFF,
+            )
+            series.add(scenario.value, mean)
+        table.add_series(series)
+    return table
+
+
+def run_response_time(mode: str = EvalMode.SHARED) -> Table:
+    figure = {EvalMode.SHARED: "Fig. 6(d)", EvalMode.ISOLATED: "Fig. 6(i)",
+              EvalMode.DPDK: "Fig. 6(n)"}[mode]
+    table = Table(
+        title=f"{figure} Apache response time, {mode} mode",
+        unit="ms",
+        fmt=lambda v: f"{v:.1f}",
+    )
+    for config in configs_for_mode(mode):
+        series = Series(label=config.label)
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            mean, _ci = repeat_with_noise(
+                lambda: apache_metrics(config, scenario)[1],
+                seed=hash(("ab-rt", config.label, scenario.value)) & 0xFFFF,
+            )
+            series.add(scenario.value, mean / MSEC)
+        table.add_series(series)
+    return table
+
+
+def run_all() -> Dict[str, Table]:
+    tables = {}
+    for mode in EvalMode.ALL:
+        tables[f"{mode}-throughput"] = run_throughput(mode)
+        tables[f"{mode}-response-time"] = run_response_time(mode)
+    return tables

@@ -1,0 +1,54 @@
+"""Fig. 6(a,f,k): aggregate iperf TCP throughput.
+
+Single-stream iperf clients at the load generator against servers in
+the tenant VMs, 100 s runs, 5 repetitions, mean with 95% confidence.
+The workload topology uses one NIC port for both directions (the
+paper's Fig. 6 resource note).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.deployment import build_deployment
+from repro.core.spec import TrafficScenario
+from repro.experiments.common import ConfigPoint, EvalMode, configs_for_mode, repeat_with_noise
+from repro.measure.reporting import Series, Table
+from repro.workloads.iperf import IperfModel
+
+SCENARIOS = (TrafficScenario.P2V, TrafficScenario.V2V)
+
+
+def iperf_gbps(config: ConfigPoint, scenario: TrafficScenario) -> float:
+    deployment = build_deployment(config.spec(nic_ports=1), scenario)
+    return IperfModel(deployment, scenario).run().aggregate_gbps
+
+
+def iperf_with_ci(config: ConfigPoint, scenario: TrafficScenario,
+                  repetitions: int = 5) -> Tuple[float, float]:
+    return repeat_with_noise(lambda: iperf_gbps(config, scenario),
+                             repetitions=repetitions,
+                             seed=hash((config.label, scenario.value)) & 0xFFFF)
+
+
+def run(mode: str = EvalMode.SHARED) -> Table:
+    figure = {EvalMode.SHARED: "Fig. 6(a)", EvalMode.ISOLATED: "Fig. 6(f)",
+              EvalMode.DPDK: "Fig. 6(k)"}[mode]
+    table = Table(
+        title=f"{figure} iperf aggregate TCP throughput, {mode} mode",
+        unit="Gbps",
+        fmt=lambda v: f"{v:.2f}",
+    )
+    for config in configs_for_mode(mode):
+        series = Series(label=config.label)
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            mean, _ci = iperf_with_ci(config, scenario)
+            series.add(scenario.value, mean)
+        table.add_series(series)
+    return table
+
+
+def run_all() -> Dict[str, Table]:
+    return {mode: run(mode) for mode in EvalMode.ALL}

@@ -1,0 +1,79 @@
+"""Fig. 6(c,h,m) and (e,j,o): Memcached throughput and response time.
+
+memslap with the default 90/10 set/get mix against each tenant's
+memcached; 100 s, 5 repetitions, 95% confidence.  v2v runs two
+client-server pairs (others forward), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.deployment import build_deployment
+from repro.core.spec import TrafficScenario
+from repro.experiments.common import ConfigPoint, EvalMode, configs_for_mode, repeat_with_noise
+from repro.measure.reporting import Series, Table
+from repro.units import MSEC
+from repro.workloads.memcached import MemcachedModel
+
+SCENARIOS = (TrafficScenario.P2V, TrafficScenario.V2V)
+
+
+def memcached_metrics(config: ConfigPoint,
+                      scenario: TrafficScenario) -> Tuple[float, float]:
+    """(aggregate ops/s, mean response time seconds)."""
+    deployment = build_deployment(config.spec(nic_ports=1), scenario)
+    report = MemcachedModel(deployment, scenario).run()
+    return report.aggregate_ops, report.mean_response_time
+
+
+def run_throughput(mode: str = EvalMode.SHARED) -> Table:
+    figure = {EvalMode.SHARED: "Fig. 6(c)", EvalMode.ISOLATED: "Fig. 6(h)",
+              EvalMode.DPDK: "Fig. 6(m)"}[mode]
+    table = Table(
+        title=f"{figure} Memcached throughput, {mode} mode",
+        unit="ops/s",
+        fmt=lambda v: f"{v:.0f}",
+    )
+    for config in configs_for_mode(mode):
+        series = Series(label=config.label)
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            mean, _ci = repeat_with_noise(
+                lambda: memcached_metrics(config, scenario)[0],
+                seed=hash(("mc-ops", config.label, scenario.value)) & 0xFFFF,
+            )
+            series.add(scenario.value, mean)
+        table.add_series(series)
+    return table
+
+
+def run_response_time(mode: str = EvalMode.SHARED) -> Table:
+    figure = {EvalMode.SHARED: "Fig. 6(e)", EvalMode.ISOLATED: "Fig. 6(j)",
+              EvalMode.DPDK: "Fig. 6(o)"}[mode]
+    table = Table(
+        title=f"{figure} Memcached response time, {mode} mode",
+        unit="ms",
+        fmt=lambda v: f"{v:.2f}",
+    )
+    for config in configs_for_mode(mode):
+        series = Series(label=config.label)
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            mean, _ci = repeat_with_noise(
+                lambda: memcached_metrics(config, scenario)[1],
+                seed=hash(("mc-rt", config.label, scenario.value)) & 0xFFFF,
+            )
+            series.add(scenario.value, mean / MSEC)
+        table.add_series(series)
+    return table
+
+
+def run_all() -> Dict[str, Table]:
+    tables = {}
+    for mode in EvalMode.ALL:
+        tables[f"{mode}-throughput"] = run_throughput(mode)
+        tables[f"{mode}-response-time"] = run_response_time(mode)
+    return tables

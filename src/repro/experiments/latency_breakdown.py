@@ -1,0 +1,84 @@
+"""PMU-style latency breakdown (the §6 "evaluation limitations" ask).
+
+"For a deeper understanding of the performance improvement we obtained
+in this paper using SR-IOV, further measurements are necessary, e.g.,
+using the performance monitoring unit (PMU) to collect a breakdown of
+the packet processing latencies."
+
+The simulated dataplane charges every nanosecond of a frame's journey
+to a component (``Frame.timings``); this experiment aggregates those
+charges over a measurement window and answers the paper's open
+question directly: where does each architecture spend its latency?
+
+The expected story, quantified: the Baseline's p2v latency lives in
+the vhost crossings and the tenant's Linux bridge; MTS replaces both
+with microsecond-scale NIC traversals and spends its remaining budget
+in the tenant's l2fwd poll loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.deployment import build_deployment
+from repro.core.spec import DeploymentSpec, TrafficScenario
+from repro.experiments.common import EvalMode, configs_for_mode
+from repro.measure.reporting import Series, Table
+from repro.net.packet import Frame
+from repro.traffic.harness import TestbedHarness
+from repro.units import KPPS, USEC
+
+COMPONENTS = ("wire", "nic", "vswitch.service", "vswitch.wait",
+              "vswitch.queue", "vhost", "tenant")
+
+
+def measure_breakdown(
+    spec: DeploymentSpec,
+    scenario: TrafficScenario = TrafficScenario.P2V,
+    aggregate_pps: float = 10 * KPPS,
+    duration: float = 0.1,
+    warmup: float = 0.02,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Mean per-component latency (seconds) of delivered frames."""
+    deployment = build_deployment(spec, scenario, seed=seed)
+    harness = TestbedHarness(deployment)
+    harness.configure_tenant_flows(
+        rate_per_flow_pps=aggregate_pps / spec.num_tenants)
+
+    captured: List[Frame] = []
+    harness.egress_tap.observe(
+        lambda frame, now: captured.append(frame) if now >= warmup else None)
+    harness.run(duration=duration, warmup=warmup)
+    if not captured:
+        raise RuntimeError(f"no frames captured for {spec.label}")
+
+    totals = {component: 0.0 for component in COMPONENTS}
+    for frame in captured:
+        for component in COMPONENTS:
+            totals[component] += frame.timings.get(component, 0.0)
+    return {component: total / len(captured)
+            for component, total in totals.items()}
+
+
+def run(mode: str = EvalMode.SHARED,
+        scenario: TrafficScenario = TrafficScenario.P2V,
+        duration: float = 0.1) -> Table:
+    table = Table(
+        title=f"Latency breakdown ({scenario.value}, {mode} mode, "
+              "10 kpps, mean per component)",
+        unit="us",
+        fmt=lambda v: f"{v:.1f}",
+    )
+    for config in configs_for_mode(mode):
+        if not config.supports(scenario):
+            continue
+        breakdown = measure_breakdown(config.spec(), scenario,
+                                      duration=duration)
+        series = Series(label=config.label)
+        for component in COMPONENTS:
+            if breakdown[component] > 0:
+                series.add(component, breakdown[component] / USEC)
+        series.add("TOTAL", sum(breakdown.values()) / USEC)
+        table.add_series(series)
+    return table

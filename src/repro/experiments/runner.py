@@ -1,0 +1,78 @@
+"""Run every experiment and render all tables (EXPERIMENTS.md source).
+
+``python -m repro.experiments.runner`` regenerates every figure/table
+row of the paper's evaluation and prints them in order.  ``quick=True``
+shortens the DES latency windows (the distributions are stationary, so
+only sample counts shrink).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments import fig5_latency, fig5_resources, fig5_throughput
+from repro.experiments import fig6_apache, fig6_iperf, fig6_memcached
+from repro.experiments import table1_survey, vf_table
+from repro.experiments import (
+    deployment_cost,
+    fault_isolation,
+    latency_breakdown,
+    noisy_neighbor,
+    policy_injection,
+)
+from repro.experiments.common import EvalMode
+from repro.measure.reporting import Table
+
+
+def run_everything(quick: bool = True) -> Dict[str, Table]:
+    """All tables of the paper's evaluation, keyed by experiment id."""
+    latency_duration = 0.15 if quick else 0.5
+    tables: Dict[str, Table] = {}
+    tables["table1"] = table1_survey.run()
+    tables["vf-budgets"] = vf_table.run()
+    for mode in EvalMode.ALL:
+        tables[f"fig5-throughput-{mode}"] = fig5_throughput.run(mode)
+        tables[f"fig5-latency-{mode}"] = fig5_latency.run(
+            mode, duration=latency_duration)
+        tables[f"fig5-resources-{mode}"] = fig5_resources.run(mode)
+        tables[f"fig6-iperf-{mode}"] = fig6_iperf.run(mode)
+        tables[f"fig6-apache-tput-{mode}"] = fig6_apache.run_throughput(mode)
+        tables[f"fig6-apache-rt-{mode}"] = fig6_apache.run_response_time(mode)
+        tables[f"fig6-memcached-tput-{mode}"] = fig6_memcached.run_throughput(mode)
+        tables[f"fig6-memcached-rt-{mode}"] = fig6_memcached.run_response_time(mode)
+    return tables
+
+
+def run_extensions(quick: bool = True) -> Dict[str, Table]:
+    """The beyond-the-paper experiments (DESIGN.md section 7)."""
+    window = 0.06 if quick else 0.15
+    return {
+        "ext-noisy-neighbor": noisy_neighbor.run(duration=window),
+        "ext-policy-injection": policy_injection.run(duration=window),
+        "ext-latency-breakdown": latency_breakdown.run(duration=window),
+        "ext-fault-isolation": fault_isolation.run(phase=window / 1.5),
+        "ext-deployment-cost": deployment_cost.run(),
+    }
+
+
+def render_everything(quick: bool = True,
+                      include_extensions: bool = False) -> str:
+    tables = run_everything(quick=quick)
+    if include_extensions:
+        tables.update(run_extensions(quick=quick))
+    chunks: List[str] = []
+    for key in sorted(tables):
+        chunks.append(tables[key].render())
+    chunks.append(table1_survey.render_full())
+    return "\n\n".join(chunks)
+
+
+def main() -> None:
+    import sys
+    print(render_everything(
+        quick=True,
+        include_extensions="--extensions" in sys.argv))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Table 1: the vswitch design survey, rendered + section 2.1's stats."""
+
+from __future__ import annotations
+
+from repro.measure.reporting import Series, Table
+from repro.security.survey import SURVEY, render_table, survey_statistics
+
+
+def run() -> Table:
+    """The headline fractions of section 2.1 as a table."""
+    stats = survey_statistics()
+    table = Table(
+        title="Table 1 summary: design characteristics of surveyed vswitches",
+        fmt=lambda v: f"{v:.2f}",
+    )
+    series = Series(label="fraction")
+    series.add("monolithic", stats["monolithic_fraction"])
+    series.add("co-located", stats["colocated_fraction"])
+    series.add("kernel-involved", stats["kernel_involved_fraction"])
+    table.add_series(series)
+    count = Series(label="count")
+    count.add("monolithic", stats["monolithic_fraction"] * stats["total"])
+    count.add("co-located", stats["colocated_fraction"] * stats["total"])
+    count.add("kernel-involved",
+              stats["kernel_involved_fraction"] * stats["total"])
+    table.add_series(count)
+    return table
+
+
+def render_full() -> str:
+    return render_table(SURVEY)

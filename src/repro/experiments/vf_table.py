@@ -1,0 +1,41 @@
+"""Section 3.2's VF-budget examples, regenerated from the formulas.
+
+"In a basic Level-1 setup hosting 1 tenant ... the total VFs is 3.
+Similarly for 4 tenants, the total VFs is 9.  For a basic Level-2 setup
+hosting 2 tenants ... the total VFs is 6.  Similarly for 4 tenants, the
+total VFs is 12."
+"""
+
+from __future__ import annotations
+
+from repro.core.levels import SecurityLevel
+from repro.core.vf_allocation import max_tenants, vf_budget
+from repro.measure.reporting import Series, Table
+
+
+def run() -> Table:
+    table = Table(
+        title="Section 3.2 VF budgets (1 NIC port)",
+        unit="VFs",
+        fmt=lambda v: f"{v:.0f}",
+    )
+    level1 = Series(label="Level-1")
+    for tenants in (1, 2, 4, 8):
+        budget = vf_budget(SecurityLevel.LEVEL_1, tenants, nic_ports=1)
+        level1.add(f"{tenants}T", float(budget.total))
+    table.add_series(level1)
+
+    level2 = Series(label="Level-2 (per-tenant)")
+    for tenants in (1, 2, 4, 8):
+        budget = vf_budget(SecurityLevel.LEVEL_2, tenants,
+                           num_vswitch_vms=tenants, nic_ports=1)
+        level2.add(f"{tenants}T", float(budget.total))
+    table.add_series(level2)
+
+    ceiling = Series(label="max tenants @64 VFs")
+    ceiling.add("L1", float(max_tenants(SecurityLevel.LEVEL_1, nic_ports=1)))
+    ceiling.add("L2/tenant", float(max_tenants(SecurityLevel.LEVEL_2,
+                                               nic_ports=1,
+                                               per_tenant_vswitch=True)))
+    table.add_series(ceiling)
+    return table

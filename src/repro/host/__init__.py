@@ -1,0 +1,22 @@
+"""Host substrate: CPU cores, memory/hugepages, servers, VMs, hypervisor."""
+
+from repro.host.cpu import ComputeShare, CpuCore, CorePool
+from repro.host.memory import HostMemory, MemoryAllocation
+from repro.host.server import Server
+from repro.host.vm import Vm, VmRole
+from repro.host.hypervisor import Hypervisor, VmSpec
+from repro.host.virtio import VhostPath
+
+__all__ = [
+    "ComputeShare",
+    "CpuCore",
+    "CorePool",
+    "HostMemory",
+    "MemoryAllocation",
+    "Server",
+    "Vm",
+    "VmRole",
+    "Hypervisor",
+    "VmSpec",
+    "VhostPath",
+]

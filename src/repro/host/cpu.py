@@ -1,0 +1,158 @@
+"""CPU cores, pinning and the shared/isolated allocation mechanics.
+
+The paper's two resource modes map directly onto this module:
+
+- **shared**: all vswitch compartments are pinned to one physical core
+  and time-share it (a :class:`CpuCore` with several consumers).
+- **isolated**: each compartment is pinned to its own core.
+
+A :class:`ComputeShare` is what a datapath actually runs on: a core plus
+the fraction of it this consumer receives.  ``effective_hz`` is the cycle
+supply the capacity model divides per-packet costs into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CoreExhaustedError
+
+#: The DUT's clock: Intel Xeon E5-2683 v4 @ 2.10 GHz.
+DEFAULT_FREQ_HZ = 2.1e9
+
+
+@dataclass
+class CpuCore:
+    """One physical core (hyper-threading disabled, as in the paper)."""
+
+    core_id: int
+    freq_hz: float = DEFAULT_FREQ_HZ
+    consumers: List[str] = field(default_factory=list)
+    reserved_for: Optional[str] = None  # e.g. "host-os"
+
+    @property
+    def num_consumers(self) -> int:
+        return len(self.consumers)
+
+    def pin(self, consumer: str) -> None:
+        if consumer in self.consumers:
+            raise ValueError(f"{consumer} already pinned to core {self.core_id}")
+        self.consumers.append(consumer)
+
+    def unpin(self, consumer: str) -> None:
+        self.consumers.remove(consumer)
+
+
+@dataclass
+class ComputeShare:
+    """A consumer's slice of a core.
+
+    With fair time-sharing among ``core.num_consumers`` pinned consumers,
+    each receives ``1/num_consumers`` of the core's cycles.  Call
+    :meth:`effective_hz` at use time (after all pinning happened), not at
+    allocation time.
+    """
+
+    core: CpuCore
+    consumer: str
+
+    def effective_hz(self) -> float:
+        sharers = max(1, self.core.num_consumers)
+        return self.core.freq_hz / sharers
+
+    @property
+    def sharers(self) -> int:
+        return max(1, self.core.num_consumers)
+
+
+class CorePool:
+    """The server's physical cores with reservation and pinning.
+
+    One core is always reserved for the Host OS (the paper's resource
+    figures count it separately); consumers then either receive dedicated
+    cores or are stacked onto one shared core.
+    """
+
+    def __init__(self, num_cores: int, freq_hz: float = DEFAULT_FREQ_HZ) -> None:
+        if num_cores < 1:
+            raise ValueError("a server needs at least one core")
+        self.cores = [CpuCore(core_id=i, freq_hz=freq_hz) for i in range(num_cores)]
+        self._dedicated: Dict[str, CpuCore] = {}
+        # The Host OS keeps core 0.  It is counted in resource reports but
+        # not pinned as a cycle consumer: during a measurement the host is
+        # essentially idle, so a Baseline vswitch sharing this core gets
+        # its full cycle supply (the paper's single-core Baseline forwards
+        # ~1 Mpps, a whole core's worth).
+        self.host_core = self.cores[0]
+        self.host_core.reserved_for = "host-os"
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def _free_cores(self) -> List[CpuCore]:
+        return [c for c in self.cores
+                if c.reserved_for is None and not c.consumers]
+
+    def available(self) -> int:
+        """Cores with nothing pinned and no reservation."""
+        return len(self._free_cores())
+
+    def allocate_dedicated(self, consumer: str) -> ComputeShare:
+        """Pin ``consumer`` to an exclusive core (isolated mode)."""
+        free = self._free_cores()
+        if not free:
+            raise CoreExhaustedError(
+                f"no free core for {consumer!r} "
+                f"({self.num_cores} cores, all busy)"
+            )
+        core = free[0]
+        core.reserved_for = consumer
+        core.pin(consumer)
+        self._dedicated[consumer] = core
+        return ComputeShare(core=core, consumer=consumer)
+
+    def allocate_shared(self, consumer: str, shared_core_tag: str = "vswitch-shared") -> ComputeShare:
+        """Stack ``consumer`` onto the designated shared core, creating it
+        on first use (shared mode: all compartments on one core)."""
+        for core in self.cores:
+            if core.reserved_for == shared_core_tag:
+                core.pin(consumer)
+                return ComputeShare(core=core, consumer=consumer)
+        free = self._free_cores()
+        if not free:
+            raise CoreExhaustedError(f"no free core to create shared pool {shared_core_tag!r}")
+        core = free[0]
+        core.reserved_for = shared_core_tag
+        core.pin(consumer)
+        return ComputeShare(core=core, consumer=consumer)
+
+    def allocate_host_share(self, consumer: str) -> ComputeShare:
+        """Run ``consumer`` on the Host OS core (the Baseline's kernel
+        vswitch shares the host's core)."""
+        self.host_core.pin(consumer)
+        return ComputeShare(core=self.host_core, consumer=consumer)
+
+    def release(self, consumer: str) -> None:
+        """Unpin a consumer everywhere and free its dedicated core.
+
+        A shared pool core (e.g. the ``vswitch-shared`` core) is
+        un-reserved once its last consumer leaves.
+        """
+        for core in self.cores:
+            if consumer in core.consumers:
+                core.unpin(consumer)
+            if core.reserved_for == consumer:
+                core.reserved_for = None
+            if (not core.consumers and core.reserved_for is not None
+                    and core.reserved_for != "host-os"):
+                core.reserved_for = None
+        self._dedicated.pop(consumer, None)
+
+    def used_cores(self) -> int:
+        """Cores with at least one consumer pinned, plus the host core."""
+        return sum(
+            1 for c in self.cores
+            if c.consumers or c.reserved_for == "host-os"
+        )

@@ -1,0 +1,19 @@
+"""Measurement reduction: summary statistics, confidence intervals,
+and paper-style table/series reporting."""
+
+from repro.measure.stats import (
+    SummaryStats,
+    mean_confidence_interval,
+    percentile,
+    summarize,
+)
+from repro.measure.reporting import Series, Table
+
+__all__ = [
+    "SummaryStats",
+    "mean_confidence_interval",
+    "percentile",
+    "summarize",
+    "Series",
+    "Table",
+]

@@ -1,0 +1,78 @@
+"""Paper-style reporting: named series and fixed-width tables.
+
+Each experiment module returns :class:`Series` objects (one per figure
+curve/bar group) collected into a :class:`Table` whose ``render()``
+output is what the benchmark harness prints -- the same rows the paper
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass
+class Series:
+    """One labelled sequence of (x, value) points."""
+
+    label: str
+    points: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, x: str, value: float) -> None:
+        self.points[x] = value
+
+    def get(self, x: str) -> float:
+        return self.points[x]
+
+    def xs(self) -> List[str]:
+        return list(self.points)
+
+
+@dataclass
+class Table:
+    """Series x categories, rendered as a fixed-width text table."""
+
+    title: str
+    series: List[Series] = field(default_factory=list)
+    unit: str = ""
+    fmt: Callable[[float], str] = lambda v: f"{v:.3g}"
+
+    def add_series(self, series: Series) -> None:
+        self.series.append(series)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in table {self.title!r}")
+
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for s in self.series:
+            for x in s.xs():
+                if x not in cols:
+                    cols.append(x)
+        return cols
+
+    def render(self) -> str:
+        cols = self.columns()
+        label_width = max([len("series")] + [len(s.label) for s in self.series])
+        widths = [max(len(c), 10) for c in cols]
+        unit = f"  [{self.unit}]" if self.unit else ""
+        lines = [f"== {self.title}{unit} =="]
+        header = "  ".join(
+            [f"{'series':<{label_width}}"] +
+            [f"{c:>{w}}" for c, w in zip(cols, widths)]
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for s in self.series:
+            cells = []
+            for c, w in zip(cols, widths):
+                if c in s.points:
+                    cells.append(f"{self.fmt(s.points[c]):>{w}}")
+                else:
+                    cells.append(f"{'-':>{w}}")
+            lines.append("  ".join([f"{s.label:<{label_width}}"] + cells))
+        return "\n".join(lines)

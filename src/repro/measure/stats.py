@@ -1,0 +1,104 @@
+"""Summary statistics without external dependencies.
+
+The paper reports means with 95% confidence over 5 repetitions and
+latency distributions (box plots).  These helpers provide exactly
+those reductions: percentiles by linear interpolation (numpy's default
+method) and Student-t confidence intervals for small samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Two-sided 95% Student-t critical values, indexed by degrees of freedom.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+    30: 2.042, 60: 2.000, 120: 1.980,
+}
+
+
+def _t95(dof: int) -> float:
+    if dof <= 0:
+        return float("nan")
+    if dof in _T95:
+        return _T95[dof]
+    keys = sorted(_T95)
+    for key in keys:
+        if dof < key:
+            return _T95[key]
+    return 1.96
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100), linear interpolation between ranks."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def mean_confidence_interval(values: Sequence[float],
+                             confidence: float = 0.95) -> Tuple[float, float]:
+    """(mean, half-width) of the two-sided CI; half-width is 0 for n < 2."""
+    if confidence != 0.95:
+        raise ValueError("only 95% confidence tabulated")
+    if not values:
+        raise ValueError("CI of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = _t95(n - 1) * math.sqrt(variance / n)
+    return mean, half
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p99: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range: the box height of the paper's box plots,
+        i.e. the latency-variance signal of Fig. 5(b) vs 5(e)."""
+        return self.p75 - self.p25
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        p25=percentile(values, 25),
+        median=percentile(values, 50),
+        p75=percentile(values, 75),
+        p99=percentile(values, 99),
+        maximum=max(values),
+    )

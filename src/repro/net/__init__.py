@@ -1,0 +1,31 @@
+"""Network substrate: addresses, frames, ARP, ports, links and taps."""
+
+from repro.net.addresses import (
+    BROADCAST_MAC,
+    IPv4Address,
+    MacAddress,
+    IpAllocator,
+    MacAllocator,
+)
+from repro.net.arp import ArpTable, ProxyArpResponder
+from repro.net.interfaces import Port, PortPair, CountingPort
+from repro.net.link import Link, OpticalTap
+from repro.net.packet import EtherType, Frame, IpProto
+
+__all__ = [
+    "BROADCAST_MAC",
+    "IPv4Address",
+    "MacAddress",
+    "IpAllocator",
+    "MacAllocator",
+    "ArpTable",
+    "ProxyArpResponder",
+    "Port",
+    "PortPair",
+    "CountingPort",
+    "Link",
+    "OpticalTap",
+    "EtherType",
+    "Frame",
+    "IpProto",
+]

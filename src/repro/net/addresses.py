@@ -1,0 +1,161 @@
+"""MAC and IPv4 address types with allocators.
+
+Implemented from scratch (no ``ipaddress`` import) so the types carry
+exactly the semantics the NIC and vswitch models need: hashability,
+canonical text form, locally-administered MAC generation, and subnet
+iteration for tenant address pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 48:
+            raise AddressError(f"MAC value out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` (case-insensitive)."""
+        parts = text.strip().split(":")
+        if len(parts) != 6:
+            raise AddressError(f"malformed MAC address: {text!r}")
+        try:
+            octets = [int(p, 16) for p in parts]
+        except ValueError as exc:
+            raise AddressError(f"malformed MAC address: {text!r}") from exc
+        if any(not 0 <= o <= 0xFF for o in octets):
+            raise AddressError(f"malformed MAC address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for group addresses (I/G bit set), including broadcast."""
+        return bool((self.value >> 40) & 0x01)
+
+    @property
+    def is_locally_administered(self) -> bool:
+        return bool((self.value >> 40) & 0x02)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{o:02x}" for o in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+
+BROADCAST_MAC = MacAddress((1 << 48) - 1)
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 32:
+            raise AddressError(f"IPv4 value out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad ``a.b.c.d``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        try:
+            octets = [int(p, 10) for p in parts]
+        except ValueError as exc:
+            raise AddressError(f"malformed IPv4 address: {text!r}") from exc
+        if any(not 0 <= o <= 255 for o in octets):
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    def in_subnet(self, network: "IPv4Address", prefix_len: int) -> bool:
+        """True if this address falls inside ``network/prefix_len``."""
+        if not 0 <= prefix_len <= 32:
+            raise AddressError(f"bad prefix length: {prefix_len}")
+        if prefix_len == 0:
+            return True
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+        return (self.value & mask) == (network.value & mask)
+
+    def offset(self, delta: int) -> "IPv4Address":
+        """Address ``delta`` positions away (used by allocators)."""
+        return IPv4Address(self.value + delta)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(24, -8, -8)]
+        return ".".join(str(o) for o in octets)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+
+class MacAllocator:
+    """Hands out unique locally-administered unicast MACs.
+
+    The allocator brands each address with an OUI-like prefix so addresses
+    read meaningfully in traces (``02:4d:54:...`` = locally administered,
+    'MT' for MTS).
+    """
+
+    def __init__(self, prefix: int = 0x024D54) -> None:
+        if not 0 <= prefix < 1 << 24:
+            raise AddressError(f"prefix out of range: {prefix:#x}")
+        if (prefix >> 16) & 0x01:
+            raise AddressError("allocator prefix must be unicast (I/G bit clear)")
+        self._prefix = prefix
+        self._next = 0
+
+    def allocate(self) -> MacAddress:
+        if self._next >= 1 << 24:
+            raise AddressError("MAC allocator exhausted")
+        mac = MacAddress((self._prefix << 24) | self._next)
+        self._next += 1
+        return mac
+
+
+class IpAllocator:
+    """Hands out host addresses from a subnet, skipping network/broadcast."""
+
+    def __init__(self, network: str, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= 30:
+            raise AddressError(f"unusable prefix length: {prefix_len}")
+        self.network = IPv4Address.parse(network)
+        self.prefix_len = prefix_len
+        self._next_host = 1
+        self._max_host = (1 << (32 - prefix_len)) - 2
+
+    def allocate(self) -> IPv4Address:
+        if self._next_host > self._max_host:
+            raise AddressError(f"IP allocator exhausted for {self.network}/{self.prefix_len}")
+        addr = self.network.offset(self._next_host)
+        self._next_host += 1
+        return addr
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate all assignable host addresses in the subnet."""
+        for host in range(1, self._max_host + 1):
+            yield self.network.offset(host)

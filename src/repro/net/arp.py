@@ -1,0 +1,102 @@
+"""ARP: static entries, learning tables and the proxy-ARP responder.
+
+MTS requires each tenant VM's default-gateway ARP entry to point at the
+vswitch VM's gateway VF (paper section 3.2, "System support").  Two
+mechanisms are modelled, matching the paper:
+
+- **static entries** injected by the orchestrator into each tenant VM, and
+- a **proxy-ARP / ARP-responder** in the vswitch, where the centralized
+  controller pre-installs IP-to-MAC bindings and the vswitch answers ARP
+  requests locally without flooding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+
+@dataclass
+class ArpEntry:
+    mac: MacAddress
+    static: bool = False
+    created_at: float = 0.0
+
+
+class ArpTable:
+    """An IP-to-MAC mapping with static (pinned) and learned entries."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[IPv4Address, ArpEntry] = {}
+
+    def add_static(self, ip: IPv4Address, mac: MacAddress) -> None:
+        """Pin ``ip -> mac``; static entries are never overwritten by
+        learning (this is the defence the paper relies on)."""
+        self._entries[ip] = ArpEntry(mac=mac, static=True)
+
+    def learn(self, ip: IPv4Address, mac: MacAddress, now: float = 0.0) -> bool:
+        """Record a dynamic binding; refuses to displace a static entry.
+
+        Returns True if the binding was stored.
+        """
+        existing = self._entries.get(ip)
+        if existing is not None and existing.static:
+            return False
+        self._entries[ip] = ArpEntry(mac=mac, static=False, created_at=now)
+        return True
+
+    def lookup(self, ip: IPv4Address) -> Optional[MacAddress]:
+        entry = self._entries.get(ip)
+        return entry.mac if entry is not None else None
+
+    def is_static(self, ip: IPv4Address) -> bool:
+        entry = self._entries.get(ip)
+        return entry is not None and entry.static
+
+    def flush_dynamic(self) -> int:
+        """Drop all learned entries; returns how many were removed."""
+        dynamic = [ip for ip, e in self._entries.items() if not e.static]
+        for ip in dynamic:
+            del self._entries[ip]
+        return len(dynamic)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ip: IPv4Address) -> bool:
+        return ip in self._entries
+
+
+class ProxyArpResponder:
+    """Controller-fed ARP responder living in the vswitch.
+
+    The centralized controller installs every tenant binding it knows
+    about; the responder then answers requests authoritatively and counts
+    requests it could not answer (which a real deployment would punt to
+    the controller).
+    """
+
+    def __init__(self) -> None:
+        self._bindings: Dict[IPv4Address, MacAddress] = {}
+        self.answered = 0
+        self.missed = 0
+
+    def install(self, ip: IPv4Address, mac: MacAddress) -> None:
+        self._bindings[ip] = mac
+
+    def withdraw(self, ip: IPv4Address) -> None:
+        self._bindings.pop(ip, None)
+
+    def respond(self, requested_ip: IPv4Address) -> Optional[MacAddress]:
+        """Answer 'who-has requested_ip'; None when unknown."""
+        mac = self._bindings.get(requested_ip)
+        if mac is None:
+            self.missed += 1
+        else:
+            self.answered += 1
+        return mac
+
+    def __len__(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,81 @@
+"""Port abstractions: the glue every device plugs into.
+
+A :class:`Port` is a unidirectional packet consumer -- anything with a
+``receive(frame)`` method and a name.  Devices expose ports; wiring a
+topology means pointing one device's egress at another device's port.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.packet import Frame
+
+
+class Port:
+    """A named packet sink backed by a handler callable."""
+
+    def __init__(self, name: str, handler: Optional[Callable[[Frame], None]] = None):
+        self.name = name
+        self._handler = handler
+        self.rx_frames = 0
+        self.rx_bytes = 0
+
+    def connect(self, handler: Callable[[Frame], None]) -> None:
+        """Attach (or replace) the receive handler."""
+        self._handler = handler
+
+    @property
+    def connected(self) -> bool:
+        return self._handler is not None
+
+    def receive(self, frame: Frame) -> None:
+        """Deliver a frame into this port."""
+        self.rx_frames += 1
+        self.rx_bytes += frame.wire_size()
+        if self._handler is not None:
+            self._handler(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Port {self.name} rx={self.rx_frames}>"
+
+
+class CountingPort(Port):
+    """A port that additionally keeps the received frames (bounded)."""
+
+    def __init__(self, name: str, keep: int = 10000):
+        super().__init__(name)
+        self.keep = keep
+        self.frames: List[Frame] = []
+
+    def receive(self, frame: Frame) -> None:
+        if len(self.frames) < self.keep:
+            self.frames.append(frame)
+        super().receive(frame)
+
+
+class PortPair:
+    """A bidirectional attachment point: an rx port and a tx handler.
+
+    Devices that both produce and consume (a VM's NIC interface, a
+    vswitch port) are modelled as a pair: the owner receives on ``rx``
+    and transmits by calling ``tx``.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.rx = Port(f"{name}.rx")
+        self._tx: Optional[Callable[[Frame], None]] = None
+        self.tx_frames = 0
+        self.tx_bytes = 0
+
+    def attach_tx(self, handler: Callable[[Frame], None]) -> None:
+        self._tx = handler
+
+    def transmit(self, frame: Frame) -> None:
+        """Send a frame out of this attachment point."""
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_size()
+        if self._tx is None:
+            raise RuntimeError(f"port pair {self.name} has no tx attached")
+        self._tx(frame)

@@ -1,0 +1,86 @@
+"""Physical links and the passive optical taps of the measurement setup.
+
+The paper's testbed connects the load generator and the device under test
+with 10G short-range optics and observes both directions through passive
+optical taps feeding an Endace DAG capture card (hardware timestamps).
+:class:`Link` models serialization + propagation delay; :class:`OpticalTap`
+gives measurement code the same vantage point the DAG card had.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.interfaces import Port
+from repro.net.packet import Frame
+from repro.sim.kernel import Simulator
+from repro.units import GBPS
+
+
+class OpticalTap:
+    """A passive tap: observes every frame crossing a link direction.
+
+    Observers get ``(frame, timestamp)`` -- the hardware-timestamp analog.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._observers: List[Callable[[Frame, float], None]] = []
+        self.frames_seen = 0
+
+    def observe(self, callback: Callable[[Frame, float], None]) -> None:
+        self._observers.append(callback)
+
+    def _notify(self, frame: Frame, now: float) -> None:
+        self.frames_seen += 1
+        for callback in self._observers:
+            callback(frame, now)
+
+
+class Link:
+    """A unidirectional link with bandwidth and propagation delay.
+
+    Frames submitted while the link is busy queue behind the in-flight
+    frame (unbounded queue: the sender's NIC ring is modelled upstream).
+    An optional :class:`OpticalTap` sees frames at transmit start, which
+    matches a passive tap placed at the sender side.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst: Port,
+        bandwidth_bps: float = 10 * GBPS,
+        propagation_delay: float = 0.0,
+        tap: Optional[OpticalTap] = None,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self.sim = sim
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.tap = tap
+        self.name = name
+        self._busy_until = 0.0
+        self.tx_frames = 0
+        self.tx_bytes = 0
+
+    def serialization_time(self, frame: Frame) -> float:
+        """Time to clock the frame onto the wire (incl. 20 B phy overhead)."""
+        return (frame.wire_size() + 20) * 8.0 / self.bandwidth_bps
+
+    def send(self, frame: Frame) -> float:
+        """Schedule the frame for delivery; returns its arrival time."""
+        start = max(self.sim.now, self._busy_until)
+        if self.tap is not None:
+            self.tap._notify(frame, start)
+        tx_done = start + self.serialization_time(frame)
+        self._busy_until = tx_done
+        arrival = tx_done + self.propagation_delay
+        frame.charge("wire", arrival - self.sim.now)
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_size()
+        self.sim.schedule(arrival, self.dst.receive, frame)
+        return arrival

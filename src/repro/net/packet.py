@@ -1,0 +1,144 @@
+"""Frame model: Ethernet + optional 802.1Q tag + IPv4 + L4 summary.
+
+We model frames structurally rather than as byte buffers: the NIC's VEB
+switch, the vswitch flow tables and the workload models all match on
+header *fields*, and serializing real bytes would only slow the simulator
+down.  A frame knows its on-wire size, carries measurement metadata
+(creation timestamp, flow id) and an optional hop trace used by tests to
+assert the exact ingress/egress chains of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+_frame_ids = itertools.count()
+
+#: 802.1Q tag size added on the wire when a frame is tagged.
+VLAN_TAG_BYTES = 4
+
+
+class EtherType(IntEnum):
+    """EtherTypes the models care about."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+
+
+class IpProto(IntEnum):
+    """IP protocol numbers the workload models use."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+@dataclass
+class Frame:
+    """One Ethernet frame in flight.
+
+    ``size_bytes`` is the untagged L2 frame size including FCS (the way
+    the paper quotes packet sizes: 64 B, 512 B, 1500 B, 2048 B).  A VLAN
+    tag, when present, adds 4 B on the wire (see :meth:`wire_size`).
+    """
+
+    src_mac: MacAddress
+    dst_mac: MacAddress
+    ethertype: EtherType = EtherType.IPV4
+    vlan: Optional[int] = None
+    src_ip: Optional[IPv4Address] = None
+    dst_ip: Optional[IPv4Address] = None
+    proto: IpProto = IpProto.UDP
+    src_port: int = 0
+    dst_port: int = 0
+    tunnel_id: Optional[int] = None
+    #: VNI remembered after decapsulation (OVS's tunnel metadata): later
+    #: pipeline stages can still key on it, and re-encapsulation is
+    #: legal because the frame itself is no longer tunnelled.
+    decap_vni: Optional[int] = None
+    size_bytes: int = 64
+    created_at: float = 0.0
+    flow_id: int = 0
+    tenant_id: Optional[int] = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    trace: List[str] = field(default_factory=list)
+    #: PMU-style accounting: seconds spent per path component ("wire",
+    #: "nic", "vswitch.service", "vswitch.wait", "vswitch.queue",
+    #: "tenant", "vhost").  Populated by the timed dataplane; the
+    #: latency-breakdown experiment aggregates it.
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 64:
+            raise ValueError(f"Ethernet frame below minimum size: {self.size_bytes}")
+        if self.vlan is not None and not 1 <= self.vlan <= 4094:
+            raise ValueError(f"VLAN id out of range: {self.vlan}")
+
+    # -- VLAN handling ------------------------------------------------
+
+    def push_vlan(self, vlan: int) -> None:
+        """Tag the frame (NIC ingress on a VLAN-assigned VF)."""
+        if self.vlan is not None:
+            raise ValueError(f"frame already tagged with VLAN {self.vlan}")
+        if not 1 <= vlan <= 4094:
+            raise ValueError(f"VLAN id out of range: {vlan}")
+        self.vlan = vlan
+
+    def pop_vlan(self) -> int:
+        """Strip the tag (NIC egress towards an access VF)."""
+        if self.vlan is None:
+            raise ValueError("frame is untagged")
+        vlan, self.vlan = self.vlan, None
+        return vlan
+
+    # -- size ----------------------------------------------------------
+
+    def wire_size(self) -> int:
+        """Frame size on the wire, including the 802.1Q tag if present."""
+        return self.size_bytes + (VLAN_TAG_BYTES if self.vlan is not None else 0)
+
+    # -- trace ----------------------------------------------------------
+
+    def stamp(self, where: str) -> None:
+        """Append a hop to the frame's trace (for tests and debugging)."""
+        self.trace.append(where)
+
+    def charge(self, component: str, seconds: float) -> None:
+        """Attribute ``seconds`` of this frame's latency to a component."""
+        self.timings[component] = self.timings.get(component, 0.0) + seconds
+
+    def copy(self) -> "Frame":
+        """Independent copy with a fresh frame id and an empty trace."""
+        return Frame(
+            src_mac=self.src_mac,
+            dst_mac=self.dst_mac,
+            ethertype=self.ethertype,
+            vlan=self.vlan,
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            proto=self.proto,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            tunnel_id=self.tunnel_id,
+            decap_vni=self.decap_vni,
+            size_bytes=self.size_bytes,
+            created_at=self.created_at,
+            flow_id=self.flow_id,
+            tenant_id=self.tenant_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        vlan = f" vlan={self.vlan}" if self.vlan is not None else ""
+        ips = ""
+        if self.src_ip is not None or self.dst_ip is not None:
+            ips = f" {self.src_ip}->{self.dst_ip}"
+        return (
+            f"<Frame #{self.frame_id} {self.src_mac}->{self.dst_mac}{vlan}"
+            f"{ips} {self.size_bytes}B>"
+        )

@@ -1,0 +1,28 @@
+"""Calibrated performance model: capacity (throughput) and latency.
+
+The model has three layers:
+
+- :mod:`repro.perfmodel.calibration` -- every empirical constant, with
+  provenance: each is anchored to an operating point the paper reports
+  (kernel OVS ~1 Mpps/core p2p, DPDK line rate with 2 cores, MTS DPDK
+  p2v saturation ~2.3 Mpps, ...).
+- :mod:`repro.perfmodel.capacity` -- a max-min fair bottleneck solver
+  over shared resources (compartment cores, the NIC's VF-to-VF hairpin
+  bandwidth, links, PCIe).  Used for all throughput figures.
+- :mod:`repro.perfmodel.latency` -- per-hop latency composition used by
+  the analytic latency estimates; the discrete-event simulation uses the
+  same per-hop numbers via the datapath models.
+"""
+
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.capacity import FlowPath, Resource, ResourceDemand, SolveResult, solve
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "FlowPath",
+    "Resource",
+    "ResourceDemand",
+    "SolveResult",
+    "solve",
+]

@@ -1,0 +1,109 @@
+"""CPU energy model for virtual networking (§4.3's cost claim).
+
+"although user-space packet processing using DPDK offers high
+throughput, it is expensive (physical CPU and energy costs)."  The
+mechanism: a DPDK PMD busy-polls its core at 100% regardless of load,
+while an interrupt-driven kernel datapath draws power proportional to
+utilization.  We model per-core power as
+
+    watts = idle + (peak - idle) x utilization
+
+over *physical* cores: shared-mode MTS stacks several compartments on
+one core (their utilizations add up on it), and the Baseline's first
+kernel forwarding context lives on the host core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.deployment import Deployment
+from repro.core.spec import TrafficScenario
+from repro.perfmodel.paths import throughput
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-core draw of a 2.1 GHz Broadwell-class server core."""
+
+    idle_watts: float = 4.0
+    peak_watts: float = 15.0
+
+    def core_watts(self, utilization: float) -> float:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization out of range: {utilization}")
+        return self.idle_watts + (self.peak_watts - self.idle_watts) * utilization
+
+
+@dataclass
+class EnergyReport:
+    label: str
+    offered_pps: float
+    networking_watts: float
+    networking_cores: int
+    core_utilization: Dict[int, float]
+
+    @property
+    def watts_per_mpps(self) -> float:
+        if self.offered_pps <= 0:
+            return float("inf")
+        return self.networking_watts / (self.offered_pps / 1e6)
+
+    def row(self) -> str:
+        return (f"{self.label:<16} {self.networking_watts:6.1f} W over "
+                f"{self.networking_cores} cores "
+                f"({self.watts_per_mpps:6.1f} W/Mpps)")
+
+
+def energy_report(
+    deployment: Deployment,
+    scenario: TrafficScenario,
+    offered_pps: float,
+    power: PowerModel = PowerModel(),
+    frame_bytes: int = 64,
+) -> EnergyReport:
+    """Networking power at a given aggregate offered load.
+
+    Each datapath's demand fraction comes from the capacity model
+    (``offered_share / achievable rate``, clamped at saturation); a
+    compute share's contribution to its *physical* core is that
+    fraction of the share's slice.  DPDK PMDs busy-poll: they pin
+    their core at 1.0 whatever the load.
+    """
+    spec = deployment.spec
+    saturation = throughput(deployment, scenario, frame_bytes=frame_bytes)
+
+    #: physical core id -> utilization (0..1)
+    core_loads: Dict[int, float] = {}
+    host_core_id = deployment.server.cores.host_core.core_id
+    core_loads[host_core_id] = 0.0  # always in the networking budget
+
+    for bridge in deployment.bridges:
+        tenants = bridge.table.tenants()
+        if spec.level.is_mts:
+            share_of_load = offered_pps * len(tenants) / max(1, spec.num_tenants)
+            capacity = sum(saturation.rates_pps[f"flow-t{t}"] for t in tenants)
+        else:
+            share_of_load = offered_pps
+            capacity = saturation.aggregate_pps
+        demand_fraction = (min(1.0, share_of_load / capacity)
+                           if capacity > 0 else 1.0)
+        for compute in bridge.compute_shares:
+            core = compute.core
+            slice_fraction = 1.0 / compute.sharers
+            if spec.user_space:
+                contribution = slice_fraction  # busy-poll, load-independent
+            else:
+                contribution = demand_fraction * slice_fraction
+            core_loads[core.core_id] = min(
+                1.0, core_loads.get(core.core_id, 0.0) + contribution)
+
+    watts = sum(power.core_watts(load) for load in core_loads.values())
+    return EnergyReport(
+        label=spec.label,
+        offered_pps=offered_pps,
+        networking_watts=watts,
+        networking_cores=len(core_loads),
+        core_utilization=dict(core_loads),
+    )

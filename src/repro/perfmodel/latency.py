@@ -1,0 +1,97 @@
+"""Analytic one-way latency estimate (unloaded path).
+
+Composes the same per-hop components the discrete-event simulation
+charges, using their means:
+
+- wire serialization + propagation on both measurement links;
+- NIC traversals: VEB cut-through latency per switching decision plus a
+  PCIe DMA per VF endpoint crossing;
+- vswitch passes: service time, the kernel interrupt latency or the
+  DPDK drain jitter mean, and shared-core scheduling wait;
+- tenant hops: l2fwd poll/drain (MTS) or vhost crossings + Linux
+  bridge (Baseline).
+
+Used by the workload models for base RTT and by integration tests as a
+cross-check against the DES (they must agree within jitter tolerance --
+the two implementations share constants but not code paths).
+"""
+
+from __future__ import annotations
+
+from repro.core.deployment import Deployment
+from repro.core.spec import TrafficScenario
+from repro.perfmodel.paths import (
+    _MTS_HAIRPINS,
+    _MTS_PCIE_CROSSINGS,
+    _tenant_chain,
+    passes_for_flow,
+)
+from repro.sriov.nic import VEB_LATENCY
+from repro.units import GBPS
+from repro.vswitch.datapath import DatapathMode
+from repro.vswitch.l2fwd import DRAIN_INTERVAL, L2FWD_CYCLES
+from repro.vswitch.linux_bridge import LINUX_BRIDGE_CYCLES, LINUX_BRIDGE_LATENCY
+
+
+def estimate_oneway_latency(
+    deployment: Deployment,
+    scenario: TrafficScenario,
+    frame_bytes: int = 64,
+    tenant_id: int = 0,
+    link_bandwidth_bps: float = 10 * GBPS,
+) -> float:
+    """Mean one-way latency of one packet at negligible load, in seconds."""
+    spec = deployment.spec
+    cal = deployment.calibration
+    costs = cal.dpdk_costs if spec.user_space else cal.kernel_costs
+
+    wire_time = (frame_bytes + 20) * 8.0 / link_bandwidth_bps
+    total = 2 * (wire_time + cal.wire_propagation)
+
+    # vswitch passes
+    for prof in passes_for_flow(deployment, scenario, tenant_id):
+        bridge = deployment.bridges[prof.bridge_index]
+        cycles = costs.pass_cycles(prof.in_class, prof.out_class,
+                                   prof.rewrites,
+                                   num_ports=len(bridge.ports()))
+        cycles += prof.vhost_crossings * frame_bytes * cal.vhost_cycles_per_byte
+        shares = bridge.compute_shares
+        share = shares[0]
+        total += cycles / share.effective_hz()
+        if bridge.mode is DatapathMode.KERNEL:
+            # fixed interrupt latency + its modelled jitter mean
+            total += costs.fixed_latency * 1.125
+        else:
+            total += costs.drain_jitter / 2.0
+        if share.sharers > 1:
+            total += (share.sharers - 1) * costs.sched_slice / 2.0
+
+    # NIC / vhost segments
+    if spec.level.is_mts:
+        veb_traversals = 2 + _MTS_HAIRPINS[scenario]
+        pcie_crossings = _MTS_PCIE_CROSSINGS[scenario]
+        total += veb_traversals * VEB_LATENCY
+        per_crossing = deployment.server.nic.pcie.transfer_time(0) \
+            + frame_bytes * 8.0 / deployment.server.nic.pcie.effective_bandwidth_bps()
+        total += pcie_crossings * per_crossing
+        for _ in _tenant_chain(deployment, scenario, tenant_id):
+            total += L2FWD_CYCLES / cal.cpu_freq_hz + DRAIN_INTERVAL / 2.0
+    else:
+        vhost_lat = (cal.vhost_user_latency if spec.user_space
+                     else cal.vhost_latency)
+        for _ in _tenant_chain(deployment, scenario, tenant_id):
+            total += 2 * vhost_lat
+            if spec.user_space:
+                total += L2FWD_CYCLES / cal.cpu_freq_hz + DRAIN_INTERVAL / 2.0
+            else:
+                total += (LINUX_BRIDGE_LATENCY
+                          + LINUX_BRIDGE_CYCLES / cal.cpu_freq_hz)
+    return total
+
+
+def estimate_rtt(deployment: Deployment, scenario: TrafficScenario,
+                 request_bytes: int = 128, response_bytes: int = 1500) -> float:
+    """Round-trip estimate for request/response workloads (Fig. 6)."""
+    forward = estimate_oneway_latency(deployment, scenario, request_bytes)
+    backward = estimate_oneway_latency(deployment, scenario, response_bytes)
+    return forward + backward

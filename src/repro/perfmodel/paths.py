@@ -1,0 +1,242 @@
+"""Map a deployment + scenario onto capacity-solver flow paths.
+
+For each tenant flow this module derives the per-packet footprint on
+every shared resource:
+
+- **compartment CPU**: the sum of forwarding-pass cycle costs the flow
+  charges to its vswitch compartment (or the Baseline's OVS cores),
+  including the per-byte memory-copy cost of vhost crossings;
+- **NIC hairpin bandwidth**: VF-to-VF traversals through the embedded
+  switch (vswitch->tenant and tenant->vswitch bounces; MTS only);
+- **PCIe**: bytes DMA'd across the bus per packet;
+- **links**: wire bits per packet, per direction;
+- **tenant CPU**: the in-tenant forwarder's cycles (l2fwd or Linux
+  bridge), almost never the bottleneck -- exactly why the paper gives
+  tenant VMs two dedicated cores.
+
+Pass counts per scenario (Fig. 3 and Fig. 4):
+
+=========  ======================  ==========================
+scenario   vswitch passes          NIC hairpins (MTS)
+=========  ======================  ==========================
+p2p        1                       0
+p2v        2 (ingress + egress)    2 (vsw->T, T->vsw)
+v2v        3                       4 (two tenant bounces)
+=========  ======================  ==========================
+
+The workload models (iperf/Apache/Memcached, Fig. 6) compose several
+per-size path sets -- MTU data packets one way, small ACKs the other --
+against one shared :class:`ResourceRegistry` so that all sub-flows
+drain the same pools.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.deployment import Deployment
+from repro.core.spec import TrafficScenario
+from repro.perfmodel.capacity import FlowPath, Resource, SolveResult, solve
+from repro.units import GBPS
+from repro.vswitch.datapath import PortClass
+from repro.vswitch.l2fwd import L2FWD_CYCLES
+from repro.vswitch.linux_bridge import LINUX_BRIDGE_CYCLES
+
+#: Guest-side virtio processing cycles per packet (Baseline tenants).
+GUEST_VIRTIO_CYCLES = 1000.0
+
+#: MTS path DMA crossings per packet (VF deliveries + transmissions).
+_MTS_PCIE_CROSSINGS = {
+    TrafficScenario.P2P: 2,
+    TrafficScenario.P2V: 6,
+    TrafficScenario.V2V: 10,
+}
+_MTS_HAIRPINS = {
+    TrafficScenario.P2P: 0,
+    TrafficScenario.P2V: 2,
+    TrafficScenario.V2V: 4,
+}
+#: Baseline: the NIC DMAs each frame to/from host memory once per
+#: direction regardless of scenario.
+_BASELINE_PCIE_CROSSINGS = 2
+
+#: Per-frame physical-layer overhead on the wire (preamble/SFD/IFG).
+_WIRE_OVERHEAD_BYTES = 20
+
+
+class ResourceRegistry:
+    """Dedups :class:`Resource` objects by name so that several path
+    sets (data + ACK sub-flows) share the same capacity pools."""
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, Resource] = {}
+
+    def get(self, name: str, capacity: float) -> Resource:
+        existing = self._resources.get(name)
+        if existing is not None:
+            return existing
+        resource = Resource(name, capacity)
+        self._resources[name] = resource
+        return resource
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._resources
+
+
+@dataclass
+class PassProfile:
+    """One traversal of a vswitch: which bridge, which port classes."""
+
+    bridge_index: int
+    in_class: PortClass
+    out_class: PortClass
+    rewrites: bool
+    vhost_crossings: int = 0  # VHOST-class endpoints touched in this pass
+
+
+def passes_for_flow(deployment: Deployment, scenario: TrafficScenario,
+                    tenant_id: int) -> List[PassProfile]:
+    """The vswitch passes one packet of a tenant's flow makes."""
+    spec = deployment.spec
+    if spec.level.is_mts:
+        k = deployment.compartment_of_tenant(tenant_id)
+        vf_pass = PassProfile(k, PortClass.VF, PortClass.VF, rewrites=True)
+        count = {TrafficScenario.P2P: 1, TrafficScenario.P2V: 2,
+                 TrafficScenario.V2V: 3}[scenario]
+        return [vf_pass] * count
+
+    tenant_class = (PortClass.DPDK_VHOST_CLIENT if spec.user_space
+                    else PortClass.VHOST)
+    if scenario is TrafficScenario.P2P:
+        return [PassProfile(0, PortClass.PHYSICAL, PortClass.PHYSICAL,
+                            rewrites=False)]
+    ingress = PassProfile(0, PortClass.PHYSICAL, tenant_class,
+                          rewrites=False, vhost_crossings=1)
+    egress = PassProfile(0, tenant_class, PortClass.PHYSICAL,
+                         rewrites=False, vhost_crossings=1)
+    if scenario is TrafficScenario.P2V:
+        return [ingress, egress]
+    middle = PassProfile(0, tenant_class, tenant_class,
+                         rewrites=False, vhost_crossings=2)
+    return [ingress, middle, egress]
+
+
+def _tenant_chain(deployment: Deployment, scenario: TrafficScenario,
+                  tenant_id: int) -> List[int]:
+    """Tenant VMs a flow traverses (for tenant-CPU demands)."""
+    if scenario is TrafficScenario.P2P:
+        return []
+    if scenario is TrafficScenario.P2V:
+        return [tenant_id]
+    spec = deployment.spec
+    if spec.level.is_mts:
+        view = deployment.compartment_views[
+            deployment.compartment_of_tenant(tenant_id)]
+        partner = deployment.controller.v2v_partner(view, tenant_id)
+    else:
+        tenants = list(range(spec.num_tenants))
+        partner = tenants[(tenants.index(tenant_id) + 1) % len(tenants)]
+    return [tenant_id, partner]
+
+
+def build_flow_paths(
+    deployment: Deployment,
+    scenario: TrafficScenario,
+    frame_bytes: int = 64,
+    offered_per_flow_pps: float = math.inf,
+    link_bandwidth_bps: float = 10 * GBPS,
+    registry: Optional[ResourceRegistry] = None,
+    reverse: bool = False,
+    name_suffix: str = "",
+) -> List[FlowPath]:
+    """One :class:`FlowPath` per tenant.
+
+    ``reverse=True`` swaps the link directions (used by the TCP models:
+    data one way, ACKs the other); all DUT-internal resources (CPU,
+    hairpin, PCIe) are direction-symmetric on this path.
+    """
+    spec = deployment.spec
+    cal = deployment.calibration
+    reg = registry if registry is not None else ResourceRegistry()
+
+    cpu: Dict[int, Resource] = {}
+    for i, bridge in enumerate(deployment.bridges):
+        capacity = sum(share.effective_hz() for share in bridge.compute_shares)
+        if capacity <= 0:
+            raise ValueError(f"bridge {bridge.name} has no compute attached")
+        cpu[i] = reg.get(f"cpu.{bridge.name}", capacity)
+
+    link_in = reg.get("link.in", link_bandwidth_bps)
+    link_out = reg.get("link.out", link_bandwidth_bps)
+    if reverse:
+        link_in, link_out = link_out, link_in
+    wire_bits = (frame_bytes + _WIRE_OVERHEAD_BYTES) * 8.0
+    # PCIe is full duplex: ~50 Gbps usable in each direction for the
+    # testbed's x8 Gen3 NIC.  DMA crossings split evenly between the
+    # to-host and from-host directions on every path we model.
+    pcie_capacity = deployment.server.nic.pcie.effective_bandwidth_bps() / 8.0
+    pcie_down = reg.get("pcie.down", pcie_capacity)
+    pcie_up = reg.get("pcie.up", pcie_capacity)
+    hairpin = reg.get("nic.hairpin", cal.nic_hairpin_capacity)
+    hairpin_bw = reg.get("nic.hairpin_bw", cal.nic_hairpin_bandwidth_bps / 8.0)
+    tenant_cpu = {
+        t: reg.get(f"cpu.tenant{t}", spec.tenant_cores * cal.cpu_freq_hz)
+        for t in range(spec.num_tenants)
+    }
+
+    costs = cal.dpdk_costs if spec.user_space else cal.kernel_costs
+    paths: List[FlowPath] = []
+    for t in range(spec.num_tenants):
+        path = FlowPath(name=f"flow-t{t}{name_suffix}",
+                        offered_pps=offered_per_flow_pps)
+        cycles_by_bridge: Dict[int, float] = {}
+        for prof in passes_for_flow(deployment, scenario, t):
+            bridge = deployment.bridges[prof.bridge_index]
+            cycles = costs.pass_cycles(
+                prof.in_class, prof.out_class, prof.rewrites,
+                num_ports=len(bridge.ports()),
+            )
+            per_byte = (cal.vhost_user_cycles_per_byte if spec.user_space
+                        else cal.vhost_cycles_per_byte)
+            cycles += prof.vhost_crossings * frame_bytes * per_byte
+            cycles_by_bridge[prof.bridge_index] = (
+                cycles_by_bridge.get(prof.bridge_index, 0.0) + cycles
+            )
+        for bridge_index, cycles in cycles_by_bridge.items():
+            path.add(cpu[bridge_index], cycles)
+
+        path.add(link_in, wire_bits)
+        path.add(link_out, wire_bits)
+
+        if spec.level.is_mts:
+            path.add(hairpin, float(_MTS_HAIRPINS[scenario]))
+            path.add(hairpin_bw, _MTS_HAIRPINS[scenario] * float(frame_bytes))
+            crossings = _MTS_PCIE_CROSSINGS[scenario]
+            path.add(pcie_down, (crossings / 2.0) * frame_bytes)
+            path.add(pcie_up, (crossings / 2.0) * frame_bytes)
+            per_tenant_cycles = L2FWD_CYCLES
+        else:
+            path.add(pcie_down, (_BASELINE_PCIE_CROSSINGS / 2.0) * frame_bytes)
+            path.add(pcie_up, (_BASELINE_PCIE_CROSSINGS / 2.0) * frame_bytes)
+            per_tenant_cycles = (LINUX_BRIDGE_CYCLES + GUEST_VIRTIO_CYCLES
+                                 if not spec.user_space
+                                 else L2FWD_CYCLES + GUEST_VIRTIO_CYCLES)
+        for hop_tenant in _tenant_chain(deployment, scenario, t):
+            path.add(tenant_cpu[hop_tenant], per_tenant_cycles)
+        paths.append(path)
+    return paths
+
+
+def throughput(
+    deployment: Deployment,
+    scenario: TrafficScenario,
+    frame_bytes: int = 64,
+    offered_per_flow_pps: float = math.inf,
+    link_bandwidth_bps: float = 10 * GBPS,
+) -> SolveResult:
+    """Max-min fair throughput of the deployment under saturation."""
+    paths = build_flow_paths(deployment, scenario, frame_bytes,
+                             offered_per_flow_pps, link_bandwidth_bps)
+    return solve(paths)

@@ -1,0 +1,38 @@
+"""Security analysis: the paper's qualitative claims, made executable.
+
+- :mod:`repro.security.components` -- the component/boundary graph of a
+  deployment (tenant VMs, vswitches, host kernel, NIC, ...).
+- :mod:`repro.security.compromise` -- the threat model of section 2.2:
+  an attacker in a tenant VM who fully controls the vswitch serving it;
+  computes exploit distance to the host and the cross-tenant blast
+  radius.
+- :mod:`repro.security.principles` -- scores deployments against the
+  Saltzer-Schroeder principles the design is built on (least privilege,
+  complete mediation, extra security boundary, least common mechanism).
+- :mod:`repro.security.tcb` -- trusted-computing-base accounting.
+- :mod:`repro.security.survey` -- the Table 1 dataset of 23 vswitch
+  designs.
+"""
+
+from repro.security.components import Boundary, Component, ComponentKind, SystemGraph, component_graph
+from repro.security.compromise import CompromiseAssessment, assess_compromise
+from repro.security.principles import PrincipleScores, score_principles
+from repro.security.tcb import TcbReport, tcb_report
+from repro.security.survey import SURVEY, SurveyEntry, survey_statistics
+
+__all__ = [
+    "Boundary",
+    "Component",
+    "ComponentKind",
+    "SystemGraph",
+    "component_graph",
+    "CompromiseAssessment",
+    "assess_compromise",
+    "PrincipleScores",
+    "score_principles",
+    "TcbReport",
+    "tcb_report",
+    "SURVEY",
+    "SurveyEntry",
+    "survey_statistics",
+]

@@ -1,0 +1,185 @@
+"""Component/boundary graphs of deployments.
+
+A deployment is abstracted as components connected by channels, each
+channel labelled with the security boundary that must fail for an
+attacker to cross it:
+
+- ``NONE``: same protection domain (no boundary; e.g. kernel-resident
+  vswitch code and the host kernel);
+- ``USER_KERNEL``: the user/kernel split inside one OS;
+- ``VM_ISOLATION``: the hypervisor boundary;
+- ``HW_MEDIATION``: the SR-IOV NIC's VEB + VF isolation.
+
+Crossing a boundary costs one independent exploit; the compromise
+analysis (:mod:`repro.security.compromise`) computes minimum exploit
+counts over this graph, which is exactly the "at least two distinct
+security boundaries" arithmetic of the paper's section 2.3.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.deployment import Deployment
+
+
+class ComponentKind(Enum):
+    TENANT_VM = "tenant-vm"
+    VSWITCH = "vswitch"          # the vswitch process itself
+    VSWITCH_VM = "vswitch-vm"    # the VM a compartmentalized vswitch runs in
+    HOST_KERNEL = "host-kernel"
+    NIC = "nic"
+    CONTROLLER = "controller"
+
+
+class Boundary(Enum):
+    """What must fail to cross a channel; ``exploit_cost`` boundaries
+    count as independent security mechanisms.  ``TRUSTED_HW`` channels
+    terminate on the NIC, which the threat model of section 2.2 assumes
+    trustworthy (NICs, firmware and drivers are out of scope) -- they
+    are not traversable by the attacker."""
+
+    NONE = "none"
+    USER_KERNEL = "user-kernel"
+    VM_ISOLATION = "vm-isolation"
+    #: Namespace/cgroup isolation: still one independent mechanism, but
+    #: enforced by the very kernel it guards (a weaker boundary than a
+    #: hypervisor -- section 3.1's compartmentalization menu).
+    CONTAINER_ISOLATION = "container-isolation"
+    HW_MEDIATION = "hw-mediation"
+    TRUSTED_HW = "trusted-hw"
+
+    @property
+    def exploit_cost(self) -> Optional[int]:
+        if self is Boundary.TRUSTED_HW:
+            return None  # not traversable under the threat model
+        return 0 if self is Boundary.NONE else 1
+
+
+@dataclass(frozen=True)
+class Component:
+    name: str
+    kind: ComponentKind
+    tenant_id: Optional[int] = None
+
+
+@dataclass
+class Channel:
+    a: str
+    b: str
+    boundary: Boundary
+
+
+class SystemGraph:
+    """Undirected component graph with boundary-weighted channels."""
+
+    def __init__(self) -> None:
+        self._components: Dict[str, Component] = {}
+        self._channels: List[Channel] = []
+        self._adjacency: Dict[str, List[Tuple[str, Boundary]]] = {}
+
+    def add_component(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise ValueError(f"duplicate component {component.name!r}")
+        self._components[component.name] = component
+        self._adjacency[component.name] = []
+        return component
+
+    def connect(self, a: str, b: str, boundary: Boundary) -> None:
+        if a not in self._components or b not in self._components:
+            raise KeyError(f"unknown component in channel {a!r}-{b!r}")
+        self._channels.append(Channel(a, b, boundary))
+        self._adjacency[a].append((b, boundary))
+        self._adjacency[b].append((a, boundary))
+
+    def component(self, name: str) -> Component:
+        return self._components[name]
+
+    def components(self) -> List[Component]:
+        return list(self._components.values())
+
+    def components_of_kind(self, kind: ComponentKind) -> List[Component]:
+        return [c for c in self._components.values() if c.kind == kind]
+
+    def channels(self) -> List[Channel]:
+        return list(self._channels)
+
+    def neighbors(self, name: str) -> List[Tuple[str, Boundary]]:
+        return list(self._adjacency[name])
+
+    def min_exploits(self, src: str, dst: str) -> Optional[int]:
+        """Minimum number of independent boundary failures to get from
+        ``src`` to ``dst`` (Dijkstra over exploit costs)."""
+        if src not in self._components or dst not in self._components:
+            raise KeyError("unknown endpoint")
+        dist: Dict[str, int] = {src: 0}
+        heap: List[Tuple[int, str]] = [(0, src)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node == dst:
+                return d
+            if d > dist.get(node, 1 << 30):
+                continue
+            for neighbor, boundary in self._adjacency[node]:
+                cost = boundary.exploit_cost
+                if cost is None:
+                    continue
+                nd = d + cost
+                if nd < dist.get(neighbor, 1 << 30):
+                    dist[neighbor] = nd
+                    heapq.heappush(heap, (nd, neighbor))
+        return None
+
+
+def component_graph(deployment: Deployment) -> SystemGraph:
+    """Build the boundary graph of a built deployment."""
+    spec = deployment.spec
+    graph = SystemGraph()
+    graph.add_component(Component("host-kernel", ComponentKind.HOST_KERNEL))
+    graph.add_component(Component("nic", ComponentKind.NIC))
+    graph.add_component(Component("controller", ComponentKind.CONTROLLER))
+    # The host PF driver talks to the NIC from the kernel; the NIC
+    # itself is trusted hardware (not an attack stepping stone).
+    graph.connect("host-kernel", "nic", Boundary.TRUSTED_HW)
+    graph.connect("controller", "host-kernel", Boundary.USER_KERNEL)
+
+    for t in range(spec.num_tenants):
+        graph.add_component(Component(f"tenant{t}", ComponentKind.TENANT_VM,
+                                      tenant_id=t))
+
+    if not spec.level.is_mts:
+        # Baseline: one vswitch inside the host (kernel datapath) or in
+        # host user space (Level-3), directly reachable from every tenant
+        # over virtio.
+        vswitch = graph.add_component(Component("vswitch0", ComponentKind.VSWITCH))
+        boundary = (Boundary.USER_KERNEL if spec.user_space else Boundary.NONE)
+        graph.connect(vswitch.name, "host-kernel", boundary)
+        for t in range(spec.num_tenants):
+            graph.connect(f"tenant{t}", vswitch.name, Boundary.VM_ISOLATION)
+        return graph
+
+    from repro.core.spec import CompartmentKind
+    containerized = spec.compartment_kind is CompartmentKind.CONTAINER
+    compartment_boundary = (Boundary.CONTAINER_ISOLATION if containerized
+                            else Boundary.VM_ISOLATION)
+    for k in range(spec.num_compartments):
+        vm = graph.add_component(Component(f"vsw-vm{k}", ComponentKind.VSWITCH_VM))
+        vswitch = graph.add_component(Component(f"vswitch{k}", ComponentKind.VSWITCH))
+        # The vswitch process inside its compartment: Level-3 adds the
+        # user/kernel split on top of the compartment boundary.
+        graph.connect(vswitch.name,
+                      vm.name,
+                      Boundary.USER_KERNEL if spec.user_space else Boundary.NONE)
+        # The compartment sits behind the hypervisor (VMs) or the
+        # kernel's namespaces (containers) from the host's view.
+        graph.connect(vm.name, "host-kernel", compartment_boundary)
+        # All its traffic is hardware-mediated through the trusted NIC.
+        graph.connect(vswitch.name, "nic", Boundary.TRUSTED_HW)
+        for t in spec.tenants_of_compartment(k):
+            # Tenant-to-vswitch traffic crosses the NIC (hardware
+            # mediation); there is no direct shared-memory channel.
+            graph.connect(f"tenant{t}", vswitch.name, Boundary.HW_MEDIATION)
+    return graph

@@ -1,0 +1,88 @@
+"""The threat model of section 2.2, executed against a deployment.
+
+The attacker rents (or compromises) a tenant VM and can send arbitrary
+packets from it; the assumed worst case is that she fully controls the
+vswitch her VM is attached to (as demonstrated against OvS in the
+papers the design cites).  The defender wants tenant isolation to
+survive even then.
+
+:func:`assess_compromise` computes, on the component graph:
+
+- ``exploits_to_host``: minimum independent boundary failures between
+  the attacker VM and the host kernel;
+- ``vswitch_blast_radius``: tenants whose virtual networks the attacker
+  controls once the vswitch serving her is compromised (the least-
+  common-mechanism metric: everyone for Baseline/Level-1, only the
+  compartment's tenants for Level-2);
+- ``exploits_to_tenant``: minimum failures to reach another tenant's VM;
+- ``meets_extra_layer_rule``: Google's >= 2 distinct boundaries rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.deployment import Deployment
+from repro.security.components import ComponentKind, SystemGraph, component_graph
+
+
+@dataclass
+class CompromiseAssessment:
+    attacker_tenant: int
+    exploits_to_host: Optional[int]
+    exploits_to_other_tenants: Dict[int, Optional[int]]
+    vswitch_blast_radius: List[int]
+
+    @property
+    def meets_extra_layer_rule(self) -> bool:
+        """Google's 'extra security layer': >= 2 independent boundaries
+        between untrusted tenant code and the trusted host."""
+        return self.exploits_to_host is not None and self.exploits_to_host >= 2
+
+    @property
+    def isolates_other_tenants_from_vswitch(self) -> bool:
+        """True if compromising the attacker's vswitch does not, by
+        itself, expose any other tenant's virtual network."""
+        return self.vswitch_blast_radius == [self.attacker_tenant]
+
+
+def _vswitch_serving(graph: SystemGraph, tenant: int) -> str:
+    for neighbor, _ in graph.neighbors(f"tenant{tenant}"):
+        if graph.component(neighbor).kind == ComponentKind.VSWITCH:
+            return neighbor
+    raise ValueError(f"tenant{tenant} has no vswitch attached")
+
+
+def assess_compromise(deployment: Deployment,
+                      attacker_tenant: int = 0) -> CompromiseAssessment:
+    """Run the section 2.2 threat model for one attacker tenant."""
+    spec = deployment.spec
+    if not 0 <= attacker_tenant < spec.num_tenants:
+        raise ValueError(f"no such tenant: {attacker_tenant}")
+    graph = component_graph(deployment)
+    attacker = f"tenant{attacker_tenant}"
+
+    exploits_to_host = graph.min_exploits(attacker, "host-kernel")
+
+    vswitch = _vswitch_serving(graph, attacker_tenant)
+    blast = sorted(
+        component.tenant_id
+        for neighbor, _ in graph.neighbors(vswitch)
+        for component in [graph.component(neighbor)]
+        if component.kind == ComponentKind.TENANT_VM
+        and component.tenant_id is not None
+    )
+
+    others: Dict[int, Optional[int]] = {}
+    for t in range(spec.num_tenants):
+        if t == attacker_tenant:
+            continue
+        others[t] = graph.min_exploits(attacker, f"tenant{t}")
+
+    return CompromiseAssessment(
+        attacker_tenant=attacker_tenant,
+        exploits_to_host=exploits_to_host,
+        exploits_to_other_tenants=others,
+        vswitch_blast_radius=blast,
+    )

@@ -1,0 +1,76 @@
+"""Scoring deployments against the secure-design principles (Fig. 1).
+
+Each of the four Saltzer-Schroeder-derived principles the paper builds
+on is evaluated *structurally* on a built deployment -- not on its spec
+-- so a deployment that forgot its NIC filters or spoof checks scores
+worse than its label promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.deployment import Deployment
+from repro.core.levels import boundaries_to_host
+
+
+@dataclass(frozen=True)
+class PrincipleScores:
+    """Per-principle outcomes plus the paper's security-level label."""
+
+    label: str
+    #: Least privilege: the vswitch does NOT run inside the host's
+    #: protection domain with full privilege.
+    least_privilege: bool
+    #: Complete mediation: every tenant dataplane channel passes the
+    #: NIC's reference monitor (spoof check enabled + wildcard filters).
+    complete_mediation: bool
+    #: Number of independent boundaries between tenant code and the host.
+    security_boundaries: int
+    #: Least common mechanism: tenants sharing one vswitch (lower=better;
+    #: 1 means fully per-tenant compartments).
+    max_tenants_per_vswitch: int
+
+    @property
+    def meets_extra_layer_rule(self) -> bool:
+        return self.security_boundaries >= 2
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<16} least_priv={'yes' if self.least_privilege else 'NO':<3} "
+            f"mediation={'yes' if self.complete_mediation else 'NO':<3} "
+            f"boundaries={self.security_boundaries} "
+            f"tenants/vswitch={self.max_tenants_per_vswitch}"
+        )
+
+
+def score_principles(deployment: Deployment) -> PrincipleScores:
+    spec = deployment.spec
+
+    least_privilege = spec.level.is_mts
+
+    if spec.level.is_mts:
+        tenant_vfs = [vf for vf in deployment.tenant_vf.values()]
+        all_spoof_checked = all(vf.spoof_check for vf in tenant_vfs)
+        has_filters = len(deployment.server.nic.filters) > 0
+        complete_mediation = bool(tenant_vfs) and all_spoof_checked and has_filters
+    else:
+        # Tenant virtio traffic lands directly in the host vswitch; no
+        # trusted intermediary validates it.
+        complete_mediation = False
+
+    if spec.level.is_mts:
+        max_share = max(
+            len(spec.tenants_of_compartment(k))
+            for k in range(spec.num_compartments)
+        )
+    else:
+        max_share = spec.num_tenants
+
+    return PrincipleScores(
+        label=spec.label,
+        least_privilege=least_privilege,
+        complete_mediation=complete_mediation,
+        security_boundaries=boundaries_to_host(spec.level, spec.user_space),
+        max_tenants_per_vswitch=max_share,
+    )

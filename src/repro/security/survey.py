@@ -1,0 +1,94 @@
+"""Table 1: design characteristics of 23 virtual switches.
+
+The dataset transcribes the paper's survey.  Field semantics:
+
+- ``monolithic``: per-tenant logical datapaths share one switch.
+- ``colocated``: the vswitch runs in the Host virtualization layer
+  (False for NIC-offloaded designs and the Jin et al. prototype).
+- ``kernel`` / ``user``: where packet processing happens; ``None``
+  means partially / not applicable (the paper's '~').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    name: str
+    year: int
+    emphasis: str
+    monolithic: bool
+    colocated: bool
+    kernel: Optional[bool]
+    user: Optional[bool]
+
+
+SURVEY: List[SurveyEntry] = [
+    SurveyEntry("OvS", 2009, "Flexibility", True, True, True, None),
+    SurveyEntry("Cisco NexusV", 2009, "Flexibility", True, True, True, False),
+    SurveyEntry("VMware vSwitch", 2009, "Centralized control", True, True, True, False),
+    SurveyEntry("Vale", 2012, "Performance", True, True, True, False),
+    SurveyEntry("Research prototype (Jin et al.)", 2012, "Isolation", True, False, None, None),
+    SurveyEntry("Hyper-Switch", 2013, "Performance", True, True, True, None),
+    SurveyEntry("MS HyperV-Switch", 2013, "Centralized control", True, True, True, False),
+    SurveyEntry("NetVM", 2014, "Performance, NFV", True, True, False, None),
+    SurveyEntry("sv3", 2014, "Security", False, True, False, None),
+    SurveyEntry("fd.io", 2015, "Performance", True, True, False, None),
+    SurveyEntry("mSwitch", 2015, "Performance", True, True, None, False),
+    SurveyEntry("BESS", 2015, "Programmability, NFV", True, True, False, None),
+    SurveyEntry("PISCES", 2016, "Programmability", True, None, None, None),
+    SurveyEntry("OvS with DPDK", 2016, "Performance", True, True, False, None),
+    SurveyEntry("ESwitch", 2016, "Performance", True, None, False, None),
+    SurveyEntry("MS VFP", 2017, "Performance, flexibility", True, True, None, False),
+    SurveyEntry("Mellanox BlueField", 2017, "CPU offload", True, False, None, None),
+    SurveyEntry("Liquid IO", 2017, "CPU offload", True, False, True, None),
+    SurveyEntry("Stingray", 2017, "CPU offload", True, False, None, None),
+    SurveyEntry("GPU-based OvS", 2017, "Acceleration", True, True, True, None),
+    SurveyEntry("MS AccelNet", 2018, "Performance, flexibility", True, None, None, False),
+    SurveyEntry("Google Andromeda", 2018, "Flexibility and performance", True, None, False, None),
+    SurveyEntry("MTS (this paper)", 2019, "Isolation", False, False, None, True),
+]
+
+
+def survey_statistics(entries: Optional[List[SurveyEntry]] = None) -> Dict[str, float]:
+    """The headline fractions quoted in section 2.1 (surveyed designs
+    only -- MTS itself excluded)."""
+    if entries is None:
+        entries = [e for e in SURVEY if "MTS" not in e.name]
+    total = len(entries)
+    monolithic = sum(1 for e in entries if e.monolithic)
+    colocated = sum(1 for e in entries if e.colocated)
+    kernel_touching = sum(1 for e in entries if e.kernel or e.kernel is None)
+    return {
+        "total": total,
+        "monolithic_fraction": monolithic / total,
+        "colocated_fraction": colocated / total,
+        "kernel_involved_fraction": kernel_touching / total,
+    }
+
+
+def render_table(entries: Optional[List[SurveyEntry]] = None) -> str:
+    """Fixed-width rendition of Table 1."""
+    if entries is None:
+        entries = SURVEY
+
+    def mark(value: Optional[bool]) -> str:
+        if value is None:
+            return "~"
+        return "y" if value else "n"
+
+    width = max(len(e.name) for e in entries)
+    lines = [
+        f"{'Name':<{width}}  Year  {'Emphasis':<28}  Mono  Coloc  Kern  User",
+    ]
+    lines.append("-" * len(lines[0]))
+    for e in entries:
+        lines.append(
+            f"{e.name:<{width}}  {e.year}  {e.emphasis:<28}  "
+            f"{mark(e.monolithic):>4}  {mark(e.colocated):>5}  "
+            f"{mark(e.kernel):>4}  {mark(e.user):>4}"
+        )
+    return "\n".join(lines)

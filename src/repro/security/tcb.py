@@ -1,0 +1,77 @@
+"""Trusted-computing-base accounting.
+
+Section 2.1 argues that co-locating a monolithic vswitch with the host
+inflates the server's TCB ("a vswitch is a complex piece of software,
+consisting of tens of thousands of lines of code") and that sharing the
+SR-IOV VF driver + the NIC's L2 function is "considerably simpler than
+including the NIC driver and the entire network virtualization stack
+(Layer 2-7) in the TCB".
+
+We quantify that with order-of-magnitude component sizes (kLoC,
+rounded, from the projects' own repositories circa the paper's
+time frame) and compute two metrics per deployment:
+
+- ``host_exposed_kloc``: code an attacker's packets reach *inside the
+  host's protection domain*;
+- ``shared_between_tenants_kloc``: code simultaneously in more than one
+  tenant's trust path (the least-common-mechanism surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.deployment import Deployment
+
+#: Order-of-magnitude component sizes in kLoC.
+KLOC = {
+    "ovs-core": 250.0,          # OVS userspace + ofproto + vswitchd
+    "ovs-kernel-datapath": 30.0,
+    "dpdk-pmd": 80.0,           # DPDK EAL + mlx5 PMD footprint
+    "vhost-virtio": 25.0,       # vhost worker + virtio rings in the host
+    "sriov-vf-driver": 15.0,    # guest VF driver
+    "sriov-pf-driver": 40.0,    # host PF driver + NIC firmware interface
+    "linux-netstack": 400.0,    # host kernel networking the vswitch touches
+    "nic-l2-function": 10.0,    # VEB/VST logic in NIC silicon/firmware
+}
+
+
+@dataclass(frozen=True)
+class TcbReport:
+    label: str
+    #: kLoC reachable by tenant packets inside the host domain.
+    host_exposed_kloc: float
+    #: kLoC in more than one tenant's trust path.
+    shared_between_tenants_kloc: float
+
+    def row(self) -> str:
+        return (f"{self.label:<16} host-exposed={self.host_exposed_kloc:7.0f} kLoC  "
+                f"tenant-shared={self.shared_between_tenants_kloc:7.0f} kLoC")
+
+
+def tcb_report(deployment: Deployment) -> TcbReport:
+    spec = deployment.spec
+    if not spec.level.is_mts:
+        # The vswitch, its datapath, and the vhost workers all live in
+        # the host and parse tenant bytes there.
+        host = KLOC["ovs-core"] + KLOC["vhost-virtio"] + KLOC["linux-netstack"]
+        host += (KLOC["dpdk-pmd"] if spec.user_space
+                 else KLOC["ovs-kernel-datapath"])
+        shared = host  # one vswitch, all tenants
+        return TcbReport(spec.label, host, shared)
+
+    # MTS: the host-exposed surface shrinks to the PF driver and the
+    # NIC's L2 function; the vswitch stack moved into unprivileged VMs.
+    host = KLOC["sriov-pf-driver"] + KLOC["nic-l2-function"]
+
+    # Between tenants, the shared mechanism is the NIC (always) plus the
+    # vswitch VM stack for tenants co-hosted on one compartment.
+    shared = KLOC["sriov-vf-driver"] + KLOC["nic-l2-function"]
+    max_cohosted = max(
+        len(spec.tenants_of_compartment(k))
+        for k in range(spec.num_compartments)
+    )
+    if max_cohosted > 1:
+        shared += KLOC["ovs-core"]
+        shared += KLOC["dpdk-pmd"] if spec.user_space else KLOC["ovs-kernel-datapath"]
+    return TcbReport(spec.label, host, shared)

@@ -1,0 +1,46 @@
+"""Scheduled events for the simulation kernel."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Tuple
+
+_sequence = itertools.count()
+
+
+class Event:
+    """A callback scheduled at a point in simulated time.
+
+    Events are ordered by ``(time, sequence)`` so that two events scheduled
+    for the same instant run in scheduling order, which keeps simulations
+    deterministic.
+
+    Use :meth:`cancel` to revoke an event that has not fired yet; the
+    kernel skips cancelled events cheaply instead of removing them from
+    the heap.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple = ()):
+        self.time = time
+        self.seq = next(_sequence)
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Revoke this event; it will be skipped when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Run the callback (kernel use only)."""
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.9f} {name}{state}>"

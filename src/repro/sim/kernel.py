@@ -1,0 +1,101 @@
+"""The discrete-event simulator: a clock plus an event heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Simulator:
+    """Runs callbacks in virtual-time order.
+
+    The kernel is single-threaded and deterministic: events at equal
+    timestamps fire in the order they were scheduled.  Components hold a
+    reference to the simulator and schedule work with :meth:`schedule`
+    (absolute time) or :meth:`call_later` (relative delay).
+
+    Example::
+
+        sim = Simulator()
+        sim.call_later(1.5, print, "hello at t=1.5")
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_fired
+
+    def schedule(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` passes, or
+        ``max_events`` fire.  Returns the number of events fired by this
+        call.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        on return even if the heap drained earlier, so successive
+        ``run(until=...)`` calls form a contiguous timeline.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the kernel is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.fire()
+                fired += 1
+                self._events_fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,193 @@
+"""Queues and service stations for packet-level simulation."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.kernel import Simulator
+
+
+class FifoQueue:
+    """A bounded FIFO with drop-tail semantics and drop accounting.
+
+    Used for NIC rx rings, vhost queues, and the like.  ``capacity=None``
+    means unbounded.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "fifo") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: Any) -> bool:
+        """Enqueue ``item``; returns False (and counts a drop) if full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Any:
+        """Dequeue the oldest item; raises IndexError when empty."""
+        return self._items.popleft()
+
+    def peek(self) -> Any:
+        """Oldest item without removing it; raises IndexError when empty."""
+        return self._items[0]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class FairServiceStation:
+    """One server round-robining over per-key FIFO queues.
+
+    Models NAPI/PMD-style fair polling across rx rings: work arriving
+    under different keys (e.g. different ingress ports) gets equal
+    service shares under overload, instead of the head-of-line
+    starvation a single shared FIFO produces.  Each per-key queue is
+    bounded (the rx ring) with drop-tail accounting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_time: Callable[[Any], float],
+        on_done: Callable[[Any], None],
+        queue_capacity: Optional[int] = None,
+        name: str = "fair-station",
+    ) -> None:
+        self.sim = sim
+        self.service_time = service_time
+        self.on_done = on_done
+        self.queue_capacity = queue_capacity
+        self.name = name
+        self.busy = False
+        self.served = 0
+        self.busy_time = 0.0
+        self._queues: "dict[Any, FifoQueue]" = {}
+        self._order: "list[Any]" = []
+        self._last_key: Optional[Any] = None
+
+    def submit(self, key: Any, item: Any) -> bool:
+        """Offer an item on ring ``key``; False if that ring dropped it."""
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = FifoQueue(capacity=self.queue_capacity,
+                              name=f"{self.name}.q{key}")
+            self._queues[key] = queue
+            self._order.append(key)
+        if not queue.push(item):
+            return False
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def dropped(self) -> int:
+        return sum(q.dropped for q in self._queues.values())
+
+    def _pick(self) -> Optional[Any]:
+        """Round-robin: scan for a non-empty ring starting just past the
+        last-served one (keyed, so late-created rings join fairly)."""
+        n = len(self._order)
+        start = 0
+        if self._last_key in self._queues:
+            start = self._order.index(self._last_key) + 1
+        for offset in range(n):
+            key = self._order[(start + offset) % n]
+            if len(self._queues[key]) > 0:
+                self._last_key = key
+                return key
+        return None
+
+    def _start_next(self) -> None:
+        key = self._pick()
+        if key is None:
+            self.busy = False
+            return
+        item = self._queues[key].pop()
+        self.busy = True
+        duration = self.service_time(item)
+        if duration < 0:
+            raise ValueError(f"negative service time {duration} at {self.name}")
+        self.busy_time += duration
+        self.sim.call_later(duration, self._finish, item)
+
+    def _finish(self, item: Any) -> None:
+        self.served += 1
+        self.on_done(item)
+        self._start_next()
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class ServiceStation:
+    """A single server with a FIFO queue and per-item service times.
+
+    Models one processing stage: items arrive via :meth:`submit`, wait in
+    FIFO order, are served one at a time for ``service_time(item)``
+    seconds, and are then handed to ``on_done(item)``.
+
+    The station is work-conserving; utilization statistics (busy time) are
+    tracked for resource accounting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_time: Callable[[Any], float],
+        on_done: Callable[[Any], None],
+        capacity: Optional[int] = None,
+        name: str = "station",
+    ) -> None:
+        self.sim = sim
+        self.service_time = service_time
+        self.on_done = on_done
+        self.queue = FifoQueue(capacity=capacity, name=f"{name}.queue")
+        self.name = name
+        self.busy = False
+        self.served = 0
+        self.busy_time = 0.0
+
+    def submit(self, item: Any) -> bool:
+        """Offer an item; returns False if the queue dropped it."""
+        if not self.queue.push(item):
+            return False
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if len(self.queue) == 0:
+            self.busy = False
+            return
+        item = self.queue.pop()
+        self.busy = True
+        duration = self.service_time(item)
+        if duration < 0:
+            raise ValueError(f"negative service time {duration} at {self.name}")
+        self.busy_time += duration
+        self.sim.call_later(duration, self._finish, item)
+
+    def _finish(self, item: Any) -> None:
+        self.served += 1
+        self.on_done(item)
+        self._start_next()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds this station spent serving."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

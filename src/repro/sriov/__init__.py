@@ -1,0 +1,30 @@
+"""SR-IOV NIC model: PF/VFs, embedded VEB L2 switch, filters, PCIe.
+
+This package is the trusted hardware mediator of the MTS design: every
+tenant-to-vswitch, vswitch-to-external and tenant-to-host frame crosses
+the NIC's embedded L2 switch (IEEE Virtual Ethernet Bridging), which
+forwards on (VLAN, destination MAC), enforces source-MAC anti-spoofing
+and operator-installed wildcard filters, and pays a PCIe round trip per
+crossing.
+"""
+
+from repro.sriov.filters import FilterAction, FilterVerdict, SpoofCheck, WildcardFilter, FilterChain
+from repro.sriov.nic import SriovNic
+from repro.sriov.pcie import PcieBus, PcieGen
+from repro.sriov.switch import VebSwitch, UNTAGGED
+from repro.sriov.vf import FunctionKind, VirtualFunction
+
+__all__ = [
+    "FilterAction",
+    "FilterVerdict",
+    "SpoofCheck",
+    "WildcardFilter",
+    "FilterChain",
+    "SriovNic",
+    "PcieBus",
+    "PcieGen",
+    "VebSwitch",
+    "UNTAGGED",
+    "FunctionKind",
+    "VirtualFunction",
+]

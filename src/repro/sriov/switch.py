@@ -1,0 +1,148 @@
+"""The NIC's embedded L2 switch (IEEE Virtual Ethernet Bridging).
+
+Forwarding model, following the paper's ingress/egress chains (Fig. 3):
+
+- Every function (PF or VF) is an *access* member of exactly one VLAN
+  domain: its configured ``vlan`` tag, or the untagged domain.
+- On ingress from a function the NIC pushes the function's VLAN tag (VST)
+  and looks up the destination MAC in that domain's table.
+- On egress to an access function the tag is popped; on egress to the
+  physical fabric port the frame keeps whatever tag its domain implies
+  (untagged domain frames leave untagged).
+- MAC tables hold *static* entries (installed when the host configures a
+  VF's MAC) plus learned entries; unknown unicast goes to the fabric
+  uplink (the standard VEB behaviour -- edge filters are what keep
+  tenants from abusing this), broadcast floods the domain.
+
+The switch is pure forwarding logic; the owning
+:class:`repro.sriov.nic.SriovNic` adds timing (PCIe, switch latency) and
+security filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import MacAddress
+from repro.net.packet import Frame
+from repro.sriov.vf import VirtualFunction
+
+#: Sentinel VLAN id for the untagged domain.
+UNTAGGED = 0
+
+#: Sentinel destination meaning "out the physical fabric port".
+UPLINK = "uplink"
+
+
+@dataclass
+class MacEntry:
+    dest: str  # function name or UPLINK
+    static: bool = False
+    last_seen: float = 0.0
+
+
+@dataclass
+class ForwardingDecision:
+    """Where a frame goes: a list of function names and/or UPLINK."""
+
+    destinations: List[str] = field(default_factory=list)
+    flooded: bool = False
+    reason: str = "hit"
+
+
+class VebSwitch:
+    """Per-physical-port VEB: VLAN domains with MAC learning tables."""
+
+    def __init__(self, name: str = "veb") -> None:
+        self.name = name
+        # (vlan, mac) -> entry
+        self._table: Dict[Tuple[int, MacAddress], MacEntry] = {}
+        # vlan -> member function names (access members)
+        self._members: Dict[int, List[str]] = {}
+        self.lookups = 0
+        self.floods = 0
+        self.unknown_unicasts = 0
+
+    # -- membership & static entries ------------------------------------
+
+    @staticmethod
+    def domain_of(vf: VirtualFunction) -> int:
+        return vf.vlan if vf.vlan is not None else UNTAGGED
+
+    def attach(self, vf: VirtualFunction) -> None:
+        """Make a function an access member of its VLAN domain and pin a
+        static MAC entry for it (hardware installs these on VF config)."""
+        domain = self.domain_of(vf)
+        members = self._members.setdefault(domain, [])
+        if vf.name not in members:
+            members.append(vf.name)
+        if vf.mac is not None:
+            self._table[(domain, vf.mac)] = MacEntry(dest=vf.name, static=True)
+
+    def detach(self, vf: VirtualFunction) -> None:
+        """Remove a function from its domain (before re-configuring it)."""
+        domain = self.domain_of(vf)
+        members = self._members.get(domain, [])
+        if vf.name in members:
+            members.remove(vf.name)
+        stale = [key for key, entry in self._table.items()
+                 if entry.dest == vf.name]
+        for key in stale:
+            del self._table[key]
+
+    def members(self, vlan: int) -> List[str]:
+        return list(self._members.get(vlan, []))
+
+    # -- learning & lookup ------------------------------------------------
+
+    def learn(self, vlan: int, mac: MacAddress, dest: str, now: float = 0.0) -> bool:
+        """Learn a dynamic entry; static entries are never displaced."""
+        key = (vlan, mac)
+        existing = self._table.get(key)
+        if existing is not None and existing.static:
+            return False
+        self._table[key] = MacEntry(dest=dest, static=False, last_seen=now)
+        return True
+
+    def lookup(self, vlan: int, mac: MacAddress) -> Optional[MacEntry]:
+        self.lookups += 1
+        return self._table.get((vlan, mac))
+
+    def table_size(self) -> int:
+        return len(self._table)
+
+    # -- forwarding ---------------------------------------------------------
+
+    def forward(self, ingress: str, vlan: int, frame: Frame,
+                now: float = 0.0) -> ForwardingDecision:
+        """Decide egress for a frame that entered domain ``vlan`` from
+        ``ingress`` (a function name or :data:`UPLINK`)."""
+        # Learn the source everywhere, including the uplink -- replies
+        # then unicast to the wire instead of flooding.
+        self.learn(vlan, frame.src_mac, ingress, now)
+
+        if frame.dst_mac.is_multicast:
+            return self._flood(ingress, vlan, reason="multicast")
+
+        entry = self.lookup(vlan, frame.dst_mac)
+        if entry is not None:
+            if entry.dest == ingress:
+                # Hairpin to self: a VEB drops these (no reflection).
+                return ForwardingDecision(destinations=[], reason="hairpin")
+            return ForwardingDecision(destinations=[entry.dest], reason="hit")
+
+        self.unknown_unicasts += 1
+        if ingress == UPLINK:
+            # Unknown unicast from the wire: flood the domain (the NIC has
+            # no port to learn it towards yet).
+            return self._flood(ingress, vlan, reason="unknown_from_uplink")
+        # Unknown unicast from a VF: send to the wire, as a VEB does.
+        return ForwardingDecision(destinations=[UPLINK], reason="unknown_to_uplink")
+
+    def _flood(self, ingress: str, vlan: int, reason: str) -> ForwardingDecision:
+        self.floods += 1
+        dests = [m for m in self._members.get(vlan, []) if m != ingress]
+        if ingress != UPLINK:
+            dests.append(UPLINK)
+        return ForwardingDecision(destinations=dests, flooded=True, reason=reason)

@@ -1,0 +1,24 @@
+"""Traffic generation, sinks and the measurement harness.
+
+Mirrors the paper's testbed: a load generator replays per-tenant flows
+onto the DUT's ingress link, passive optical taps on both links feed a
+DAG-style monitor with hardware-quality timestamps, and a sink counts
+deliveries.  :class:`~repro.traffic.harness.TestbedHarness` wires a
+deployment into that setup and runs measurement windows.
+"""
+
+from repro.traffic.capture import Capture, CaptureFilter
+from repro.traffic.generator import FlowConfig, LoadGenerator
+from repro.traffic.sink import LatencyMonitor, Sink
+from repro.traffic.harness import HarnessResult, TestbedHarness
+
+__all__ = [
+    "Capture",
+    "CaptureFilter",
+    "FlowConfig",
+    "LoadGenerator",
+    "LatencyMonitor",
+    "Sink",
+    "HarnessResult",
+    "TestbedHarness",
+]

@@ -1,0 +1,147 @@
+"""Packet capture: tcpdump for the simulated dataplane.
+
+A :class:`Capture` attaches to any observation point -- an
+:class:`~repro.net.link.OpticalTap`, a :class:`~repro.net.interfaces.Port`
+(wrapping its handler), or a VF -- applies an optional
+:class:`CaptureFilter` (a BPF-lite conjunctive filter), and keeps a
+bounded ring of timestamped frame records that render as familiar
+one-line summaries:
+
+    0.000123 02:1b:..:01 > 02:4d:..:03, vlan 100, 192.168.1.10 > 10.0.0.10, UDP 64B
+
+Captures can also be replayed into a port at their original relative
+timing -- a poor man's pcap replay for regression debugging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.interfaces import Port
+from repro.net.link import OpticalTap
+from repro.net.packet import Frame, IpProto
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class CaptureFilter:
+    """Conjunctive frame filter; ``None`` fields match anything."""
+
+    src_mac: Optional[MacAddress] = None
+    dst_mac: Optional[MacAddress] = None
+    src_ip: Optional[IPv4Address] = None
+    dst_ip: Optional[IPv4Address] = None
+    vlan: Optional[int] = None
+    proto: Optional[IpProto] = None
+    tenant_id: Optional[int] = None
+    min_bytes: Optional[int] = None
+
+    def matches(self, frame: Frame) -> bool:
+        if self.src_mac is not None and frame.src_mac != self.src_mac:
+            return False
+        if self.dst_mac is not None and frame.dst_mac != self.dst_mac:
+            return False
+        if self.src_ip is not None and frame.src_ip != self.src_ip:
+            return False
+        if self.dst_ip is not None and frame.dst_ip != self.dst_ip:
+            return False
+        if self.vlan is not None and frame.vlan != self.vlan:
+            return False
+        if self.proto is not None and frame.proto != self.proto:
+            return False
+        if self.tenant_id is not None and frame.tenant_id != self.tenant_id:
+            return False
+        if self.min_bytes is not None and frame.size_bytes < self.min_bytes:
+            return False
+        return True
+
+
+@dataclass
+class CaptureRecord:
+    timestamp: float
+    frame: Frame
+
+    def summary(self) -> str:
+        f = self.frame
+        vlan = f", vlan {f.vlan}" if f.vlan is not None else ""
+        tunnel = f", vni {f.tunnel_id}" if f.tunnel_id is not None else ""
+        l3 = ""
+        if f.src_ip is not None or f.dst_ip is not None:
+            l3 = f", {f.src_ip} > {f.dst_ip}"
+        return (f"{self.timestamp:.6f} {f.src_mac} > {f.dst_mac}"
+                f"{vlan}{tunnel}{l3}, {f.proto.name} {f.size_bytes}B")
+
+
+class Capture:
+    """A bounded ring buffer of filtered frame sightings."""
+
+    def __init__(self, name: str = "cap0",
+                 flt: Optional[CaptureFilter] = None,
+                 max_records: int = 4096) -> None:
+        if max_records < 1:
+            raise ValueError("capture buffer must hold at least one record")
+        self.name = name
+        self.filter = flt if flt is not None else CaptureFilter()
+        self.records: Deque[CaptureRecord] = deque(maxlen=max_records)
+        self.seen = 0
+        self.matched = 0
+
+    # -- attachment points ---------------------------------------------------
+
+    def attach_tap(self, tap: OpticalTap) -> "Capture":
+        tap.observe(lambda frame, now: self._observe(frame, now))
+        return self
+
+    def attach_port(self, port: Port, sim: Simulator) -> "Capture":
+        """Wrap a port's handler: observe, then deliver as before."""
+        original = port._handler
+
+        def spy(frame: Frame) -> None:
+            self._observe(frame, sim.now)
+            if original is not None:
+                original(frame)
+
+        port.connect(spy)
+        return self
+
+    def _observe(self, frame: Frame, now: float) -> None:
+        self.seen += 1
+        if self.filter.matches(frame):
+            self.matched += 1
+            self.records.append(CaptureRecord(now, frame))
+
+    # -- reductions ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def frames(self) -> List[Frame]:
+        return [record.frame for record in self.records]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        records = list(self.records)
+        if limit is not None:
+            records = records[-limit:]
+        header = (f"capture {self.name}: {self.matched}/{self.seen} "
+                  f"frames matched, showing {len(records)}")
+        return "\n".join([header] + [r.summary() for r in records])
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(self, sim: Simulator, dst: Port,
+               speedup: float = 1.0) -> int:
+        """Re-inject the captured frames into ``dst`` with their
+        original relative spacing (divided by ``speedup``).  Returns
+        the number of frames scheduled."""
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        if not self.records:
+            return 0
+        base = self.records[0].timestamp
+        for record in self.records:
+            offset = (record.timestamp - base) / speedup
+            sim.call_later(offset, dst.receive, record.frame.copy())
+        return len(self.records)

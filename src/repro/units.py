@@ -1,0 +1,104 @@
+"""Units and unit helpers used throughout the reproduction.
+
+Conventions (chosen once, used everywhere):
+
+- **time** is measured in seconds (float).
+- **packet rate** is measured in packets per second (pps, float).
+- **data rate** is measured in bits per second (bps, float).
+- **sizes** are measured in bytes (int) unless the name says otherwise.
+- **CPU work** is measured in cycles (float); a core supplies
+  ``frequency_hz`` cycles per second.
+
+The helpers exist so call sites read like the paper ("14 Mpps", "10G link",
+"4 GB of RAM", "1 GB hugepage") instead of bare exponents.
+"""
+
+from __future__ import annotations
+
+# -- time ------------------------------------------------------------------
+
+USEC = 1e-6
+MSEC = 1e-3
+
+# -- sizes -----------------------------------------------------------------
+
+KB = 1000
+MB = 1000 ** 2
+GB = 1000 ** 3
+KIB = 1024
+MIB = 1024 ** 2
+GIB = 1024 ** 3
+
+# -- rates -----------------------------------------------------------------
+
+KPPS = 1e3
+MPPS = 1e6
+MBPS = 1e6
+GBPS = 1e9
+
+# Ethernet physical-layer overhead per frame: 7 B preamble + 1 B SFD +
+# 4 B FCS + 12 B inter-frame gap.  The 4 B FCS is part of the frame on the
+# wire but not of the L2 payload we model, hence 24 B total overhead over
+# the modelled frame size.
+ETHERNET_OVERHEAD_BYTES = 24
+
+#: Minimum Ethernet frame (64 B) -- the packet size used for all of Fig. 5's
+#: throughput plots.
+MIN_FRAME_BYTES = 64
+
+#: 64 B line rate on a 10 Gbps link: 10e9 / ((64 + 20) * 8) = 14.88 Mpps.
+#: The paper rounds this to "line rate (14.4 Mpps)" / "replayed at line
+#: rate (14 Mpps)".
+LINE_RATE_10G_64B_PPS = 10 * GBPS / ((MIN_FRAME_BYTES + 20) * 8)
+
+
+def line_rate_pps(link_bps: float, frame_bytes: int) -> float:
+    """Packets per second a link sustains for back-to-back frames.
+
+    Uses the standard 20 B per-frame physical overhead (preamble, SFD and
+    inter-frame gap) on top of the frame including FCS; we model frame
+    sizes the way the paper quotes them (64 B means the 64 B Ethernet frame
+    with FCS), so the on-wire cost per frame is ``frame_bytes + 20``.
+    """
+    if frame_bytes <= 0:
+        raise ValueError(f"frame_bytes must be positive, got {frame_bytes}")
+    return link_bps / ((frame_bytes + 20) * 8.0)
+
+
+def wire_time(link_bps: float, frame_bytes: int) -> float:
+    """Serialization time of one frame on a link, in seconds."""
+    return 1.0 / line_rate_pps(link_bps, frame_bytes)
+
+
+def pps_to_bps(pps: float, frame_bytes: int) -> float:
+    """Convert a packet rate to the corresponding goodput in bits/s."""
+    return pps * frame_bytes * 8.0
+
+
+def fmt_rate_pps(pps: float) -> str:
+    """Human-readable packet rate, e.g. ``'2.30 Mpps'``."""
+    if pps >= MPPS:
+        return f"{pps / MPPS:.2f} Mpps"
+    if pps >= KPPS:
+        return f"{pps / KPPS:.1f} kpps"
+    return f"{pps:.0f} pps"
+
+
+def fmt_rate_bps(bps: float) -> str:
+    """Human-readable bit rate, e.g. ``'9.41 Gbps'``."""
+    if bps >= GBPS:
+        return f"{bps / GBPS:.2f} Gbps"
+    if bps >= MBPS:
+        return f"{bps / MBPS:.1f} Mbps"
+    return f"{bps:.0f} bps"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration, e.g. ``'13.4 us'``."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= MSEC:
+        return f"{seconds / MSEC:.2f} ms"
+    if seconds >= USEC:
+        return f"{seconds / USEC:.1f} us"
+    return f"{seconds / 1e-9:.0f} ns"

@@ -1,0 +1,63 @@
+"""Virtual switches: flow tables, OVS-like bridges, datapath models.
+
+- :mod:`repro.vswitch.matches` / :mod:`repro.vswitch.actions` /
+  :mod:`repro.vswitch.flowtable` implement an OpenFlow-style pipeline
+  (priority match -> action list) with per-tenant logical datapaths.
+- :mod:`repro.vswitch.datapath` provides the two packet-processing
+  engines the paper evaluates: the interrupt-driven kernel datapath and
+  the DPDK poll-mode datapath, both as calibrated cost models.
+- :mod:`repro.vswitch.ovs` is the OVS-like bridge object the controller
+  programs (add-port / add-flow, NORMAL action, statistics).
+- :mod:`repro.vswitch.linux_bridge` is the learning bridge tenant VMs run
+  in the Baseline; :mod:`repro.vswitch.l2fwd` is the DPDK l2fwd app the
+  tenant VMs run under MTS (adapted to rewrite destination MACs).
+"""
+
+from repro.vswitch.actions import (
+    Action,
+    ActionType,
+    Drop,
+    GotoTable,
+    Normal,
+    Output,
+    PopTunnel,
+    PushTunnel,
+    Punt,
+    SetDstMac,
+    SetSrcMac,
+)
+from repro.vswitch.megaflow import MegaflowCache
+from repro.vswitch.ofctl import add_flows, parse_flow
+from repro.vswitch.datapath import DatapathMode, PassCosts, PortClass
+from repro.vswitch.flowtable import FlowRule, FlowTable
+from repro.vswitch.l2fwd import L2Fwd
+from repro.vswitch.linux_bridge import LinuxBridge
+from repro.vswitch.matches import FlowMatch
+from repro.vswitch.ovs import BridgePort, OvsBridge
+
+__all__ = [
+    "Action",
+    "ActionType",
+    "Drop",
+    "GotoTable",
+    "MegaflowCache",
+    "Normal",
+    "Punt",
+    "add_flows",
+    "parse_flow",
+    "Output",
+    "PopTunnel",
+    "PushTunnel",
+    "SetDstMac",
+    "SetSrcMac",
+    "DatapathMode",
+    "PassCosts",
+    "PortClass",
+    "FlowRule",
+    "FlowTable",
+    "L2Fwd",
+    "LinuxBridge",
+    "FlowMatch",
+    "BridgePort",
+    "OvsBridge",
+]

@@ -1,0 +1,155 @@
+"""Flow rule actions.
+
+The action set covers what the MTS controller needs (paper section 3.2):
+rewriting destination/source MACs (ingress/egress chains), outputting to
+a port, OVS's NORMAL learning-switch behaviour (the Baseline's default
+configuration), and VXLAN-style tunnel encapsulation/decapsulation for
+overlay support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.net.addresses import MacAddress
+from repro.net.packet import Frame
+
+
+class ActionType(Enum):
+    OUTPUT = "output"
+    SET_DST_MAC = "set_dst_mac"
+    SET_SRC_MAC = "set_src_mac"
+    PUSH_TUNNEL = "push_tunnel"
+    POP_TUNNEL = "pop_tunnel"
+    DROP = "drop"
+    NORMAL = "normal"
+    GOTO_TABLE = "goto_table"
+    CONTROLLER = "controller"
+
+
+#: Outer headers a VXLAN-style encapsulation adds on the wire
+#: (outer Ethernet 14 + IP 20 + UDP 8 + VXLAN 8).
+TUNNEL_OVERHEAD_BYTES = 50
+
+
+class Action:
+    """Base class; subclasses implement :meth:`apply`."""
+
+    type: ActionType
+
+    def apply(self, frame: Frame) -> None:
+        """Mutate the frame.  Output/Drop/Normal are routing decisions and
+        are interpreted by the bridge, not applied to the frame."""
+
+    def rewrites(self) -> bool:
+        """True if this action costs a header-rewrite's worth of cycles."""
+        return False
+
+
+@dataclass
+class Output(Action):
+    """Emit the frame on a bridge port."""
+
+    port_no: int
+    type: ActionType = ActionType.OUTPUT
+
+
+@dataclass
+class SetDstMac(Action):
+    """Rewrite the destination MAC (the ingress-chain step (3) / egress
+    step (9) of the paper: point the frame at the tenant VF or the
+    external gateway)."""
+
+    mac: MacAddress
+    type: ActionType = ActionType.SET_DST_MAC
+
+    def apply(self, frame: Frame) -> None:
+        frame.dst_mac = self.mac
+
+    def rewrites(self) -> bool:
+        return True
+
+
+@dataclass
+class SetSrcMac(Action):
+    """Rewrite the source MAC (used when proxying for the gateway)."""
+
+    mac: MacAddress
+    type: ActionType = ActionType.SET_SRC_MAC
+
+    def apply(self, frame: Frame) -> None:
+        frame.src_mac = self.mac
+
+    def rewrites(self) -> bool:
+        return True
+
+
+@dataclass
+class PushTunnel(Action):
+    """Encapsulate into a VXLAN-style tunnel: sets the tunnel id and
+    grows the frame by the outer headers."""
+
+    tunnel_id: int
+    type: ActionType = ActionType.PUSH_TUNNEL
+
+    def apply(self, frame: Frame) -> None:
+        if frame.tunnel_id is not None:
+            raise ValueError(f"frame already encapsulated (vni {frame.tunnel_id})")
+        frame.tunnel_id = self.tunnel_id
+        frame.size_bytes += TUNNEL_OVERHEAD_BYTES
+
+    def rewrites(self) -> bool:
+        return True
+
+
+@dataclass
+class PopTunnel(Action):
+    """Decapsulate: the VNI moves to the frame's ``decap_vni`` metadata
+    (the paper uses the tunnel id plus destination IP to pick the
+    tenant VM), and the frame can later be re-encapsulated."""
+
+    type: ActionType = ActionType.POP_TUNNEL
+
+    def apply(self, frame: Frame) -> None:
+        if frame.tunnel_id is None:
+            raise ValueError("frame is not encapsulated")
+        frame.decap_vni = frame.tunnel_id
+        frame.tunnel_id = None
+        frame.size_bytes -= TUNNEL_OVERHEAD_BYTES
+        if frame.size_bytes < 64:
+            frame.size_bytes = 64
+
+    def rewrites(self) -> bool:
+        return True
+
+
+@dataclass
+class Drop(Action):
+    type: ActionType = ActionType.DROP
+
+
+@dataclass
+class Normal(Action):
+    """OVS's NORMAL action: forward like a learning L2 switch."""
+
+    type: ActionType = ActionType.NORMAL
+
+
+@dataclass
+class Punt(Action):
+    """OpenFlow's output:CONTROLLER -- hand the packet to the bridge's
+    registered punt handler (used for the proxy-ARP responder)."""
+
+    type: ActionType = ActionType.CONTROLLER
+
+
+@dataclass
+class GotoTable(Action):
+    """Continue the pipeline in a later table (OpenFlow goto_table;
+    table ids must strictly increase, which the bridge enforces).
+    Matching in the target table sees the packet as already modified
+    by this rule's earlier set-field actions."""
+
+    table_id: int
+    type: ActionType = ActionType.GOTO_TABLE

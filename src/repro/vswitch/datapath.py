@@ -1,0 +1,166 @@
+"""Datapath cost and timing models: kernel OVS vs OVS-DPDK.
+
+Whether a vswitch keeps up with the offered load is decided by cycles:
+each forwarding *pass* (one traversal of the switch, rx -> lookup ->
+actions -> tx) costs
+
+    base + rx_cost(in-port class) + tx_cost(out-port class)
+         + rewrite (if the matched rule rewrites headers)
+         + poll tax (DPDK: cycles wasted polling every attached port)
+
+and a core supplies ``effective_hz`` cycles per second (a full core, or
+a 1/K share in the paper's *shared* resource mode).  The same numbers
+drive both the analytic capacity solver and the discrete-event latency
+simulation, so the two views cannot drift apart.
+
+Latency extras are datapath-specific:
+
+- the kernel path pays interrupt/softirq wakeup latency per pass,
+- the DPDK path pays a poll/drain wait (the l2fwd/OVS-DPDK drain
+  interval is 100 us in the paper's setup), and multi-queue ports at
+  very low per-queue rates exhibit the ~1 ms drain anomaly the paper
+  reports for the Baseline at 10 kpps,
+- compartments time-sharing a core see scheduling jitter proportional
+  to the number of sharers (the latency-variance effect of Fig. 5(b)).
+
+Concrete constants live in :mod:`repro.perfmodel.calibration`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.units import USEC
+
+
+class DatapathMode(Enum):
+    KERNEL = "kernel"
+    DPDK = "dpdk"
+
+
+class PortClass(Enum):
+    """What a bridge port is plugged into; picks the rx/tx cost row."""
+
+    PHYSICAL = "physical"        # host-attached physical NIC port
+    VF = "vf"                    # SR-IOV VF passed into the vswitch VM
+    VHOST = "vhost"              # kernel vhost/virtio tenant port (Baseline)
+    DPDK_VHOST_CLIENT = "dpdkvhostuserclient"  # Baseline L3 tenant port
+
+
+@dataclass
+class PassCosts:
+    """Per-pass cycle costs and latency parameters of one datapath mode."""
+
+    base_cycles: float
+    rx_cycles: Dict[PortClass, float]
+    tx_cycles: Dict[PortClass, float]
+    rewrite_cycles: float = 0.0
+    poll_tax_cycles_per_port: float = 0.0
+    #: Fixed per-pass latency (kernel: interrupt + softirq wakeup).
+    fixed_latency: float = 0.0
+    #: Upper bound of the uniform poll/drain wait (DPDK only).
+    drain_jitter: float = 0.0
+    #: Scheduling timeslice used for shared-core jitter (a packet may
+    #: find the core running another compartment for up to
+    #: (sharers-1) x slice; vhost/KVM halt-polling keeps slices short).
+    sched_slice: float = 30.0 * USEC
+    #: Per-queue offered rate below which a multi-queue DPDK port shows
+    #: the ~1 ms drain anomaly (paper section 4.2).
+    drain_anomaly_threshold_pps: float = 25_000.0
+    #: Mean of the anomaly wait.
+    drain_anomaly_wait: float = 1000.0 * USEC
+
+    def pass_cycles(
+        self,
+        in_class: PortClass,
+        out_class: PortClass,
+        rewrites: bool,
+        num_ports: int = 2,
+    ) -> float:
+        """Cycles one forwarding pass costs."""
+        cycles = (
+            self.base_cycles
+            + self.rx_cycles[in_class]
+            + self.tx_cycles[out_class]
+            + self.poll_tax_cycles_per_port * num_ports
+        )
+        if rewrites:
+            cycles += self.rewrite_cycles
+        return cycles
+
+
+@dataclass
+class DatapathTiming:
+    """Latency components of one pass through a datapath.
+
+    ``service`` occupies the core; the waits do not (they are pure
+    latency, overlappable across packets).
+    """
+
+    service: float
+    fixed_wait: float = 0.0
+    sched_wait: float = 0.0
+    drain_wait: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.service + self.fixed_wait + self.sched_wait + self.drain_wait
+
+
+class DatapathModel:
+    """Computes per-pass cycles and latency for one bridge.
+
+    The bridge owns one of these; ``mode`` selects kernel vs DPDK
+    behaviour and ``costs`` carries the calibrated constants.
+    """
+
+    def __init__(self, mode: DatapathMode, costs: PassCosts) -> None:
+        self.mode = mode
+        self.costs = costs
+        #: Set by experiments so the DES can reproduce rate-dependent
+        #: effects (the DPDK multi-queue drain anomaly) without modelling
+        #: every empty poll iteration.
+        self.offered_rate_hint_pps: Optional[float] = None
+
+    def pass_cycles(self, in_class: PortClass, out_class: PortClass,
+                    rewrites: bool, num_ports: int) -> float:
+        return self.costs.pass_cycles(in_class, out_class, rewrites, num_ports)
+
+    def timing(
+        self,
+        cycles: float,
+        effective_hz: float,
+        sharers: int,
+        num_queues: int,
+        rng: random.Random,
+    ) -> DatapathTiming:
+        """Latency of one pass on a core share with ``sharers`` tenants
+        of the core and the datapath spread over ``num_queues`` queues."""
+        service = cycles / effective_hz
+        timing = DatapathTiming(service=service)
+        if self.mode == DatapathMode.KERNEL:
+            # Interrupt + softirq wakeup, with its natural variance
+            # (mean 1.125x the nominal figure).
+            timing.fixed_wait = self.costs.fixed_latency * (
+                1.0 + rng.uniform(0.0, 0.25)
+            )
+        else:
+            timing.drain_wait = rng.uniform(0.0, self.costs.drain_jitter)
+            timing.drain_wait += self._drain_anomaly(num_queues, rng)
+        if sharers > 1:
+            # While K compartments time-share a core, a pass may find the
+            # core scheduled elsewhere for up to (K-1) timeslices.
+            timing.sched_wait = rng.uniform(0.0, (sharers - 1) * self.costs.sched_slice)
+        return timing
+
+    def _drain_anomaly(self, num_queues: int, rng: random.Random) -> float:
+        """The ~1 ms Baseline multi-queue effect at low per-queue rates."""
+        if num_queues < 2 or self.offered_rate_hint_pps is None:
+            return 0.0
+        per_queue = self.offered_rate_hint_pps / num_queues
+        if per_queue >= self.costs.drain_anomaly_threshold_pps:
+            return 0.0
+        return rng.uniform(0.6, 1.4) * self.costs.drain_anomaly_wait

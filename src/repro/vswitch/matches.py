@@ -1,0 +1,104 @@
+"""OpenFlow-style flow matching.
+
+A :class:`FlowMatch` is a conjunction of field predicates; ``None``
+fields are wildcards.  IP destination matching supports prefixes so
+controllers can write subnet rules; everything else is exact-match,
+which is all the MTS flow programs need (the paper's logical datapaths
+key on destination IP -- and tunnel id after decapsulation -- to pick
+the tenant VM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.packet import EtherType, Frame, IpProto
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """Match criteria; all set fields must match (AND semantics)."""
+
+    in_port: Optional[int] = None
+    src_mac: Optional[MacAddress] = None
+    dst_mac: Optional[MacAddress] = None
+    ethertype: Optional[EtherType] = None
+    vlan: Optional[int] = None
+    src_ip: Optional[IPv4Address] = None
+    dst_ip: Optional[IPv4Address] = None
+    dst_ip_prefix: int = 32
+    proto: Optional[IpProto] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    tunnel_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dst_ip_prefix <= 32:
+            raise ValueError(f"bad prefix length: {self.dst_ip_prefix}")
+
+    def matches(self, frame: Frame, in_port: int) -> bool:
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.src_mac is not None and frame.src_mac != self.src_mac:
+            return False
+        if self.dst_mac is not None and frame.dst_mac != self.dst_mac:
+            return False
+        if self.ethertype is not None and frame.ethertype != self.ethertype:
+            return False
+        if self.vlan is not None and frame.vlan != self.vlan:
+            return False
+        if self.src_ip is not None and frame.src_ip != self.src_ip:
+            return False
+        if self.dst_ip is not None:
+            if frame.dst_ip is None:
+                return False
+            if not frame.dst_ip.in_subnet(self.dst_ip, self.dst_ip_prefix):
+                return False
+        if self.proto is not None and frame.proto != self.proto:
+            return False
+        if self.src_port is not None and frame.src_port != self.src_port:
+            return False
+        if self.dst_port is not None and frame.dst_port != self.dst_port:
+            return False
+        if self.tunnel_id is not None and frame.tunnel_id != self.tunnel_id:
+            return False
+        return True
+
+    def specificity(self) -> int:
+        """How many fields are constrained (used for overlap heuristics)."""
+        fields: Tuple = (
+            self.in_port, self.src_mac, self.dst_mac, self.ethertype,
+            self.vlan, self.src_ip, self.dst_ip, self.proto,
+            self.src_port, self.dst_port, self.tunnel_id,
+        )
+        return sum(1 for f in fields if f is not None)
+
+    def overlaps(self, other: "FlowMatch") -> bool:
+        """Conservative overlap test: could some frame match both?
+
+        Two matches are disjoint iff some field is constrained to
+        different exact values in both (prefixes compared on the shared
+        prefix length).  Used by the flow table's conflict checker.
+        """
+        pairs = [
+            (self.in_port, other.in_port),
+            (self.src_mac, other.src_mac),
+            (self.dst_mac, other.dst_mac),
+            (self.ethertype, other.ethertype),
+            (self.vlan, other.vlan),
+            (self.src_ip, other.src_ip),
+            (self.proto, other.proto),
+            (self.src_port, other.src_port),
+            (self.dst_port, other.dst_port),
+            (self.tunnel_id, other.tunnel_id),
+        ]
+        for mine, theirs in pairs:
+            if mine is not None and theirs is not None and mine != theirs:
+                return False
+        if self.dst_ip is not None and other.dst_ip is not None:
+            shared = min(self.dst_ip_prefix, other.dst_ip_prefix)
+            if not self.dst_ip.in_subnet(other.dst_ip, shared):
+                return False
+        return True

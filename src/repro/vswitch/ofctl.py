@@ -1,0 +1,176 @@
+"""An ``ovs-ofctl add-flow``-compatible rule parser.
+
+Lets operators (and tests) write rules in the familiar syntax instead
+of constructing match/action objects:
+
+    table=0,priority=200,in_port=1,ip,nw_dst=10.0.0.10,
+        actions=mod_dl_dst:02:4d:54:00:00:07,output:3
+
+Supported match fields: ``table``, ``priority``, ``in_port``,
+``dl_src``, ``dl_dst``, ``dl_vlan``, ``ip``/``udp``/``tcp``/``icmp``,
+``nw_src``, ``nw_dst`` (with ``/len`` prefixes), ``tp_src``,
+``tp_dst``, ``tun_id``.  Supported actions: ``output:N``,
+``mod_dl_dst:MAC``, ``mod_dl_src:MAC``, ``set_tunnel:VNI``,
+``pop_tunnel``, ``goto_table:N``, ``resubmit(,N)`` (alias), ``normal``,
+``drop``.  A ``cookie=`` field is accepted and ignored (cookies are
+assigned by the table).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FlowTableError
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.packet import EtherType, IpProto
+from repro.vswitch.actions import (
+    Action,
+    Drop,
+    GotoTable,
+    Normal,
+    Output,
+    PopTunnel,
+    PushTunnel,
+    SetDstMac,
+    SetSrcMac,
+)
+from repro.vswitch.flowtable import FlowRule
+from repro.vswitch.matches import FlowMatch
+
+_PROTO_KEYWORDS = {
+    "ip": (EtherType.IPV4, None),
+    "udp": (EtherType.IPV4, IpProto.UDP),
+    "tcp": (EtherType.IPV4, IpProto.TCP),
+    "icmp": (EtherType.IPV4, IpProto.ICMP),
+    "arp": (EtherType.ARP, None),
+}
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on commas not inside parentheses (for resubmit(,N))."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _parse_ip_with_prefix(text: str) -> Tuple[IPv4Address, int]:
+    if "/" in text:
+        addr, prefix = text.split("/", 1)
+        return IPv4Address.parse(addr), int(prefix)
+    return IPv4Address.parse(text), 32
+
+
+def _parse_action(token: str) -> Action:
+    token = token.strip()
+    lowered = token.lower()
+    if lowered == "drop":
+        return Drop()
+    if lowered == "normal":
+        return Normal()
+    if lowered == "pop_tunnel":
+        return PopTunnel()
+    if lowered.startswith("resubmit"):
+        inner = token[token.index("(") + 1:token.rindex(")")]
+        table = inner.split(",")[-1].strip()
+        return GotoTable(int(table))
+    if ":" not in token:
+        raise FlowTableError(f"unknown action {token!r}")
+    verb, _, arg = token.partition(":")
+    verb = verb.strip().lower()
+    if verb == "output":
+        return Output(int(arg))
+    if verb == "goto_table":
+        return GotoTable(int(arg))
+    if verb == "set_tunnel":
+        return PushTunnel(int(arg, 0))
+    if verb == "mod_dl_dst":
+        return SetDstMac(MacAddress.parse(arg))
+    if verb == "mod_dl_src":
+        return SetSrcMac(MacAddress.parse(arg))
+    raise FlowTableError(f"unknown action {token!r}")
+
+
+def parse_flow(text: str) -> FlowRule:
+    """Parse one add-flow string into a :class:`FlowRule`."""
+    text = text.strip()
+    if "actions=" not in text:
+        raise FlowTableError("a flow needs an actions= clause")
+    match_part, _, actions_part = text.partition("actions=")
+    match_part = match_part.rstrip(", \t")
+
+    table_id = 0
+    priority = 100
+    kwargs = {}
+    for token in _split_top_level(match_part):
+        if "=" in token:
+            key, _, value = token.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "table":
+                table_id = int(value)
+            elif key == "priority":
+                priority = int(value)
+            elif key == "cookie":
+                pass  # accepted, table assigns its own
+            elif key == "in_port":
+                kwargs["in_port"] = int(value)
+            elif key == "dl_src":
+                kwargs["src_mac"] = MacAddress.parse(value)
+            elif key == "dl_dst":
+                kwargs["dst_mac"] = MacAddress.parse(value)
+            elif key == "dl_vlan":
+                kwargs["vlan"] = int(value)
+            elif key == "nw_src":
+                addr, _prefix = _parse_ip_with_prefix(value)
+                kwargs["src_ip"] = addr
+            elif key == "nw_dst":
+                addr, prefix = _parse_ip_with_prefix(value)
+                kwargs["dst_ip"] = addr
+                kwargs["dst_ip_prefix"] = prefix
+            elif key == "tp_src":
+                kwargs["src_port"] = int(value)
+            elif key == "tp_dst":
+                kwargs["dst_port"] = int(value)
+            elif key == "tun_id":
+                kwargs["tunnel_id"] = int(value, 0)
+            else:
+                raise FlowTableError(f"unknown match field {key!r}")
+        else:
+            keyword = token.strip().lower()
+            if keyword not in _PROTO_KEYWORDS:
+                raise FlowTableError(f"unknown keyword {token!r}")
+            ethertype, proto = _PROTO_KEYWORDS[keyword]
+            kwargs["ethertype"] = ethertype
+            if proto is not None:
+                kwargs["proto"] = proto
+
+    actions = [_parse_action(tok)
+               for tok in _split_top_level(actions_part)]
+    if not actions:
+        raise FlowTableError("empty actions clause")
+    return FlowRule(match=FlowMatch(**kwargs), actions=actions,
+                    priority=priority, table_id=table_id)
+
+
+def add_flows(bridge, *flow_strings: str,
+              tenant_id: Optional[int] = None) -> List[FlowRule]:
+    """Parse and install several flows on a bridge (ovs-ofctl style)."""
+    rules = []
+    for text in flow_strings:
+        rule = parse_flow(text)
+        rule.tenant_id = tenant_id
+        rules.append(bridge.add_flow(rule))
+    return rules

@@ -1,0 +1,328 @@
+"""An OVS-like bridge: ports, flow pipeline, NORMAL switching, timing.
+
+The bridge is the object the MTS controller programs (the simulated
+equivalents of ``ovs-vsctl add-port`` and ``ovs-ofctl add-flow``).  It
+can run in two modes:
+
+- **functional** (no simulator / no compute attached): frames are
+  processed synchronously with zero delay -- used by unit tests and the
+  security analysis;
+- **timed** (simulator + compute shares attached): each forwarding pass
+  is served by a per-core service station whose service time comes from
+  the calibrated :class:`~repro.vswitch.datapath.DatapathModel`; frames
+  are dispatched to stations by flow hash, modelling RSS across the
+  bridge's cores (the paper's observation that multiple cores act as a
+  load balancer).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.host.cpu import ComputeShare
+from repro.net.addresses import MacAddress
+from repro.net.interfaces import PortPair
+from repro.net.packet import Frame
+from repro.sim.kernel import Simulator
+from repro.sim.resources import FairServiceStation
+
+#: Per-port rx ring depth when the bridge runs in timed mode.
+RX_RING_DEPTH = 512
+from repro.vswitch.actions import Action, ActionType
+from repro.vswitch.datapath import DatapathMode, DatapathModel, PassCosts, PortClass
+from repro.vswitch.flowtable import FlowRule, FlowTable
+from repro.vswitch.megaflow import MegaflowCache
+
+
+@dataclass
+class BridgePort:
+    port_no: int
+    name: str
+    port_class: PortClass
+    pair: PortPair
+    rx_frames: int = 0
+    tx_frames: int = 0
+
+
+@dataclass
+class _ForwardPlan:
+    """Outcome of the pipeline for one frame: egress ports + costing."""
+
+    frame: Frame
+    in_port: int
+    out_ports: List[int] = field(default_factory=list)
+    rewrites: bool = False
+    dropped: bool = False
+
+
+class OvsBridge:
+    """A programmable learning/flow switch."""
+
+    def __init__(
+        self,
+        name: str,
+        mode: DatapathMode = DatapathMode.KERNEL,
+        sim: Optional[Simulator] = None,
+        costs: Optional[PassCosts] = None,
+        rng: Optional[random.Random] = None,
+        cache: Optional["MegaflowCache"] = None,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.rng = rng if rng is not None else random.Random(0)
+        #: OpenFlow-style multi-table pipeline; table 0 always exists
+        #: and is where processing starts.
+        self.tables: Dict[int, FlowTable] = {
+            0: FlowTable(name=f"{name}.table0")
+        }
+        self.model = DatapathModel(mode, costs) if costs is not None else None
+        self.mode = mode
+        #: Optional microflow cache: misses add upcall cycles to the
+        #: pass (timed mode only).
+        self.cache = cache
+        #: Handler for CONTROLLER-punted frames: ``fn(frame, in_port)``.
+        self.punt_handler = None
+        self.punted = 0
+        self._ports: Dict[int, BridgePort] = {}
+        self._next_port_no = 1
+        self._mac_table: Dict[MacAddress, int] = {}
+        self._stations: List[FairServiceStation] = []
+        self._shares: List[ComputeShare] = []
+        self.drops_no_match = 0
+        self.drops_action = 0
+        self.passes = 0
+
+    # -- configuration (ovs-vsctl equivalents) ---------------------------
+
+    def add_port(self, name: str, port_class: PortClass, pair: PortPair) -> BridgePort:
+        """Attach a port; the bridge becomes the consumer of ``pair``."""
+        port = BridgePort(self._next_port_no, name, port_class, pair)
+        self._next_port_no += 1
+        self._ports[port.port_no] = port
+        pair.rx.connect(lambda frame, p=port: self._ingress(p, frame))
+        return port
+
+    def del_port(self, port_no: int) -> None:
+        port = self._ports.pop(port_no, None)
+        if port is not None:
+            port.pair.rx.connect(lambda frame: None)
+        self._mac_table = {m: p for m, p in self._mac_table.items() if p != port_no}
+
+    def port(self, port_no: int) -> BridgePort:
+        return self._ports[port_no]
+
+    def port_by_name(self, name: str) -> BridgePort:
+        for port in self._ports.values():
+            if port.name == name:
+                return port
+        raise ConfigurationError(f"bridge {self.name} has no port {name!r}")
+
+    def ports(self) -> List[BridgePort]:
+        return list(self._ports.values())
+
+    @property
+    def table(self) -> FlowTable:
+        """Table 0 (the single-table view most callers use)."""
+        return self.tables[0]
+
+    def flow_table(self, table_id: int) -> FlowTable:
+        """Get (creating if needed) a pipeline table."""
+        if table_id < 0:
+            raise ConfigurationError("table ids are non-negative")
+        if table_id not in self.tables:
+            self.tables[table_id] = FlowTable(
+                name=f"{self.name}.table{table_id}")
+        return self.tables[table_id]
+
+    def add_flow(self, rule: FlowRule) -> FlowRule:
+        """ovs-ofctl add-flow (honours the rule's ``table_id``)."""
+        for action in rule.actions:
+            if (action.type == ActionType.GOTO_TABLE
+                    and action.table_id <= rule.table_id):  # type: ignore[attr-defined]
+                raise ConfigurationError(
+                    f"goto_table must increase: {rule.table_id} -> "
+                    f"{action.table_id}")  # type: ignore[attr-defined]
+        return self.flow_table(rule.table_id).add(rule)
+
+    def set_compute(self, shares: List[ComputeShare]) -> None:
+        """Pin the datapath onto CPU shares (one service station each)."""
+        if self.sim is None or self.model is None:
+            raise ConfigurationError(
+                f"bridge {self.name}: compute requires a simulator and costs"
+            )
+        self._shares = list(shares)
+        self._stations = [
+            FairServiceStation(
+                self.sim,
+                service_time=lambda plan: plan._service_time,
+                on_done=self._execute,
+                queue_capacity=RX_RING_DEPTH,
+                name=f"{self.name}.core{i}",
+            )
+            for i in range(len(shares))
+        ]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._shares)
+
+    @property
+    def compute_shares(self):
+        """The CPU shares the datapath runs on (read-only view)."""
+        return tuple(self._shares)
+
+    # -- dataplane ---------------------------------------------------------
+
+    def _ingress(self, port: BridgePort, frame: Frame) -> None:
+        port.rx_frames += 1
+        frame.stamp(f"{self.name}.p{port.port_no}.rx")
+        plan = self._pipeline(port, frame)
+        if plan.dropped:
+            return
+        self.passes += 1
+        if not self._stations:
+            self._execute(plan)
+            return
+        self._dispatch(plan)
+
+    #: Upper bound on goto_table hops (tables must strictly increase,
+    #: so this is a safety net, not a semantic limit).
+    MAX_PIPELINE_DEPTH = 16
+
+    def _pipeline(self, port: BridgePort, frame: Frame) -> _ForwardPlan:
+        """Run the (multi-table) flow pipeline.
+
+        Header rewrites apply immediately, so later tables match the
+        modified packet, as OpenFlow specifies.  Timing happens later;
+        mutating the in-flight frame early is unobservable.
+        """
+        plan = _ForwardPlan(frame=frame, in_port=port.port_no)
+        self._learn(frame.src_mac, port.port_no)
+        table_id: Optional[int] = 0
+        depth = 0
+        while table_id is not None:
+            depth += 1
+            if depth > self.MAX_PIPELINE_DEPTH:
+                raise ConfigurationError(
+                    f"pipeline deeper than {self.MAX_PIPELINE_DEPTH} tables")
+            table = self.tables.get(table_id)
+            rule = (table.lookup(frame, port.port_no)
+                    if table is not None else None)
+            if rule is None:
+                self.drops_no_match += 1
+                plan.dropped = True
+                return plan
+            table_id = None
+            for action in rule.actions:
+                if action.type == ActionType.DROP:
+                    self.drops_action += 1
+                    plan.dropped = True
+                    return plan
+                if action.type == ActionType.OUTPUT:
+                    plan.out_ports.append(action.port_no)  # type: ignore[attr-defined]
+                elif action.type == ActionType.NORMAL:
+                    plan.out_ports.extend(
+                        self._normal_lookup(frame, port.port_no))
+                elif action.type == ActionType.GOTO_TABLE:
+                    table_id = action.table_id  # type: ignore[attr-defined]
+                elif action.type == ActionType.CONTROLLER:
+                    self.punted += 1
+                    if self.punt_handler is not None:
+                        self.punt_handler(frame, port.port_no)
+                    plan.dropped = True  # consumed by the slow path
+                    return plan
+                else:
+                    action.apply(frame)
+                    if action.rewrites():
+                        plan.rewrites = True
+        if not plan.out_ports:
+            plan.dropped = True
+        return plan
+
+    def _learn(self, mac: MacAddress, port_no: int) -> None:
+        if not mac.is_multicast:
+            self._mac_table[mac] = port_no
+
+    def _normal_lookup(self, frame: Frame, in_port: int) -> List[int]:
+        if frame.dst_mac.is_multicast:
+            return [p for p in self._ports if p != in_port]
+        hit = self._mac_table.get(frame.dst_mac)
+        if hit is None:
+            return [p for p in self._ports if p != in_port]
+        return [] if hit == in_port else [hit]
+
+    def _dispatch(self, plan: _ForwardPlan) -> None:
+        """Timed mode: charge the pass to a core and delay accordingly."""
+        assert self.model is not None and self.sim is not None
+        index = plan.frame.flow_id % len(self._stations)
+        share = self._shares[index]
+        out_class = self._ports[plan.out_ports[0]].port_class
+        in_class = self._ports[plan.in_port].port_class
+        cycles = self.model.pass_cycles(
+            in_class, out_class, plan.rewrites, num_ports=len(self._ports)
+        )
+        if self.cache is not None:
+            cycles += self.cache.lookup_cost(plan.frame, plan.in_port)
+        timing = self.model.timing(
+            cycles,
+            effective_hz=share.effective_hz(),
+            sharers=share.sharers,
+            num_queues=len(self._stations),
+            rng=self.rng,
+        )
+        plan._service_time = timing.service  # type: ignore[attr-defined]
+        plan._t_dispatch = self.sim.now  # type: ignore[attr-defined]
+        plan.frame.charge("vswitch.service", timing.service)
+        wait = timing.fixed_wait + timing.sched_wait + timing.drain_wait
+        plan._pass_wait = wait  # type: ignore[attr-defined]
+        plan.frame.charge("vswitch.wait", wait)
+        if wait > 0:
+            self.sim.call_later(wait, self._submit, index, plan)
+        else:
+            self._submit(index, plan)
+
+    def _submit(self, index: int, plan: _ForwardPlan) -> None:
+        # Keyed by ingress port: each port's rx ring gets a fair share
+        # of the core under overload (NAPI/PMD round-robin polling).
+        self._stations[index].submit(plan.in_port, plan)
+
+    def rx_drops(self) -> int:
+        """Frames dropped at full rx rings (timed mode)."""
+        return sum(s.dropped() for s in self._stations)
+
+    def _execute(self, plan: _ForwardPlan) -> None:
+        """Apply mutations and transmit on the egress port(s)."""
+        if self.sim is not None and hasattr(plan, "_t_dispatch"):
+            # This pass took wait + queue + service; anything beyond the
+            # known wait and service components is rx-ring queueing.
+            elapsed = self.sim.now - plan._t_dispatch
+            queued = max(0.0, elapsed - plan._pass_wait - plan._service_time)
+            plan.frame.charge("vswitch.queue", queued)
+        for i, port_no in enumerate(plan.out_ports):
+            port = self._ports.get(port_no)
+            if port is None:
+                continue
+            frame = plan.frame if i == len(plan.out_ports) - 1 else plan.frame.copy()
+            port.tx_frames += 1
+            frame.stamp(f"{self.name}.p{port_no}.tx")
+            port.pair.transmit(frame)
+
+    # -- introspection -----------------------------------------------------
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean core utilization over ``elapsed`` seconds (timed mode)."""
+        if not self._stations:
+            return 0.0
+        total = sum(s.utilization(elapsed) for s in self._stations)
+        return total / len(self._stations)
+
+    def dump_flows(self) -> str:
+        chunks = []
+        for table_id in sorted(self.tables):
+            table = self.tables[table_id]
+            if len(table):
+                chunks.append(f"table {table_id}:\n{table.dump()}")
+        return "\n".join(chunks)

@@ -1,0 +1,30 @@
+"""Application workload models (the paper's Fig. 6 evaluation).
+
+All three workloads -- iperf bulk TCP, the Apache webserver benchmarked
+with ApacheBench, and Memcached benchmarked with memslap -- are modelled
+as *transaction profiles*: a mix of packets per transaction in each
+direction plus per-transaction server CPU, solved against the same
+resource pools as the micro-benchmarks (:mod:`repro.perfmodel.paths`).
+"""
+
+from repro.workloads.tcp import (
+    PacketPhase,
+    TransactionProfile,
+    WorkloadResult,
+    solve_mixed_workloads,
+    solve_workload,
+)
+from repro.workloads.iperf import IperfModel
+from repro.workloads.httpd import ApacheModel
+from repro.workloads.memcached import MemcachedModel
+
+__all__ = [
+    "PacketPhase",
+    "TransactionProfile",
+    "WorkloadResult",
+    "solve_mixed_workloads",
+    "solve_workload",
+    "IperfModel",
+    "ApacheModel",
+    "MemcachedModel",
+]

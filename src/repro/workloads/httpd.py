@@ -1,0 +1,99 @@
+"""Apache webserver + ApacheBench model (Fig. 6 b/g/l and d/i/n).
+
+The paper benchmarks each tenant's Apache with ``ab``, requesting a
+static 11.3 KB page over up to 1000 concurrent non-keepalive
+connections for 100 s.  One transaction = one full HTTP request:
+
+- forward (client -> server): SYN, handshake ACK, the HTTP request,
+  delayed ACKs for the response data, and the connection teardown;
+- reverse (server -> client): SYN-ACK, the response (9 MSS segments for
+  11.3 KB page + headers), FIN.
+
+Throughput is requests/s; the reported response time follows the
+closed-loop law at 1000 outstanding connections.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.deployment import Deployment
+from repro.core.spec import TrafficScenario
+from repro.workloads.iperf import DATA_FRAME_BYTES, MSS_BYTES
+from repro.workloads.tcp import (
+    PacketPhase,
+    TransactionProfile,
+    WorkloadResult,
+    solve_workload,
+)
+
+#: The paper's static page.
+PAGE_BYTES = 11_300
+HTTP_RESPONSE_HEADER_BYTES = 300
+HTTP_REQUEST_FRAME_BYTES = 350
+
+#: Apache worker cycles per static-file request (accept + read + sendfile).
+SERVER_CYCLES_PER_REQUEST = 90_000.0
+
+#: ApacheBench concurrency per tenant ("up to 1,000 concurrent
+#: connections").
+DEFAULT_CONCURRENCY = 1000
+
+
+@dataclass
+class ApacheReport:
+    aggregate_rps: float
+    per_tenant_rps: Dict[int, float]
+    mean_response_time: float
+    result: WorkloadResult
+
+
+class ApacheModel:
+    """Static-page serving under ApacheBench load."""
+
+    def __init__(self, deployment: Deployment,
+                 scenario: TrafficScenario = TrafficScenario.P2V,
+                 page_bytes: int = PAGE_BYTES,
+                 concurrency: int = DEFAULT_CONCURRENCY) -> None:
+        self.deployment = deployment
+        self.scenario = scenario
+        self.page_bytes = page_bytes
+        self.concurrency = concurrency
+
+    def response_segments(self) -> int:
+        return math.ceil(
+            (self.page_bytes + HTTP_RESPONSE_HEADER_BYTES) / MSS_BYTES
+        )
+
+    def profile(self) -> TransactionProfile:
+        segments = self.response_segments()
+        forward_small = (
+            1.0          # SYN
+            + 1.0        # handshake ACK
+            + segments / 2.0  # delayed ACKs for response data
+            + 2.0        # FIN + final ACK
+        )
+        return TransactionProfile(
+            name="apache",
+            phases=[
+                PacketPhase(frame_bytes=64, count=forward_small),
+                PacketPhase(frame_bytes=HTTP_REQUEST_FRAME_BYTES, count=1.0),
+                PacketPhase(frame_bytes=64, count=2.0, reverse=True),  # SYN-ACK, FIN
+                PacketPhase(frame_bytes=DATA_FRAME_BYTES, count=float(segments),
+                            reverse=True),
+            ],
+            server_cycles=SERVER_CYCLES_PER_REQUEST,
+            concurrency=self.concurrency,
+        )
+
+    def run(self, tenants: Optional[List[int]] = None) -> ApacheReport:
+        result = solve_workload(self.deployment, self.scenario,
+                                self.profile(), tenants=tenants)
+        return ApacheReport(
+            aggregate_rps=result.aggregate_rate,
+            per_tenant_rps=dict(result.rates),
+            mean_response_time=result.mean_response_time,
+            result=result,
+        )

@@ -1,0 +1,98 @@
+"""Memcached + libMemcached memslap model (Fig. 6 c/h/m and e/j/o).
+
+memslap with the default 90/10 set/get ratio over persistent
+connections.  One transaction = one operation:
+
+- SET (90%): a ~1 KB value travels client -> server; a short STORED
+  reply comes back.
+- GET (10%): a short request goes in; the ~1 KB value comes back.
+- Each direction additionally carries delayed TCP ACKs.
+
+Throughput is operations/s; response time follows the closed-loop law
+at memslap's default concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.deployment import Deployment
+from repro.core.spec import TrafficScenario
+from repro.workloads.tcp import (
+    PacketPhase,
+    TransactionProfile,
+    WorkloadResult,
+    solve_workload,
+)
+
+#: memslap defaults: 90% set / 10% get, ~1 KB values.
+SET_FRACTION = 0.9
+GET_FRACTION = 0.1
+VALUE_FRAME_BYTES = 1100
+REPLY_FRAME_BYTES = 64
+
+#: Memcached cycles per operation (hash + slab access + protocol).
+SERVER_CYCLES_PER_OP = 16_000.0
+
+#: memslap's default concurrency per tenant.
+DEFAULT_CONCURRENCY = 64
+
+#: Delayed ACKs per operation in each direction.
+ACKS_PER_OP = 0.5
+
+
+@dataclass
+class MemcachedReport:
+    aggregate_ops: float
+    per_tenant_ops: Dict[int, float]
+    mean_response_time: float
+    result: WorkloadResult
+
+
+class MemcachedModel:
+    """memslap-driven set/get mix."""
+
+    def __init__(self, deployment: Deployment,
+                 scenario: TrafficScenario = TrafficScenario.P2V,
+                 set_fraction: float = SET_FRACTION,
+                 concurrency: int = DEFAULT_CONCURRENCY) -> None:
+        if not 0.0 <= set_fraction <= 1.0:
+            raise ValueError("set_fraction must be within [0, 1]")
+        self.deployment = deployment
+        self.scenario = scenario
+        self.set_fraction = set_fraction
+        self.concurrency = concurrency
+
+    def profile(self) -> TransactionProfile:
+        get_fraction = 1.0 - self.set_fraction
+        return TransactionProfile(
+            name="memcached",
+            phases=[
+                # SET: value in, STORED back.
+                PacketPhase(frame_bytes=VALUE_FRAME_BYTES,
+                            count=self.set_fraction),
+                PacketPhase(frame_bytes=REPLY_FRAME_BYTES,
+                            count=self.set_fraction, reverse=True),
+                # GET: request in, value back.
+                PacketPhase(frame_bytes=REPLY_FRAME_BYTES,
+                            count=get_fraction),
+                PacketPhase(frame_bytes=VALUE_FRAME_BYTES,
+                            count=get_fraction, reverse=True),
+                # Delayed ACKs both ways.
+                PacketPhase(frame_bytes=64, count=ACKS_PER_OP),
+                PacketPhase(frame_bytes=64, count=ACKS_PER_OP, reverse=True),
+            ],
+            server_cycles=SERVER_CYCLES_PER_OP,
+            concurrency=self.concurrency,
+        )
+
+    def run(self, tenants: Optional[List[int]] = None) -> MemcachedReport:
+        result = solve_workload(self.deployment, self.scenario,
+                                self.profile(), tenants=tenants)
+        return MemcachedReport(
+            aggregate_ops=result.aggregate_rate,
+            per_tenant_ops=dict(result.rates),
+            mean_response_time=result.mean_response_time,
+            result=result,
+        )

@@ -1,0 +1,252 @@
+"""The composite TCP transaction solver.
+
+A *transaction* is the workload's unit of progress: one bulk-data
+segment (iperf), one HTTP request (Apache/ApacheBench) or one set/get
+operation (Memcached/memslap).  Each transaction costs a mix of packets
+in each direction (:class:`PacketPhase`) plus server CPU inside the
+tenant VM; every packet drags the full per-packet footprint of the
+deployment's dataplane path (vswitch passes, NIC hairpins, PCIe, link
+bits) derived by :mod:`repro.perfmodel.paths`.
+
+Solving the resulting max-min program yields the per-tenant transaction
+rate; response times follow the closed-loop law the benchmarking tools
+impose: with ``C`` concurrent outstanding requests per tenant,
+
+    rate = min(capacity, C / (RTT + server_time))
+    response_time = C / rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.deployment import Deployment
+from repro.core.spec import TrafficScenario
+from repro.perfmodel.capacity import FlowPath, Resource, solve
+from repro.perfmodel.latency import estimate_oneway_latency
+from repro.perfmodel.paths import ResourceRegistry, build_flow_paths
+
+
+@dataclass(frozen=True)
+class PacketPhase:
+    """One packet-mix component of a transaction."""
+
+    frame_bytes: int
+    count: float            # packets per transaction
+    reverse: bool = False   # True: DUT -> load generator direction
+
+    def __post_init__(self) -> None:
+        if self.frame_bytes < 64:
+            raise ValueError("frames are at least 64 B on Ethernet")
+        if self.count < 0:
+            raise ValueError("negative packet count")
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """A workload's per-transaction footprint."""
+
+    name: str
+    phases: List[PacketPhase]
+    server_cycles: float = 0.0
+    #: Outstanding transactions per tenant (the tool's concurrency).
+    concurrency: int = 1
+
+    def forward_bytes(self) -> float:
+        return sum(p.frame_bytes * p.count for p in self.phases
+                   if not p.reverse)
+
+    def reverse_bytes(self) -> float:
+        return sum(p.frame_bytes * p.count for p in self.phases if p.reverse)
+
+
+@dataclass
+class WorkloadResult:
+    """Per-tenant transaction rates and response times."""
+
+    profile_name: str
+    rates: Dict[int, float]               # tenant -> transactions/s
+    response_times: Dict[int, float]      # tenant -> seconds
+    bottleneck_of: Dict[str, str]
+    base_rtt: float
+
+    @property
+    def aggregate_rate(self) -> float:
+        return sum(self.rates.values())
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return sum(self.response_times.values()) / len(self.response_times)
+
+
+def solve_workload(
+    deployment: Deployment,
+    scenario: TrafficScenario,
+    profile: TransactionProfile,
+    tenants: Optional[List[int]] = None,
+) -> WorkloadResult:
+    """Solve the transaction-rate program for ``profile``.
+
+    ``tenants`` restricts which tenants run servers (the paper's v2v
+    workload runs only two client-server pairs; the other tenants
+    forward).  Defaults to all tenants for p2v, every second tenant for
+    v2v.
+    """
+    spec = deployment.spec
+    if tenants is None:
+        if scenario is TrafficScenario.V2V:
+            tenants = list(range(0, spec.num_tenants, 2))
+        else:
+            tenants = list(range(spec.num_tenants))
+
+    registry = ResourceRegistry()
+    # Build per-phase path sets against the shared registry, then merge
+    # each tenant's demands into one transaction-level FlowPath.
+    merged: Dict[int, Dict[Resource, float]] = {t: {} for t in tenants}
+    for i, phase in enumerate(profile.phases):
+        phase_paths = build_flow_paths(
+            deployment, scenario,
+            frame_bytes=phase.frame_bytes,
+            registry=registry,
+            reverse=phase.reverse,
+            name_suffix=f".phase{i}",
+        )
+        for t in tenants:
+            for demand in phase_paths[t].demands:
+                merged[t][demand.resource] = (
+                    merged[t].get(demand.resource, 0.0)
+                    + demand.units_per_packet * phase.count
+                )
+
+    # Server CPU per transaction, charged to the serving tenant's cores.
+    cal = deployment.calibration
+    for t in tenants:
+        server_pool = registry.get(f"cpu.tenant{t}",
+                                   spec.tenant_cores * cal.cpu_freq_hz)
+        merged[t][server_pool] = (
+            merged[t].get(server_pool, 0.0) + profile.server_cycles
+        )
+
+    # Closed-loop offered-rate cap: C outstanding per tenant against the
+    # unloaded round trip + server time.
+    rtt = _base_rtt(deployment, scenario, profile)
+    server_time = profile.server_cycles / cal.cpu_freq_hz
+    think_bound = profile.concurrency / max(rtt + server_time, 1e-9)
+
+    paths = []
+    for t in tenants:
+        path = FlowPath(name=f"txn-t{t}", offered_pps=think_bound)
+        for resource, units in merged[t].items():
+            path.add(resource, units)
+        paths.append(path)
+    result = solve(paths)
+
+    rates = {t: result.rates_pps[f"txn-t{t}"] for t in tenants}
+    response_times = {
+        t: (profile.concurrency / rates[t] if rates[t] > 0 else math.inf)
+        for t in tenants
+    }
+    return WorkloadResult(
+        profile_name=profile.name,
+        rates=rates,
+        response_times=response_times,
+        bottleneck_of=result.bottleneck_of,
+        base_rtt=rtt,
+    )
+
+
+def solve_mixed_workloads(
+    deployment: Deployment,
+    scenario: TrafficScenario,
+    profiles: Dict[int, TransactionProfile],
+) -> Dict[int, WorkloadResult]:
+    """Heterogeneous tenants: each runs its *own* workload against the
+    same shared pools (the realistic cloud mix the paper's intro
+    motivates -- webservers next to key-value stores next to bulk
+    transfers).
+
+    Fairness unit: cycle shares, not transaction rates.  Tenants
+    sharing a compartment get equal slices of its core (the round-robin
+    per-ring service the datapath actually implements), so a cheap-
+    transaction workload runs more transactions in its slice rather
+    than starving a neighbor.  Returns a per-tenant result (query each
+    tenant's own entry).
+    """
+    spec = deployment.spec
+    registry = ResourceRegistry()
+    cal = deployment.calibration
+
+    paths: List[FlowPath] = []
+    meta: Dict[int, Tuple[TransactionProfile, float]] = {}
+    for tenant, profile in sorted(profiles.items()):
+        merged: Dict[Resource, float] = {}
+        for i, phase in enumerate(profile.phases):
+            phase_paths = build_flow_paths(
+                deployment, scenario,
+                frame_bytes=phase.frame_bytes,
+                registry=registry,
+                reverse=phase.reverse,
+                name_suffix=f".t{tenant}.phase{i}",
+            )
+            for demand in phase_paths[tenant].demands:
+                merged[demand.resource] = (
+                    merged.get(demand.resource, 0.0)
+                    + demand.units_per_packet * phase.count)
+        server_pool = registry.get(f"cpu.tenant{tenant}",
+                                   spec.tenant_cores * cal.cpu_freq_hz)
+        merged[server_pool] = (merged.get(server_pool, 0.0)
+                               + profile.server_cycles)
+
+        rtt = _base_rtt(deployment, scenario, profile)
+        server_time = profile.server_cycles / cal.cpu_freq_hz
+        think_bound = profile.concurrency / max(rtt + server_time, 1e-9)
+        meta[tenant] = (profile, rtt)
+
+        # Equal-cycle-share fairness: rate x cost must equalize, so the
+        # fill weight is the *inverse* of the transaction's cycle
+        # demand on its own compartment (rate = weight x level).
+        compartment = deployment.compartment_of_tenant(tenant)
+        bridge_pool_name = f"cpu.{deployment.bridges[compartment].name}"
+        weight = 1.0
+        for resource, units in merged.items():
+            if resource.name == bridge_pool_name and units > 0:
+                weight = 1.0 / units
+                break
+        path = FlowPath(name=f"txn-t{tenant}", offered_pps=think_bound,
+                        weight=weight)
+        for resource, units in merged.items():
+            path.add(resource, units)
+        paths.append(path)
+
+    solved = solve(paths)
+    results: Dict[int, WorkloadResult] = {}
+    for tenant, (profile, rtt) in meta.items():
+        rate = solved.rates_pps[f"txn-t{tenant}"]
+        results[tenant] = WorkloadResult(
+            profile_name=profile.name,
+            rates={tenant: rate},
+            response_times={
+                tenant: (profile.concurrency / rate if rate > 0
+                         else math.inf)},
+            bottleneck_of=solved.bottleneck_of,
+            base_rtt=rtt,
+        )
+    return results
+
+
+def _base_rtt(deployment: Deployment, scenario: TrafficScenario,
+              profile: TransactionProfile) -> float:
+    """Unloaded round trip, weighted by the transaction's frame sizes."""
+    fwd_frames = sum(p.count for p in profile.phases if not p.reverse)
+    rev_frames = sum(p.count for p in profile.phases if p.reverse)
+    fwd_size = int(profile.forward_bytes() / fwd_frames) if fwd_frames else 64
+    rev_size = int(profile.reverse_bytes() / rev_frames) if rev_frames else 64
+    fwd = estimate_oneway_latency(deployment, scenario,
+                                  max(64, fwd_size))
+    rev = estimate_oneway_latency(deployment, scenario,
+                                  max(64, rev_size))
+    return fwd + rev

@@ -1,0 +1,61 @@
+"""Shared fixtures: specs and deployments for every security level."""
+
+import pytest
+
+from repro.core import (
+    DeploymentSpec,
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+
+
+def make_spec(level=SecurityLevel.LEVEL_1, vms=1, mode=ResourceMode.SHARED,
+              user_space=False, baseline_cores=1, nic_ports=2, tenants=4,
+              **kwargs):
+    return DeploymentSpec(
+        level=level,
+        num_tenants=tenants,
+        num_vswitch_vms=vms,
+        resource_mode=mode,
+        user_space=user_space,
+        baseline_cores=baseline_cores,
+        nic_ports=nic_ports,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def baseline_spec():
+    return make_spec(level=SecurityLevel.BASELINE)
+
+
+@pytest.fixture
+def l1_spec():
+    return make_spec(level=SecurityLevel.LEVEL_1)
+
+
+@pytest.fixture
+def l2_spec():
+    return make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+
+
+@pytest.fixture
+def l2_per_tenant_spec():
+    return make_spec(level=SecurityLevel.LEVEL_2, vms=4)
+
+
+@pytest.fixture
+def baseline_deployment(baseline_spec):
+    return build_deployment(baseline_spec, TrafficScenario.P2V)
+
+
+@pytest.fixture
+def l1_deployment(l1_spec):
+    return build_deployment(l1_spec, TrafficScenario.P2V)
+
+
+@pytest.fixture
+def l2_deployment(l2_spec):
+    return build_deployment(l2_spec, TrafficScenario.P2V)

@@ -1,0 +1,123 @@
+"""MAC/IPv4 addresses and allocators, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.net import BROADCAST_MAC, IPv4Address, IpAllocator, MacAddress, MacAllocator
+
+
+class TestMacAddress:
+    def test_parse_and_str_roundtrip(self):
+        mac = MacAddress.parse("02:4d:54:00:00:2a")
+        assert str(mac) == "02:4d:54:00:00:2a"
+        assert mac.value == 0x024D5400002A
+
+    def test_parse_uppercase(self):
+        assert MacAddress.parse("AA:BB:CC:DD:EE:FF").value == 0xAABBCCDDEEFF
+
+    @pytest.mark.parametrize("bad", ["", "aa:bb", "aa:bb:cc:dd:ee:gg",
+                                     "aa:bb:cc:dd:ee:ff:00", "aabbccddeeff"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            MacAddress.parse(bad)
+
+    def test_broadcast_properties(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert BROADCAST_MAC.is_multicast
+
+    def test_multicast_bit(self):
+        assert MacAddress.parse("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress.parse("02:00:00:00:00:01").is_multicast
+
+    def test_locally_administered_bit(self):
+        assert MacAddress.parse("02:00:00:00:00:01").is_locally_administered
+        assert not MacAddress.parse("00:1b:21:00:00:01").is_locally_administered
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            MacAddress(1 << 48)
+
+    def test_hashable_and_ordered(self):
+        a, b = MacAddress(1), MacAddress(2)
+        assert a < b
+        assert len({a, b, MacAddress(1)}) == 2
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_str_parse_roundtrip_property(self, value):
+        mac = MacAddress(value)
+        assert MacAddress.parse(str(mac)) == mac
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        ip = IPv4Address.parse("10.0.3.10")
+        assert str(ip) == "10.0.3.10"
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1",
+                                     "a.b.c.d", "-1.0.0.0"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(bad)
+
+    def test_in_subnet(self):
+        ip = IPv4Address.parse("192.168.1.10")
+        net = IPv4Address.parse("192.168.0.0")
+        assert ip.in_subnet(net, 16)
+        assert not ip.in_subnet(net, 24)
+
+    def test_in_subnet_prefix_zero_matches_everything(self):
+        assert IPv4Address.parse("8.8.8.8").in_subnet(
+            IPv4Address.parse("10.0.0.0"), 0)
+
+    def test_in_subnet_prefix_32_is_exact(self):
+        ip = IPv4Address.parse("10.0.0.1")
+        assert ip.in_subnet(ip, 32)
+        assert not ip.in_subnet(IPv4Address.parse("10.0.0.2"), 32)
+
+    def test_offset(self):
+        assert str(IPv4Address.parse("10.0.0.1").offset(9)) == "10.0.0.10"
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_str_parse_roundtrip_property(self, value):
+        ip = IPv4Address(value)
+        assert IPv4Address.parse(str(ip)) == ip
+
+
+class TestMacAllocator:
+    def test_allocates_unique_unicast_local_macs(self):
+        alloc = MacAllocator()
+        macs = [alloc.allocate() for _ in range(100)]
+        assert len(set(macs)) == 100
+        for mac in macs:
+            assert mac.is_locally_administered
+            assert not mac.is_multicast
+
+    def test_rejects_multicast_prefix(self):
+        with pytest.raises(AddressError):
+            MacAllocator(prefix=0x01_00_00)
+
+
+class TestIpAllocator:
+    def test_skips_network_and_broadcast(self):
+        alloc = IpAllocator("10.0.0.0", 30)
+        first = alloc.allocate()
+        second = alloc.allocate()
+        assert str(first) == "10.0.0.1"
+        assert str(second) == "10.0.0.2"
+        with pytest.raises(AddressError):
+            alloc.allocate()
+
+    def test_hosts_iteration(self):
+        alloc = IpAllocator("10.1.0.0", 30)
+        assert [str(h) for h in alloc.hosts()] == ["10.1.0.1", "10.1.0.2"]
+
+    def test_rejects_unusable_prefix(self):
+        with pytest.raises(AddressError):
+            IpAllocator("10.0.0.0", 31)
+
+    def test_allocated_addresses_stay_in_subnet(self):
+        alloc = IpAllocator("172.16.4.0", 24)
+        net = IPv4Address.parse("172.16.4.0")
+        for _ in range(50):
+            assert alloc.allocate().in_subnet(net, 24)

@@ -1,0 +1,62 @@
+"""ARP tables and the proxy-ARP responder."""
+
+from repro.net import ArpTable, IPv4Address, MacAddress, ProxyArpResponder
+
+GW_IP = IPv4Address.parse("10.0.0.1")
+GW_MAC = MacAddress.parse("02:4d:54:00:00:01")
+ROGUE_MAC = MacAddress.parse("02:66:66:66:66:66")
+
+
+class TestArpTable:
+    def test_static_entry_lookup(self):
+        table = ArpTable()
+        table.add_static(GW_IP, GW_MAC)
+        assert table.lookup(GW_IP) == GW_MAC
+        assert table.is_static(GW_IP)
+
+    def test_static_entry_survives_poisoning_attempt(self):
+        """The MTS defence: a gratuitous-ARP attack cannot displace the
+        operator-injected gateway binding."""
+        table = ArpTable()
+        table.add_static(GW_IP, GW_MAC)
+        assert not table.learn(GW_IP, ROGUE_MAC)
+        assert table.lookup(GW_IP) == GW_MAC
+
+    def test_dynamic_learning_and_update(self):
+        table = ArpTable()
+        ip = IPv4Address.parse("10.0.0.9")
+        assert table.learn(ip, ROGUE_MAC)
+        assert table.learn(ip, GW_MAC)
+        assert table.lookup(ip) == GW_MAC
+        assert not table.is_static(ip)
+
+    def test_flush_dynamic_keeps_static(self):
+        table = ArpTable()
+        table.add_static(GW_IP, GW_MAC)
+        table.learn(IPv4Address.parse("10.0.0.5"), ROGUE_MAC)
+        assert table.flush_dynamic() == 1
+        assert GW_IP in table
+        assert len(table) == 1
+
+    def test_lookup_miss_returns_none(self):
+        assert ArpTable().lookup(GW_IP) is None
+
+
+class TestProxyArp:
+    def test_answers_installed_binding(self):
+        responder = ProxyArpResponder()
+        responder.install(GW_IP, GW_MAC)
+        assert responder.respond(GW_IP) == GW_MAC
+        assert responder.answered == 1
+
+    def test_counts_misses(self):
+        responder = ProxyArpResponder()
+        assert responder.respond(GW_IP) is None
+        assert responder.missed == 1
+
+    def test_withdraw(self):
+        responder = ProxyArpResponder()
+        responder.install(GW_IP, GW_MAC)
+        responder.withdraw(GW_IP)
+        assert responder.respond(GW_IP) is None
+        assert len(responder) == 0

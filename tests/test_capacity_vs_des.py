@@ -1,0 +1,88 @@
+"""Cross-validation: the analytic capacity model against the DES.
+
+The two performance views share constants but not code paths; these
+tests keep them honest against each other:
+
+- below capacity, the DES delivers exactly the offered load;
+- above capacity, the DES's delivered rate converges on the capacity
+  model's prediction;
+- the DES's unloaded median latency agrees with the analytic per-hop
+  estimate within jitter tolerance.
+"""
+
+import pytest
+
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario, build_deployment
+from repro.perfmodel.latency import estimate_oneway_latency
+from repro.perfmodel.paths import throughput
+from repro.traffic import TestbedHarness
+from tests.conftest import make_spec
+
+
+class TestThroughputAgreement:
+    @pytest.mark.parametrize("level,vms", [
+        (SecurityLevel.LEVEL_1, 1),
+        (SecurityLevel.BASELINE, 1),
+    ])
+    def test_no_loss_below_predicted_capacity(self, level, vms):
+        spec = make_spec(level=level, vms=vms)
+        scenario = TrafficScenario.P2V
+        d = build_deployment(spec, scenario)
+        capacity = throughput(d, scenario).aggregate_pps
+        d2 = build_deployment(spec, scenario)
+        h = TestbedHarness(d2)
+        h.configure_tenant_flows(rate_per_flow_pps=0.5 * capacity / 4)
+        result = h.run(duration=0.05)
+        assert result.loss_fraction < 0.01
+
+    def test_des_saturates_at_predicted_capacity(self):
+        """Offer 2x the predicted capacity: delivery lands within 20%
+        of the prediction (queueing noise allowed)."""
+        spec = make_spec(level=SecurityLevel.LEVEL_1)
+        scenario = TrafficScenario.P2V
+        d = build_deployment(spec, scenario)
+        predicted = throughput(d, scenario).aggregate_pps
+
+        d2 = build_deployment(spec, scenario)
+        h = TestbedHarness(d2)
+        h.configure_tenant_flows(rate_per_flow_pps=2 * predicted / 4)
+        result = h.run(duration=0.08, warmup=0.03)
+        assert result.delivered_pps == pytest.approx(predicted, rel=0.2)
+        assert result.loss_fraction > 0.2  # overload must actually drop
+
+    def test_baseline_des_saturation(self):
+        spec = make_spec(level=SecurityLevel.BASELINE)
+        scenario = TrafficScenario.P2P
+        d = build_deployment(spec, scenario)
+        predicted = throughput(d, scenario).aggregate_pps
+        d2 = build_deployment(spec, scenario)
+        h = TestbedHarness(d2)
+        h.configure_tenant_flows(rate_per_flow_pps=2 * predicted / 4)
+        result = h.run(duration=0.04, warmup=0.015)
+        assert result.delivered_pps == pytest.approx(predicted, rel=0.2)
+
+
+class TestLatencyAgreement:
+    @pytest.mark.parametrize("level,vms,us,mode,scenario", [
+        (SecurityLevel.BASELINE, 1, False, ResourceMode.SHARED,
+         TrafficScenario.P2P),
+        (SecurityLevel.BASELINE, 1, False, ResourceMode.SHARED,
+         TrafficScenario.P2V),
+        (SecurityLevel.LEVEL_1, 1, False, ResourceMode.ISOLATED,
+         TrafficScenario.P2V),
+        (SecurityLevel.LEVEL_2, 2, False, ResourceMode.ISOLATED,
+         TrafficScenario.V2V),
+        (SecurityLevel.LEVEL_1, 1, True, ResourceMode.ISOLATED,
+         TrafficScenario.P2V),
+    ])
+    def test_analytic_matches_des_mean(self, level, vms, us, mode, scenario):
+        spec = make_spec(level=level, vms=vms, user_space=us, mode=mode)
+        d = build_deployment(spec, scenario)
+        analytic = estimate_oneway_latency(d, scenario)
+
+        d2 = build_deployment(spec, scenario, seed=3)
+        h = TestbedHarness(d2)
+        h.configure_tenant_flows(rate_per_flow_pps=2500)
+        result = h.run(duration=0.1, warmup=0.02)
+        measured = sum(result.latencies) / len(result.latencies)
+        assert measured == pytest.approx(analytic, rel=0.25)

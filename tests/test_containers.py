@@ -1,0 +1,92 @@
+"""Container compartments (§3.1 menu / §6 scaling discussion)."""
+
+import pytest
+
+from repro.core import (
+    DeploymentSpec,
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+from repro.core.spec import CompartmentKind
+from repro.core.vf_allocation import max_tenants
+from repro.security import assess_compromise, component_graph
+from repro.security.components import Boundary
+from repro.traffic import TestbedHarness
+from repro.units import GIB, MIB
+
+
+def spec(vms=4, kind=CompartmentKind.CONTAINER, **kwargs):
+    return DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=vms,
+                          compartment_kind=kind, **kwargs)
+
+
+class TestContainerResources:
+    def test_containers_use_a_fraction_of_the_memory(self):
+        vm_d = build_deployment(spec(kind=CompartmentKind.VM),
+                                TrafficScenario.P2V)
+        ct_d = build_deployment(spec(kind=CompartmentKind.CONTAINER),
+                                TrafficScenario.P2V)
+        vm_mem = sum(v.memory.ram_bytes for v in vm_d.vswitch_vms)
+        ct_mem = sum(v.memory.ram_bytes for v in ct_d.vswitch_vms)
+        assert vm_mem == 16 * GIB
+        assert ct_mem == 4 * 512 * MIB
+
+    def test_kernel_containers_need_no_hugepages(self):
+        d = build_deployment(spec(), TrafficScenario.P2V)
+        assert all(v.memory.hugepages_1g == 0 for v in d.vswitch_vms)
+
+    def test_dpdk_containers_keep_a_hugepage(self):
+        d = build_deployment(spec(user_space=True,
+                                  resource_mode=ResourceMode.ISOLATED),
+                             TrafficScenario.P2V)
+        assert all(v.memory.hugepages_1g == 1 for v in d.vswitch_vms)
+
+    def test_containers_forward_identically(self):
+        d = build_deployment(spec(), TrafficScenario.P2V)
+        h = TestbedHarness(d)
+        h.configure_tenant_flows(rate_per_flow_pps=1000)
+        result = h.run(duration=0.02)
+        assert result.delivered == result.sent
+
+
+class TestContainerSecurity:
+    def test_container_boundary_still_counts_once(self):
+        """Two mechanisms must still fail (vswitch compromise + a
+        namespace escape), so the extra-layer rule holds..."""
+        d = build_deployment(spec(), TrafficScenario.P2V)
+        assessment = assess_compromise(d)
+        assert assessment.exploits_to_host == 2
+        assert assessment.meets_extra_layer_rule
+
+    def test_but_the_boundary_kind_is_weaker(self):
+        """...although the graph records it as kernel-enforced container
+        isolation rather than a hypervisor boundary."""
+        d = build_deployment(spec(), TrafficScenario.P2V)
+        graph = component_graph(d)
+        boundaries = {ch.boundary for ch in graph.channels()}
+        assert Boundary.CONTAINER_ISOLATION in boundaries
+        assert Boundary.VM_ISOLATION not in boundaries
+
+    def test_vm_deployment_uses_vm_boundary(self):
+        d = build_deployment(spec(kind=CompartmentKind.VM),
+                             TrafficScenario.P2V)
+        boundaries = {ch.boundary for ch in component_graph(d).channels()}
+        assert Boundary.VM_ISOLATION in boundaries
+
+
+class TestContainerScalingCeiling:
+    def test_vf_ceiling_binds_before_memory(self):
+        """§6: "SR-IOV NICs have limited VFs and MAC addresses which
+        could limit the scaling properties of MTS, e.g., when using
+        containers as compartments."  Memory would admit >100 container
+        compartments; the 64-VF budget caps per-tenant Level-2 at 21
+        tenants."""
+        memory_per_container = 512 * MIB
+        containers_by_memory = (64 * GIB) // memory_per_container
+        tenants_by_vfs = max_tenants(SecurityLevel.LEVEL_2, nic_ports=1,
+                                     per_tenant_vswitch=True)
+        assert containers_by_memory > 100
+        assert tenants_by_vfs == 21
+        assert tenants_by_vfs < containers_by_memory

@@ -1,0 +1,111 @@
+"""Controller internals: rule structure, priorities, address plan."""
+
+import pytest
+
+from repro.core import SecurityLevel, TrafficScenario, build_deployment
+from repro.core.controller import (
+    AddressPlan,
+    PRIO_EGRESS,
+    PRIO_INGRESS,
+    PRIO_V2V,
+)
+from repro.net import MacAddress
+from repro.vswitch.actions import ActionType
+from tests.conftest import make_spec
+
+
+class TestAddressPlan:
+    def _plan(self, site=0):
+        return AddressPlan(external_gw_mac=MacAddress(1), site_id=site)
+
+    def test_tenant_subnets_disjoint(self):
+        plan = self._plan()
+        ips = {str(plan.tenant_ip(t)) for t in range(10)}
+        assert len(ips) == 10
+
+    def test_gateway_in_tenant_subnet(self):
+        plan = self._plan()
+        for t in range(4):
+            assert plan.tenant_gw_ip(t).in_subnet(plan.tenant_ip(t), 24)
+
+    def test_vlans_start_at_100(self):
+        plan = self._plan()
+        assert plan.vlan(0) == 100
+        assert plan.vlan(3) == 103
+
+    def test_site_offsets_subnets_and_vnis(self):
+        a, b = self._plan(0), self._plan(1)
+        assert a.tenant_ip(0) != b.tenant_ip(0)
+        assert a.vni(0) != b.vni(0)
+        assert a.vlan(0) == b.vlan(0)  # VLANs are NIC-local
+
+    def test_external_ips_outside_tenant_space(self):
+        plan = self._plan()
+        assert plan.external_ip(0).in_subnet(plan.external_subnet,
+                                             plan.external_prefix)
+
+
+class TestRuleStructure:
+    def test_priorities_ordered(self):
+        assert PRIO_V2V > PRIO_INGRESS > PRIO_EGRESS
+
+    def test_p2v_rule_shape(self):
+        d = build_deployment(make_spec(level=SecurityLevel.LEVEL_1),
+                             TrafficScenario.P2V)
+        table = d.bridges[0].table
+        ingress = [r for r in table if r.priority == PRIO_INGRESS]
+        egress = [r for r in table if r.priority == PRIO_EGRESS]
+        # 4 tenants x 2 ports each way.
+        assert len(ingress) == 8
+        assert len(egress) == 8
+        for rule in ingress:
+            kinds = [a.type for a in rule.actions]
+            assert kinds == [ActionType.SET_DST_MAC, ActionType.OUTPUT]
+        for rule in egress:
+            assert rule.match.in_port is not None
+            assert rule.match.dst_ip is None  # catch-all default
+
+    def test_v2v_adds_chain_rules(self):
+        d = build_deployment(make_spec(level=SecurityLevel.LEVEL_1),
+                             TrafficScenario.V2V)
+        chain = [r for r in d.bridges[0].table if r.priority == PRIO_V2V]
+        # hop-2 + hop-3 per tenant per port.
+        assert len(chain) == 4 * 2 * 2
+
+    def test_every_rule_has_an_output(self):
+        for level in (SecurityLevel.BASELINE, SecurityLevel.LEVEL_1):
+            d = build_deployment(make_spec(level=level),
+                                 TrafficScenario.V2V)
+            for bridge in d.bridges:
+                for rule in bridge.table:
+                    assert rule.has_output()
+
+    def test_all_rules_tagged_with_tenant(self):
+        d = build_deployment(make_spec(level=SecurityLevel.LEVEL_2, vms=2),
+                             TrafficScenario.P2V)
+        for bridge in d.bridges:
+            for rule in bridge.table:
+                assert rule.tenant_id is not None
+
+    def test_tunneling_changes_ingress_matches(self):
+        d = build_deployment(make_spec(level=SecurityLevel.LEVEL_1,
+                                       tunneling=True),
+                             TrafficScenario.P2V)
+        ingress = [r for r in d.bridges[0].table
+                   if r.priority == PRIO_INGRESS]
+        assert all(r.match.tunnel_id is not None for r in ingress)
+        for rule in ingress:
+            kinds = [a.type for a in rule.actions]
+            assert ActionType.POP_TUNNEL in kinds
+
+
+class TestSingleTenantProgramming:
+    def test_program_then_unprogram_roundtrip(self):
+        d = build_deployment(make_spec(level=SecurityLevel.LEVEL_1),
+                             TrafficScenario.P2V)
+        view = d.compartment_views[0]
+        before = len(view.bridge.table)
+        removed = d.controller.unprogram_tenant(view, 2)
+        assert removed == 4  # 2 ingress + 2 egress rules
+        d.controller.program_single_tenant(view, 2)
+        assert len(view.bridge.table) == before

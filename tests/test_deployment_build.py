@@ -1,0 +1,192 @@
+"""Deployment builder: structure, resources, op-log, teardown."""
+
+import pytest
+
+from repro.core import (
+    DeploymentSpec,
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+    plan_deployment,
+)
+from repro.errors import CoreExhaustedError, ValidationError
+from repro.sriov.vf import FunctionKind
+from repro.vswitch.datapath import DatapathMode
+from tests.conftest import make_spec
+
+
+class TestMtsStructure:
+    def test_l1_has_one_vswitch_vm_and_four_tenants(self, l1_deployment):
+        assert len(l1_deployment.vswitch_vms) == 1
+        assert len(l1_deployment.tenant_vms) == 4
+        assert len(l1_deployment.bridges) == 1
+
+    def test_l2_has_one_bridge_per_compartment(self, l2_deployment):
+        assert len(l2_deployment.bridges) == 2
+        assert l2_deployment.bridge_of_tenant(0) is l2_deployment.bridges[0]
+        assert l2_deployment.bridge_of_tenant(3) is l2_deployment.bridges[1]
+
+    def test_vf_roles(self, l1_deployment):
+        d = l1_deployment
+        assert all(vf.kind == FunctionKind.IN_OUT
+                   for vf in d.inout_vf.values())
+        assert all(vf.kind == FunctionKind.GATEWAY
+                   for vf in d.gw_vf.values())
+        assert all(vf.kind == FunctionKind.TENANT
+                   for vf in d.tenant_vf.values())
+
+    def test_tenant_vfs_have_spoof_check(self, l1_deployment):
+        assert all(vf.spoof_check for vf in l1_deployment.tenant_vf.values())
+
+    def test_gateway_and_tenant_share_vlan(self, l2_deployment):
+        d = l2_deployment
+        for t in range(4):
+            for p in range(2):
+                assert d.gw_vf[(t, p)].vlan == d.tenant_vf[(t, p)].vlan
+                assert d.gw_vf[(t, p)].vlan == d.plan.vlan(t)
+
+    def test_inout_vfs_untagged(self, l1_deployment):
+        assert all(vf.vlan is None for vf in l1_deployment.inout_vf.values())
+
+    def test_distinct_vlans_per_tenant(self, l1_deployment):
+        vlans = {l1_deployment.plan.vlan(t) for t in range(4)}
+        assert len(vlans) == 4
+
+    def test_nic_filters_installed(self, l1_deployment):
+        # allow + drop per tenant VF per port: 4 tenants x 2 ports x 2.
+        assert len(l1_deployment.server.nic.filters) == 16
+
+    def test_static_arp_entries(self, l1_deployment):
+        d = l1_deployment
+        for t in range(4):
+            gw_ip = d.plan.tenant_gw_ip(t)
+            assert d.tenant_arp[t].is_static(gw_ip)
+            assert d.tenant_arp[t].lookup(gw_ip) == d.gw_vf[(t, 0)].mac
+
+    def test_dpdk_mode_selects_dpdk_datapath(self):
+        spec = make_spec(user_space=True, mode=ResourceMode.ISOLATED)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        assert all(b.mode is DatapathMode.DPDK for b in d.bridges)
+
+    def test_ingress_dmac_targets_compartment_inout(self, l2_deployment):
+        d = l2_deployment
+        assert d.ingress_dmac_for_tenant(0) == d.inout_vf[(0, 0)].mac
+        assert d.ingress_dmac_for_tenant(3) == d.inout_vf[(1, 0)].mac
+
+
+class TestBaselineStructure:
+    def test_no_vswitch_vms(self, baseline_deployment):
+        assert baseline_deployment.vswitch_vms == []
+        assert baseline_deployment.server.nic.total_vfs() == 0
+
+    def test_host_bridge_with_phys_and_vhost_ports(self, baseline_deployment):
+        bridge = baseline_deployment.bridges[0]
+        names = [p.name for p in bridge.ports()]
+        assert "phys0" in names and "phys1" in names
+        assert sum(1 for n in names if n.startswith("vhost")) == 8
+
+    def test_tenants_run_linux_bridge(self, baseline_deployment):
+        for vm in baseline_deployment.tenant_vms:
+            assert "linux-bridge" in vm.apps
+
+    def test_dpdk_baseline_tenants_run_l2fwd(self):
+        spec = make_spec(level=SecurityLevel.BASELINE, user_space=True,
+                         baseline_cores=2, mode=ResourceMode.ISOLATED)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        for vm in d.tenant_vms:
+            assert "l2fwd" in vm.apps
+
+
+class TestResources:
+    def test_shared_mode_costs_one_extra_core(self):
+        """The paper's headline resource result: multiple compartments,
+        one extra core."""
+        for vms in (2, 4):
+            spec = make_spec(level=SecurityLevel.LEVEL_2, vms=vms)
+            d = build_deployment(spec, TrafficScenario.P2V)
+            assert d.resource_report().networking_cores == 2
+
+    def test_baseline_kernel_uses_only_host_core(self, baseline_deployment):
+        assert baseline_deployment.resource_report().networking_cores == 1
+
+    def test_isolated_mode_grows_linearly(self):
+        for vms in (2, 4):
+            spec = make_spec(level=SecurityLevel.LEVEL_2, vms=vms,
+                             mode=ResourceMode.ISOLATED)
+            d = build_deployment(spec, TrafficScenario.P2V)
+            assert d.resource_report().networking_cores == 1 + vms
+
+    def test_hugepages_grow_with_compartments(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=4)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        # host 1 + 4 tenants + 4 vswitch VMs
+        assert d.resource_report().total_hugepages_1g == 9
+
+    def test_each_vm_gets_4gb_and_one_hugepage(self, l1_deployment):
+        for vm in l1_deployment.tenant_vms + l1_deployment.vswitch_vms:
+            assert vm.memory.hugepages_1g == 1
+            assert vm.memory.ram_bytes == 4 * 2**30
+
+    def test_v2v_with_per_tenant_compartments_rejected(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=4)
+        with pytest.raises(ValidationError):
+            build_deployment(spec, TrafficScenario.V2V)
+
+
+class TestOpLog:
+    def test_plan_contains_expected_verbs(self, l1_spec):
+        plan = plan_deployment(l1_spec, TrafficScenario.P2V)
+        verbs = plan.verbs()
+        for verb in ("define-vm", "create-vf", "add-port", "install-app",
+                     "install-filters", "program-flows"):
+            assert verb in verbs
+
+    def test_vf_ops_match_nic_state(self, l1_spec):
+        d = build_deployment(l1_spec, TrafficScenario.P2V)
+        assert len(d.oplog.with_verb("create-vf")) == d.server.nic.total_vfs()
+
+    def test_dump_and_summary_render(self, l1_deployment):
+        assert "create-vf" in l1_deployment.oplog.summary()
+        assert "define-vm" in l1_deployment.oplog.dump()
+
+
+class TestTeardown:
+    def test_teardown_releases_everything(self, l2_deployment):
+        d = l2_deployment
+        d.teardown()
+        assert d.server.vms == {}
+        assert d.server.nic.total_vfs() == 0
+        # Only the host allocation remains.
+        assert d.server.memory.allocated_hugepages() == 1
+        assert d.server.cores.available() == d.server.cores.num_cores - 1
+
+    def test_rebuild_after_teardown(self, l2_spec):
+        d = build_deployment(l2_spec, TrafficScenario.P2V)
+        server = d.server
+        d.teardown()
+        rebuilt = build_deployment(l2_spec, TrafficScenario.P2V,
+                                   sim=d.sim, server=server)
+        assert len(rebuilt.vswitch_vms) == 2
+
+    def test_baseline_teardown_releases_ovs_cores(self):
+        spec = make_spec(level=SecurityLevel.BASELINE, baseline_cores=4,
+                         mode=ResourceMode.ISOLATED)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        free_before = d.server.cores.available()
+        d.teardown()
+        # 3 dedicated OVS cores (pmd0 shares the host core) + 8 tenant
+        # cores come back.
+        assert d.server.cores.available() == free_before + 3 + 8
+
+
+class TestExhaustion:
+    def test_core_exhaustion_surfaces(self):
+        """More compartments than cores fail loudly (the paper hit this
+        wall with 4 vswitch VMs in v2v)."""
+        spec = DeploymentSpec(
+            level=SecurityLevel.LEVEL_2, num_tenants=8, num_vswitch_vms=8,
+            resource_mode=ResourceMode.ISOLATED,
+        )
+        with pytest.raises(CoreExhaustedError):
+            build_deployment(spec, TrafficScenario.P2V)

@@ -1,0 +1,129 @@
+"""Property-based deployment invariants.
+
+Hypothesis generates random (valid) deployment specs; every built
+deployment must satisfy the structural invariants the design promises,
+and every tenant must actually be reachable through the dataplane.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    DeploymentSpec,
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+from repro.core.spec import CompartmentKind
+from repro.core.vf_allocation import vf_budget_for_spec
+from repro.net import Frame, MacAddress
+from repro.traffic import TestbedHarness
+
+LG_MAC = MacAddress.parse("02:1b:00:00:00:01")
+
+
+@st.composite
+def specs(draw):
+    level = draw(st.sampled_from([SecurityLevel.BASELINE,
+                                  SecurityLevel.LEVEL_1,
+                                  SecurityLevel.LEVEL_2]))
+    tenants = draw(st.integers(min_value=1, max_value=5))
+    if level is SecurityLevel.LEVEL_2:
+        if tenants < 2:
+            level = SecurityLevel.LEVEL_1
+            vms = 1
+        else:
+            vms = draw(st.integers(min_value=2, max_value=tenants))
+    else:
+        vms = 1
+    user_space = draw(st.booleans())
+    mode = (ResourceMode.ISOLATED if user_space
+            else draw(st.sampled_from([ResourceMode.SHARED,
+                                       ResourceMode.ISOLATED])))
+    kind = draw(st.sampled_from(list(CompartmentKind)))
+    return DeploymentSpec(
+        level=level,
+        num_tenants=tenants,
+        num_vswitch_vms=vms,
+        resource_mode=mode,
+        user_space=user_space,
+        baseline_cores=draw(st.integers(min_value=1, max_value=2)),
+        nic_ports=draw(st.sampled_from([1, 2])),
+        tunneling=draw(st.booleans()),
+        compartment_kind=kind,
+    )
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs())
+    def test_build_satisfies_invariants(self, spec):
+        d = build_deployment(spec, TrafficScenario.P2V)
+
+        # VF budget formula == NIC reality.
+        assert d.server.nic.total_vfs() == vf_budget_for_spec(spec).total
+
+        # Every tenant VM exists with the spec'd cores.
+        assert len(d.tenant_vms) == spec.num_tenants
+        for vm in d.tenant_vms:
+            assert vm.num_cores() == spec.tenant_cores
+
+        if spec.level.is_mts:
+            # Every tenant has exactly one compartment, and the union of
+            # compartments covers all tenants exactly once.
+            seen = []
+            for k in range(spec.num_compartments):
+                seen.extend(spec.tenants_of_compartment(k))
+            assert sorted(seen) == list(range(spec.num_tenants))
+            # Tenant VFs are spoof-checked and VLAN-matched to their
+            # gateways.
+            for t in range(spec.num_tenants):
+                for p in range(spec.nic_ports):
+                    assert d.tenant_vf[(t, p)].spoof_check
+                    assert (d.tenant_vf[(t, p)].vlan
+                            == d.gw_vf[(t, p)].vlan)
+            # No cross-tenant flow-rule conflicts anywhere.
+            for bridge in d.bridges:
+                assert bridge.table.check_conflicts() == []
+
+        # Resource accounting is self-consistent.
+        report = d.resource_report()
+        assert report.networking_cores >= 1
+        assert report.total_hugepages_1g >= 1
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs())
+    def test_every_tenant_reachable(self, spec):
+        """One frame per tenant traverses the full dataplane."""
+        d = build_deployment(spec, TrafficScenario.P2V)
+        h = TestbedHarness(d)
+        for t in range(spec.num_tenants):
+            size = 114 if spec.tunneling else 64
+            frame = Frame(
+                src_mac=LG_MAC,
+                dst_mac=d.ingress_dmac_for_tenant(t, 0),
+                src_ip=d.plan.external_ip(0),
+                dst_ip=d.plan.tenant_ip(t),
+                flow_id=t,
+                size_bytes=size,
+                tunnel_id=d.plan.vni(t) if spec.tunneling else None,
+            )
+            d.external_ingress(0).receive(frame)
+        d.sim.run(until=d.sim.now + 1.0)
+        assert h.sink.total == spec.num_tenants
+        for t in range(spec.num_tenants):
+            assert h.sink.per_flow[t] == 1
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs())
+    def test_teardown_restores_server(self, spec):
+        d = build_deployment(spec, TrafficScenario.P2V)
+        d.teardown()
+        assert d.server.vms == {}
+        assert d.server.nic.total_vfs() == 0
+        assert d.server.memory.allocated_hugepages() == 1
+        assert d.server.cores.available() == d.server.cores.num_cores - 1

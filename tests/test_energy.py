@@ -1,0 +1,94 @@
+"""The energy model: §4.3's "expensive (physical CPU and energy costs)"."""
+
+import pytest
+
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario, build_deployment
+from repro.perfmodel.energy import EnergyReport, PowerModel, energy_report
+from repro.units import KPPS
+from tests.conftest import make_spec
+
+P2V = TrafficScenario.P2V
+LOAD = 100 * KPPS  # a modest common load every config sustains
+
+
+def report(level, vms=1, us=False, bc=1, mode=ResourceMode.SHARED,
+           load=LOAD):
+    spec = make_spec(level=level, vms=vms, user_space=us, baseline_cores=bc,
+                     mode=mode)
+    d = build_deployment(spec, P2V)
+    return energy_report(d, P2V, offered_pps=load)
+
+
+class TestPowerModel:
+    def test_idle_and_peak(self):
+        model = PowerModel()
+        assert model.core_watts(0.0) == 4.0
+        assert model.core_watts(1.0) == 15.0
+        assert model.core_watts(0.5) == 9.5
+
+    def test_utilization_range_enforced(self):
+        with pytest.raises(ValueError):
+            PowerModel().core_watts(1.5)
+
+
+class TestEnergyClaims:
+    def test_dpdk_burns_more_power_at_the_same_load(self):
+        """The paper's headline energy claim: busy-polling draws peak
+        power regardless of offered load."""
+        kernel = report(SecurityLevel.LEVEL_2, vms=2,
+                        mode=ResourceMode.ISOLATED)
+        dpdk = report(SecurityLevel.LEVEL_2, vms=2, us=True,
+                      mode=ResourceMode.ISOLATED)
+        assert dpdk.networking_watts > 1.4 * kernel.networking_watts
+
+    def test_dpdk_power_is_load_independent(self):
+        light = report(SecurityLevel.LEVEL_1, us=True,
+                       mode=ResourceMode.ISOLATED, load=10 * KPPS)
+        heavy = report(SecurityLevel.LEVEL_1, us=True,
+                       mode=ResourceMode.ISOLATED, load=1000 * KPPS)
+        assert light.networking_watts == pytest.approx(heavy.networking_watts)
+
+    def test_kernel_power_scales_with_load(self):
+        light = report(SecurityLevel.LEVEL_1, load=10 * KPPS)
+        heavy = report(SecurityLevel.LEVEL_1, load=400 * KPPS)
+        assert heavy.networking_watts > light.networking_watts
+
+    def test_shared_mode_is_the_energy_sweet_spot(self):
+        """Four compartments on one shared core draw barely more than
+        the Baseline -- the energy angle of "biting the bullet for
+        shared resources"."""
+        base = report(SecurityLevel.BASELINE)
+        shared = report(SecurityLevel.LEVEL_2, vms=4)
+        isolated = report(SecurityLevel.LEVEL_2, vms=4,
+                          mode=ResourceMode.ISOLATED)
+        assert shared.networking_watts < isolated.networking_watts
+        assert shared.networking_watts < base.networking_watts + 12.0
+
+    def test_shared_compartments_stack_on_one_core(self):
+        r = report(SecurityLevel.LEVEL_2, vms=4)
+        assert r.networking_cores == 2  # host + the shared core
+
+    def test_isolated_counts_each_compartment_core(self):
+        r = report(SecurityLevel.LEVEL_2, vms=4, mode=ResourceMode.ISOLATED)
+        assert r.networking_cores == 5
+
+    def test_baseline_kernel_runs_on_the_host_core(self):
+        r = report(SecurityLevel.BASELINE)
+        assert r.networking_cores == 1
+        # The host core is actually loaded by forwarding work.
+        assert max(r.core_utilization.values()) > 0.0
+
+    def test_utilization_saturates_at_one(self):
+        r = report(SecurityLevel.BASELINE, load=5000 * KPPS)
+        assert all(0 <= u <= 1 for u in r.core_utilization.values())
+
+    def test_watts_per_mpps_favors_kernel_at_low_load(self):
+        kernel = report(SecurityLevel.LEVEL_2, vms=2,
+                        mode=ResourceMode.ISOLATED, load=50 * KPPS)
+        dpdk = report(SecurityLevel.LEVEL_2, vms=2, us=True,
+                      mode=ResourceMode.ISOLATED, load=50 * KPPS)
+        assert kernel.watts_per_mpps < dpdk.watts_per_mpps
+
+    def test_report_row_renders(self):
+        row = report(SecurityLevel.LEVEL_1).row()
+        assert "W/Mpps" in row and "L1" in row

@@ -1,0 +1,58 @@
+"""Every example must run clean (protects them from rot).
+
+Marked slow-ish: each example is a full subprocess; the whole module
+adds ~20 s.  The assertions check the examples' headline output, not
+just exit codes.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "loss 0.0%" in out
+        assert "exploits needed to reach the host: 2" in out
+        assert "torn down: 0 VMs remain" in out
+
+    def test_nfv_service_chain(self):
+        out = run_example("nfv_service_chain.py")
+        assert "tenant0.l2fwd" in out
+        assert "ValidationError" in out  # the v2v/L2(4) impossibility
+
+    def test_cloud_workloads(self):
+        out = run_example("cloud_workloads.py")
+        assert "iperf" in out
+        assert "x" in out  # the speedup ratios
+
+    def test_security_audit(self):
+        out = run_example("security_audit.py")
+        assert "dropped by anti-spoofing" in out
+        assert "rejected (static entry pinned)" in out
+        assert "Google Andromeda" in out
+
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py")
+        assert "PCIe-bound" in out
+        assert "31 tenants" in out
+
+    def test_datacenter_fabric(self):
+        out = run_example("datacenter_fabric.py")
+        assert "delivered=1" in out
+        assert "downtime" in out
+        assert "exact" in out  # billing attribution

@@ -1,0 +1,75 @@
+"""Flow actions: rewrites, tunnel push/pop."""
+
+import pytest
+
+from repro.net import Frame, MacAddress
+from repro.vswitch import Drop, Normal, Output, PopTunnel, PushTunnel, SetDstMac, SetSrcMac
+from repro.vswitch.actions import TUNNEL_OVERHEAD_BYTES
+
+
+def frame(**kwargs):
+    defaults = dict(src_mac=MacAddress(1), dst_mac=MacAddress(2),
+                    size_bytes=100)
+    defaults.update(kwargs)
+    return Frame(**defaults)
+
+
+class TestMacRewrites:
+    def test_set_dst_mac(self):
+        f = frame()
+        SetDstMac(MacAddress(9)).apply(f)
+        assert f.dst_mac == MacAddress(9)
+        assert f.src_mac == MacAddress(1)
+
+    def test_set_src_mac(self):
+        f = frame()
+        SetSrcMac(MacAddress(8)).apply(f)
+        assert f.src_mac == MacAddress(8)
+
+    def test_rewrites_flag(self):
+        assert SetDstMac(MacAddress(9)).rewrites()
+        assert SetSrcMac(MacAddress(9)).rewrites()
+        assert not Output(1).rewrites()
+        assert not Drop().rewrites()
+        assert not Normal().rewrites()
+
+
+class TestTunnel:
+    def test_push_sets_vni_and_grows_frame(self):
+        f = frame()
+        PushTunnel(5001).apply(f)
+        assert f.tunnel_id == 5001
+        assert f.size_bytes == 100 + TUNNEL_OVERHEAD_BYTES
+
+    def test_pop_reverses_push(self):
+        f = frame()
+        PushTunnel(5001).apply(f)
+        PopTunnel().apply(f)
+        assert f.size_bytes == 100
+        assert f.tunnel_id is None
+        # The VNI stays visible as metadata for later tables, as the
+        # paper's decap+dst-IP tenant lookup requires.
+        assert f.decap_vni == 5001
+
+    def test_push_after_pop_is_legal(self):
+        f = frame()
+        PushTunnel(1).apply(f)
+        PopTunnel().apply(f)
+        PushTunnel(2).apply(f)
+        assert f.tunnel_id == 2
+
+    def test_double_push_rejected(self):
+        f = frame()
+        PushTunnel(1).apply(f)
+        with pytest.raises(ValueError):
+            PushTunnel(2).apply(f)
+
+    def test_pop_without_tunnel_rejected(self):
+        with pytest.raises(ValueError):
+            PopTunnel().apply(frame())
+
+    def test_pop_clamps_to_minimum_frame(self):
+        f = frame(size_bytes=64)
+        f.tunnel_id = 7
+        PopTunnel().apply(f)
+        assert f.size_bytes == 64

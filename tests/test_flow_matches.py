@@ -1,0 +1,133 @@
+"""FlowMatch semantics, including property-based overlap checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import EtherType, Frame, IPv4Address, IpProto, MacAddress
+from repro.vswitch import FlowMatch
+
+
+def frame(**kwargs):
+    defaults = dict(
+        src_mac=MacAddress(0x02), dst_mac=MacAddress(0x03),
+        src_ip=IPv4Address.parse("192.168.1.10"),
+        dst_ip=IPv4Address.parse("10.0.0.10"),
+        proto=IpProto.UDP, src_port=1234, dst_port=80,
+    )
+    defaults.update(kwargs)
+    return Frame(**defaults)
+
+
+class TestMatching:
+    def test_empty_match_is_wildcard(self):
+        assert FlowMatch().matches(frame(), in_port=7)
+
+    def test_in_port(self):
+        m = FlowMatch(in_port=1)
+        assert m.matches(frame(), 1)
+        assert not m.matches(frame(), 2)
+
+    def test_exact_dst_ip(self):
+        m = FlowMatch(dst_ip=IPv4Address.parse("10.0.0.10"))
+        assert m.matches(frame(), 1)
+        assert not m.matches(frame(dst_ip=IPv4Address.parse("10.0.0.11")), 1)
+
+    def test_dst_ip_prefix(self):
+        m = FlowMatch(dst_ip=IPv4Address.parse("10.0.0.0"), dst_ip_prefix=8)
+        assert m.matches(frame(), 1)
+        assert not m.matches(frame(dst_ip=IPv4Address.parse("11.0.0.1")), 1)
+
+    def test_dst_ip_match_requires_ip(self):
+        m = FlowMatch(dst_ip=IPv4Address.parse("10.0.0.10"))
+        assert not m.matches(frame(dst_ip=None), 1)
+
+    def test_vlan_match(self):
+        m = FlowMatch(vlan=100)
+        assert m.matches(frame(vlan=100), 1)
+        assert not m.matches(frame(), 1)
+
+    def test_tunnel_id(self):
+        m = FlowMatch(tunnel_id=5001)
+        assert m.matches(frame(tunnel_id=5001), 1)
+        assert not m.matches(frame(), 1)
+
+    def test_l4_ports(self):
+        m = FlowMatch(proto=IpProto.UDP, dst_port=80)
+        assert m.matches(frame(), 1)
+        assert not m.matches(frame(dst_port=443), 1)
+
+    def test_macs_and_ethertype(self):
+        m = FlowMatch(src_mac=MacAddress(0x02), dst_mac=MacAddress(0x03),
+                      ethertype=EtherType.IPV4)
+        assert m.matches(frame(), 1)
+        assert not m.matches(frame(src_mac=MacAddress(0x09)), 1)
+
+    def test_conjunction(self):
+        m = FlowMatch(in_port=1, dst_ip=IPv4Address.parse("10.0.0.10"))
+        assert m.matches(frame(), 1)
+        assert not m.matches(frame(), 2)
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            FlowMatch(dst_ip_prefix=33)
+
+
+class TestSpecificity:
+    def test_counts_constrained_fields(self):
+        assert FlowMatch().specificity() == 0
+        assert FlowMatch(in_port=1, vlan=2).specificity() == 2
+
+
+class TestOverlap:
+    def test_disjoint_in_port(self):
+        assert not FlowMatch(in_port=1).overlaps(FlowMatch(in_port=2))
+
+    def test_wildcard_overlaps_everything(self):
+        assert FlowMatch().overlaps(FlowMatch(in_port=1, vlan=100))
+
+    def test_prefix_overlap(self):
+        a = FlowMatch(dst_ip=IPv4Address.parse("10.0.0.0"), dst_ip_prefix=8)
+        b = FlowMatch(dst_ip=IPv4Address.parse("10.1.0.0"), dst_ip_prefix=16)
+        assert a.overlaps(b)
+        c = FlowMatch(dst_ip=IPv4Address.parse("11.0.0.0"), dst_ip_prefix=8)
+        assert not a.overlaps(c)
+
+    def test_overlap_is_symmetric_on_examples(self):
+        a = FlowMatch(in_port=1)
+        b = FlowMatch(dst_ip=IPv4Address.parse("10.0.0.1"))
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+_ports = st.one_of(st.none(), st.integers(min_value=1, max_value=4))
+_vlans = st.one_of(st.none(), st.integers(min_value=1, max_value=5))
+
+
+@st.composite
+def _matches(draw):
+    return FlowMatch(in_port=draw(_ports), vlan=draw(_vlans))
+
+
+@st.composite
+def _frames(draw):
+    vlan = draw(_vlans)
+    return (
+        Frame(src_mac=MacAddress(1), dst_mac=MacAddress(2), vlan=vlan),
+        draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+class TestOverlapProperties:
+    @given(_matches(), _matches())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(_matches(), _matches(), _frames())
+    def test_common_frame_implies_overlap(self, a, b, frame_and_port):
+        """Soundness: if some frame matches both, overlaps() is True."""
+        f, port = frame_and_port
+        if a.matches(f, port) and b.matches(f, port):
+            assert a.overlaps(b)
+
+    @given(_matches(), _frames())
+    def test_match_reflexive_overlap(self, m, frame_and_port):
+        assert m.overlaps(m)

@@ -1,0 +1,130 @@
+"""Flow table: priorities, tenant datapaths, conflict detection."""
+
+import pytest
+
+from repro.errors import FlowTableError
+from repro.net import Frame, IPv4Address, MacAddress
+from repro.vswitch import Drop, FlowMatch, FlowRule, FlowTable, Output
+
+
+def frame(dst="10.0.0.10", **kwargs):
+    defaults = dict(src_mac=MacAddress(1), dst_mac=MacAddress(2),
+                    dst_ip=IPv4Address.parse(dst))
+    defaults.update(kwargs)
+    return Frame(**defaults)
+
+
+def rule(priority=100, tenant=None, dst=None, in_port=None, out=1):
+    match = FlowMatch(
+        in_port=in_port,
+        dst_ip=IPv4Address.parse(dst) if dst else None,
+    )
+    return FlowRule(match=match, actions=[Output(out)], priority=priority,
+                    tenant_id=tenant)
+
+
+class TestLookup:
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        low = table.add(rule(priority=10, out=1))
+        high = table.add(rule(priority=200, out=2))
+        assert table.lookup(frame(), 1) is high
+        assert low.n_packets == 0
+
+    def test_insertion_order_breaks_ties(self):
+        table = FlowTable()
+        first = table.add(rule(priority=100, out=1))
+        table.add(rule(priority=100, out=2))
+        assert table.lookup(frame(), 1) is first
+
+    def test_miss_counts(self):
+        table = FlowTable()
+        table.add(rule(dst="10.9.9.9"))
+        assert table.lookup(frame(), 1) is None
+        assert table.misses == 1
+        assert table.lookups == 1
+
+    def test_counters_update_on_hit(self):
+        table = FlowTable()
+        r = table.add(rule())
+        table.lookup(frame(), 1)
+        table.lookup(frame(), 1)
+        assert r.n_packets == 2
+        assert r.n_bytes == 128
+
+    def test_rule_without_actions_rejected(self):
+        with pytest.raises(FlowTableError):
+            FlowTable().add(FlowRule(match=FlowMatch(), actions=[]))
+
+
+class TestTenantDatapaths:
+    def test_tenants_listing(self):
+        table = FlowTable()
+        table.add(rule(tenant=0))
+        table.add(rule(tenant=2))
+        table.add(rule(tenant=0))
+        assert table.tenants() == [0, 2]
+
+    def test_rules_of_tenant(self):
+        table = FlowTable()
+        table.add(rule(tenant=0))
+        table.add(rule(tenant=1))
+        assert len(table.rules_of(0)) == 1
+
+    def test_remove_tenant_withdraws_logical_datapath(self):
+        table = FlowTable()
+        table.add(rule(tenant=0))
+        table.add(rule(tenant=0))
+        table.add(rule(tenant=1))
+        assert table.remove_tenant(0) == 2
+        assert table.tenants() == [1]
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        r = table.add(rule())
+        assert table.remove_by_cookie(r.cookie)
+        assert not table.remove_by_cookie(r.cookie)
+        assert len(table) == 0
+
+
+class TestConflicts:
+    def test_cross_tenant_same_priority_overlap_detected(self):
+        """The misconfiguration class the paper warns about: one sloppy
+        rule can make tenant traffic visible to another tenant."""
+        table = FlowTable()
+        table.add(rule(tenant=0, dst="10.0.0.10", priority=100))
+        # Tenant 1's operator fat-fingers a wildcard over tenant 0's IP.
+        table.add(FlowRule(match=FlowMatch(
+            dst_ip=IPv4Address.parse("10.0.0.0"), dst_ip_prefix=8),
+            actions=[Output(9)], priority=100, tenant_id=1))
+        conflicts = table.check_conflicts()
+        assert len(conflicts) == 1
+        a, b = conflicts[0]
+        assert {a.tenant_id, b.tenant_id} == {0, 1}
+
+    def test_same_tenant_overlap_not_flagged(self):
+        table = FlowTable()
+        table.add(rule(tenant=0, priority=100))
+        table.add(rule(tenant=0, priority=100))
+        assert table.check_conflicts() == []
+
+    def test_different_priorities_not_flagged(self):
+        table = FlowTable()
+        table.add(rule(tenant=0, priority=100))
+        table.add(rule(tenant=1, priority=200))
+        assert table.check_conflicts() == []
+
+    def test_disjoint_matches_not_flagged(self):
+        table = FlowTable()
+        table.add(rule(tenant=0, dst="10.0.0.1", priority=100))
+        table.add(rule(tenant=1, dst="10.0.0.2", priority=100))
+        assert table.check_conflicts() == []
+
+
+class TestDump:
+    def test_dump_contains_cookies_and_priorities(self):
+        table = FlowTable()
+        r = table.add(rule(priority=42))
+        dump = table.dump()
+        assert f"cookie={r.cookie}" in dump
+        assert "prio=42" in dump

@@ -1,0 +1,133 @@
+"""Tenant-side forwarders: the adapted DPDK l2fwd and the Linux bridge."""
+
+import pytest
+
+from repro.net import Frame, MacAddress
+from repro.net.interfaces import PortPair
+from repro.sim import Simulator
+from repro.vswitch import L2Fwd, LinuxBridge
+
+
+def frame(**kwargs):
+    defaults = dict(src_mac=MacAddress(0xA), dst_mac=MacAddress(0xB))
+    defaults.update(kwargs)
+    return Frame(**defaults)
+
+
+class TestL2Fwd:
+    def _app(self, sim=None):
+        app = L2Fwd("l2fwd", sim=sim)
+        out = []
+        p0, p1 = PortPair("vf0"), PortPair("vf1")
+        p0.attach_tx(lambda f: out.append((0, f)))
+        p1.attach_tx(lambda f: out.append((1, f)))
+        app.add_port(p0)
+        app.add_port(p1)
+        return app, p0, p1, out
+
+    def test_rewrites_dst_and_src_mac(self):
+        """The paper's adaptation: dst MAC -> gateway VF; src MAC ->
+        the egress VF (passing the NIC spoof check)."""
+        app, p0, p1, out = self._app()
+        gw = MacAddress(0x11)
+        own = MacAddress(0x22)
+        app.set_route(0, 1, new_dst_mac=gw, new_src_mac=own)
+        p0.rx.receive(frame())
+        assert len(out) == 1
+        port, f = out[0]
+        assert port == 1
+        assert f.dst_mac == gw
+        assert f.src_mac == own
+
+    def test_src_mac_preserved_when_not_configured(self):
+        app, p0, p1, out = self._app()
+        app.set_route(0, 1, new_dst_mac=MacAddress(0x11))
+        p0.rx.receive(frame())
+        assert out[0][1].src_mac == MacAddress(0xA)
+
+    def test_unrouted_port_drops(self):
+        app, p0, p1, out = self._app()
+        p1.rx.receive(frame())
+        assert out == []
+        assert app.unrouted == 1
+
+    def test_hairpin_route_same_port(self):
+        app, p0, p1, out = self._app()
+        app.set_route(0, 0, new_dst_mac=MacAddress(0x33))
+        p0.rx.receive(frame())
+        assert out[0][0] == 0
+
+    def test_route_to_unknown_port_rejected(self):
+        app, *_ = self._app()
+        with pytest.raises(KeyError):
+            app.set_route(0, 9, new_dst_mac=MacAddress(1))
+
+    def test_timed_mode_adds_drain_wait(self):
+        sim = Simulator()
+        app, p0, p1, out = self._app(sim=sim)
+        app.set_route(0, 1, new_dst_mac=MacAddress(0x11))
+        p0.rx.receive(frame())
+        assert out == []  # not yet delivered
+        sim.run()
+        assert len(out) == 1
+        assert sim.now <= app.drain_interval + 1e-6
+
+    def test_forward_counter(self):
+        app, p0, p1, _ = self._app()
+        app.set_route(0, 1, new_dst_mac=MacAddress(0x11))
+        for _ in range(5):
+            p0.rx.receive(frame())
+        assert app.forwarded == 5
+
+
+class TestLinuxBridge:
+    def _bridge(self, sim=None, ports=2):
+        bridge = LinuxBridge("br0", sim=sim)
+        out = []
+        pairs = []
+        for i in range(ports):
+            pair = PortPair(f"eth{i}")
+            pair.attach_tx(lambda f, i=i: out.append((i, f)))
+            bridge.add_port(pair)
+            pairs.append(pair)
+        return bridge, pairs, out
+
+    def test_floods_unknown_unicast(self):
+        bridge, pairs, out = self._bridge(ports=3)
+        pairs[0].rx.receive(frame())
+        assert sorted(i for i, _ in out) == [1, 2]
+        assert bridge.flooded == 1
+
+    def test_two_port_bridge_acts_as_pipe(self):
+        bridge, pairs, out = self._bridge()
+        pairs[0].rx.receive(frame())
+        assert [i for i, _ in out] == [1]
+
+    def test_learns_and_unicasts(self):
+        bridge, pairs, out = self._bridge(ports=3)
+        pairs[2].rx.receive(frame(src_mac=MacAddress(0xB),
+                                  dst_mac=MacAddress(0x1)))
+        out.clear()
+        pairs[0].rx.receive(frame())  # dst 0xB learned on port 2
+        assert [i for i, _ in out] == [2]
+
+    def test_drops_hairpin(self):
+        bridge, pairs, out = self._bridge()
+        pairs[0].rx.receive(frame(src_mac=MacAddress(0xB)))  # learn B@0
+        out.clear()
+        pairs[1].rx.receive(frame(src_mac=MacAddress(0xC),
+                                  dst_mac=MacAddress(0xB)))
+        assert [i for i, _ in out] == [0]
+        out.clear()
+        pairs[0].rx.receive(frame(src_mac=MacAddress(0xD),
+                                  dst_mac=MacAddress(0xB)))
+        assert out == []  # destination behind the ingress port
+
+    def test_timed_mode_delays_forwarding(self):
+        sim = Simulator()
+        bridge, pairs, out = self._bridge(sim=sim)
+        pairs[0].rx.receive(frame())
+        assert out == []
+        sim.run()
+        assert len(out) == 1
+        assert sim.now >= 30e-6  # the kernel bridge latency

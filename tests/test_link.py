@@ -1,0 +1,102 @@
+"""Links, serialization, taps and the latency monitor."""
+
+import pytest
+
+from repro.net import Frame, Link, MacAddress, OpticalTap, Port
+from repro.sim import Simulator
+from repro.traffic.sink import LatencyMonitor
+from repro.units import GBPS
+
+
+def frame(size=64, **kwargs):
+    return Frame(src_mac=MacAddress(1), dst_mac=MacAddress(2),
+                 size_bytes=size, **kwargs)
+
+
+class TestLink:
+    def test_delivery_after_serialization_and_propagation(self):
+        sim = Simulator()
+        received = []
+        port = Port("dst", lambda f: received.append(sim.now))
+        link = Link(sim, port, bandwidth_bps=10 * GBPS,
+                    propagation_delay=1e-6)
+        arrival = link.send(frame())
+        sim.run()
+        expected = (64 + 20) * 8 / 10e9 + 1e-6
+        assert received == [pytest.approx(expected)]
+        assert arrival == pytest.approx(expected)
+
+    def test_back_to_back_frames_queue_on_the_wire(self):
+        sim = Simulator()
+        times = []
+        port = Port("dst", lambda f: times.append(sim.now))
+        link = Link(sim, port, bandwidth_bps=10 * GBPS)
+        link.send(frame())
+        link.send(frame())
+        sim.run()
+        gap = times[1] - times[0]
+        assert gap == pytest.approx((64 + 20) * 8 / 10e9)
+
+    def test_counters(self):
+        sim = Simulator()
+        link = Link(sim, Port("dst"))
+        link.send(frame())
+        assert link.tx_frames == 1
+        assert link.tx_bytes == 64
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), Port("dst"), bandwidth_bps=0)
+
+
+class TestTapAndMonitor:
+    def _wired(self):
+        sim = Simulator()
+        tap_in = OpticalTap("in")
+        tap_out = OpticalTap("out")
+        sink = Port("sink")
+        link_out = Link(sim, sink, tap=tap_out)
+        relay = Port("dut", lambda f: link_out.send(f))
+        link_in = Link(sim, relay, tap=tap_in)
+        monitor = LatencyMonitor(tap_in, tap_out)
+        return sim, link_in, monitor
+
+    def test_tap_sees_frames(self):
+        sim, link_in, _ = self._wired()
+        link_in.send(frame())
+        sim.run()
+
+    def test_monitor_pairs_frames_and_measures(self):
+        sim, link_in, monitor = self._wired()
+        link_in.send(frame())
+        sim.run()
+        assert len(monitor.samples) == 1
+        assert monitor.samples[0].latency > 0
+
+    def test_monitor_windows(self):
+        sim, link_in, monitor = self._wired()
+        for _ in range(3):
+            link_in.send(frame())
+        sim.run()
+        t1 = sim.now + 1e-9
+        assert len(monitor.latencies_in_window(0.0, t1)) == 3
+        assert monitor.delivered_in_window(0.0, t1) == 3
+        assert monitor.throughput_pps(0.0, 1.0) == 3.0
+        # A window before any ingress is empty.
+        assert monitor.latencies_in_window(-1.0, 0.0) == []
+
+    def test_loss_count_tracks_unmatched_ingress(self):
+        sim = Simulator()
+        tap_in, tap_out = OpticalTap("in"), OpticalTap("out")
+        blackhole = Port("dut", lambda f: None)
+        link_in = Link(sim, blackhole, tap=tap_in)
+        monitor = LatencyMonitor(tap_in, tap_out)
+        link_in.send(frame())
+        sim.run()
+        assert monitor.loss_count() == 1
+        assert monitor.samples == []
+
+    def test_empty_window_rejected(self):
+        _, _, monitor = self._wired()
+        with pytest.raises(ValueError):
+            monitor.throughput_pps(1.0, 1.0)

@@ -1,0 +1,133 @@
+"""The multi-table OpenFlow pipeline (goto_table)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import Frame, IPv4Address, MacAddress
+from repro.net.interfaces import PortPair
+from repro.vswitch import Drop, FlowMatch, FlowRule, Output, OvsBridge, PortClass, SetDstMac
+from repro.vswitch.actions import GotoTable, PushTunnel
+
+
+def frame(dst_ip="10.0.0.10", vlan=None):
+    return Frame(src_mac=MacAddress(0xA), dst_mac=MacAddress(0xB),
+                 dst_ip=IPv4Address.parse(dst_ip), vlan=vlan)
+
+
+def bridge_with_ports(n=2):
+    bridge = OvsBridge("br0")
+    pairs, received = [], []
+    for i in range(n):
+        pair = PortPair(f"p{i}")
+        pair.attach_tx(lambda f, i=i: received.append((i, f)))
+        bridge.add_port(f"port{i}", PortClass.PHYSICAL, pair)
+        pairs.append(pair)
+    return bridge, pairs, received
+
+
+class TestGotoTable:
+    def test_two_stage_classify_then_forward(self):
+        """OVN-style: table 0 classifies (and rewrites), table 1
+        forwards on the rewritten header."""
+        bridge, pairs, received = bridge_with_ports()
+        bridge.add_flow(FlowRule(
+            match=FlowMatch(in_port=1),
+            actions=[SetDstMac(MacAddress(0xFF)), GotoTable(1)],
+            table_id=0))
+        bridge.add_flow(FlowRule(
+            match=FlowMatch(dst_mac=MacAddress(0xFF)),
+            actions=[Output(2)],
+            table_id=1))
+        pairs[0].rx.receive(frame())
+        assert len(received) == 1
+        assert received[0][1].dst_mac == MacAddress(0xFF)
+
+    def test_later_table_matches_modified_packet(self):
+        """A table-1 rule matching the ORIGINAL dst MAC must not fire
+        after table 0 rewrote it."""
+        bridge, pairs, received = bridge_with_ports()
+        bridge.add_flow(FlowRule(
+            match=FlowMatch(in_port=1),
+            actions=[SetDstMac(MacAddress(0xFF)), GotoTable(1)]))
+        bridge.add_flow(FlowRule(
+            match=FlowMatch(dst_mac=MacAddress(0xB)),  # the original
+            actions=[Output(2)], table_id=1))
+        pairs[0].rx.receive(frame())
+        assert received == []
+        assert bridge.drops_no_match == 1
+
+    def test_miss_in_target_table_drops(self):
+        bridge, pairs, received = bridge_with_ports()
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[GotoTable(3)]))
+        pairs[0].rx.receive(frame())
+        assert bridge.drops_no_match == 1
+
+    def test_goto_must_increase(self):
+        bridge, _, _ = bridge_with_ports()
+        with pytest.raises(ConfigurationError):
+            bridge.add_flow(FlowRule(match=FlowMatch(),
+                                     actions=[GotoTable(1)], table_id=1))
+        with pytest.raises(ConfigurationError):
+            bridge.add_flow(FlowRule(match=FlowMatch(),
+                                     actions=[GotoTable(0)], table_id=2))
+
+    def test_three_stage_pipeline(self):
+        bridge, pairs, received = bridge_with_ports()
+        bridge.add_flow(FlowRule(match=FlowMatch(in_port=1),
+                                 actions=[GotoTable(2)], table_id=0))
+        bridge.add_flow(FlowRule(match=FlowMatch(),
+                                 actions=[PushTunnel(7), GotoTable(5)],
+                                 table_id=2))
+        bridge.add_flow(FlowRule(match=FlowMatch(tunnel_id=7),
+                                 actions=[Output(2)], table_id=5))
+        pairs[0].rx.receive(frame())
+        assert len(received) == 1
+        assert received[0][1].tunnel_id == 7
+
+    def test_drop_in_later_table(self):
+        bridge, pairs, received = bridge_with_ports()
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[GotoTable(1)]))
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[Drop()],
+                                 table_id=1))
+        pairs[0].rx.receive(frame())
+        assert received == []
+        assert bridge.drops_action == 1
+
+    def test_output_then_goto_collects_both(self):
+        """OpenFlow apply-actions semantics: an output before goto still
+        happens."""
+        bridge, pairs, received = bridge_with_ports(3)
+        bridge.add_flow(FlowRule(match=FlowMatch(in_port=1),
+                                 actions=[Output(2), GotoTable(1)]))
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[Output(3)],
+                                 table_id=1))
+        pairs[0].rx.receive(frame())
+        assert sorted(i for i, _ in received) == [1, 2]
+
+    def test_per_table_statistics(self):
+        bridge, pairs, _ = bridge_with_ports()
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[GotoTable(1)]))
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[Output(2)],
+                                 table_id=1))
+        pairs[0].rx.receive(frame())
+        assert bridge.flow_table(0).lookups == 1
+        assert bridge.flow_table(1).lookups == 1
+
+    def test_dump_shows_all_tables(self):
+        bridge, _, _ = bridge_with_ports()
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[GotoTable(1)]))
+        bridge.add_flow(FlowRule(match=FlowMatch(), actions=[Output(2)],
+                                 table_id=1))
+        dump = bridge.dump_flows()
+        assert "table 0:" in dump and "table 1:" in dump
+
+    def test_negative_table_rejected(self):
+        bridge, _, _ = bridge_with_ports()
+        with pytest.raises(ConfigurationError):
+            bridge.flow_table(-1)
+
+    def test_single_table_view_back_compat(self):
+        bridge, _, _ = bridge_with_ports()
+        rule = bridge.add_flow(FlowRule(match=FlowMatch(),
+                                        actions=[Output(2)]))
+        assert rule in list(bridge.table)

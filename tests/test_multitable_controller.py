@@ -1,0 +1,79 @@
+"""The OVN-style multi-table controller mode."""
+
+import pytest
+
+from repro.core import SecurityLevel, TrafficScenario, build_deployment
+from repro.core.controller import Controller
+from repro.core.verification import audit_deployment
+from repro.errors import ValidationError
+from repro.traffic import TestbedHarness
+from tests.conftest import make_spec
+
+
+def deploy(**kwargs):
+    spec = make_spec(level=SecurityLevel.LEVEL_1, multi_table=True, **kwargs)
+    return build_deployment(spec, TrafficScenario.P2V)
+
+
+class TestMultiTableMode:
+    def test_per_tenant_tables_exist(self):
+        d = deploy()
+        bridge = d.bridges[0]
+        for t in range(4):
+            table = bridge.tables[Controller.TENANT_TABLE_BASE + t]
+            assert table.tenants() == [t]
+        # Table 0 only classifies.
+        from repro.vswitch.actions import ActionType
+        for rule in bridge.table:
+            kinds = {a.type for a in rule.actions}
+            assert kinds == {ActionType.GOTO_TABLE}
+
+    def test_forwards_identically_to_flat_mode(self):
+        flat = build_deployment(make_spec(level=SecurityLevel.LEVEL_1),
+                                TrafficScenario.P2V)
+        multi = deploy()
+        for d in (flat, multi):
+            h = TestbedHarness(d)
+            h.configure_tenant_flows(rate_per_flow_pps=1000)
+            result = h.run(duration=0.02)
+            assert result.delivered == result.sent
+
+    def test_audits_clean(self):
+        report = audit_deployment(deploy())
+        assert report.ok, report.render()
+
+    def test_tunneled_multi_table(self):
+        d = deploy(tunneling=True)
+        h = TestbedHarness(d)
+        h.configure_tenant_flows(rate_per_flow_pps=1000, frame_bytes=114)
+        result = h.run(duration=0.01)
+        assert result.delivered == result.sent
+
+    def test_level2_multi_table(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2,
+                         multi_table=True)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        assert audit_deployment(d).ok
+        h = TestbedHarness(d)
+        h.configure_tenant_flows(rate_per_flow_pps=1000)
+        assert h.run(duration=0.01).loss_fraction == 0.0
+
+    def test_other_scenarios_rejected(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_1, multi_table=True)
+        with pytest.raises(ValidationError):
+            build_deployment(spec, TrafficScenario.P2P)
+
+    def test_round_trips_through_json(self):
+        from repro.core import DeploymentSpec
+        spec = make_spec(level=SecurityLevel.LEVEL_1, multi_table=True)
+        assert DeploymentSpec.from_dict(spec.to_dict()).multi_table
+
+    def test_tenant_withdrawal_empties_only_its_table(self):
+        d = deploy()
+        bridge = d.bridges[0]
+        removed = 0
+        for table in bridge.tables.values():
+            removed += table.remove_tenant(2)
+        assert removed > 0
+        assert len(bridge.tables[Controller.TENANT_TABLE_BASE + 2]) == 0
+        assert len(bridge.tables[Controller.TENANT_TABLE_BASE + 1]) > 0

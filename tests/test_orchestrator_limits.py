@@ -1,0 +1,69 @@
+"""Orchestrator under resource pressure: VF and core exhaustion."""
+
+import pytest
+
+from repro.core import SecurityLevel, TrafficScenario, build_deployment
+from repro.core.orchestrator import MtsOrchestrator
+from repro.errors import CoreExhaustedError, VFExhaustedError
+from repro.sriov.nic import SriovNic
+from repro.sim import Simulator
+from repro.host.server import Server
+from tests.conftest import make_spec
+
+
+class TestVfExhaustion:
+    def test_hot_add_fails_cleanly_at_the_vf_ceiling(self):
+        """§6: limited VFs cap MTS's scaling.  Hot-adding tenants on a
+        small-VF NIC hits VFExhaustedError instead of corrupting state."""
+        sim = Simulator()
+        server = Server(sim, nic=SriovNic(sim, num_ports=2,
+                                          max_vfs_per_pf=12))
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V, sim=sim,
+                             server=server)
+        # 10 of 12 VFs per PF are used (2 inout + 4 gw + 4 tenant);
+        # one more tenant takes 2 per PF -> fits; the next does not.
+        orch = MtsOrchestrator(d)
+        orch.add_tenant()
+        with pytest.raises(VFExhaustedError):
+            orch.add_tenant()
+
+    def test_removal_then_add_frees_vfs(self):
+        sim = Simulator()
+        server = Server(sim, nic=SriovNic(sim, num_ports=2,
+                                          max_vfs_per_pf=12))
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V, sim=sim,
+                             server=server)
+        orch = MtsOrchestrator(d)
+        orch.add_tenant()
+        orch.remove_tenant(0)
+        orch.add_tenant()  # capacity reclaimed; no raise
+
+
+class TestCoreExhaustion:
+    def test_hot_add_fails_cleanly_when_cores_run_out(self):
+        sim = Simulator()
+        server = Server(sim, num_cores=12)
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V, sim=sim,
+                             server=server)
+        # host 1 + shared vswitch 1 + 4 tenants x 2 = 10; one more tenant
+        # fits (12), the next needs cores that do not exist.
+        orch = MtsOrchestrator(d)
+        orch.add_tenant()
+        with pytest.raises(CoreExhaustedError):
+            orch.add_tenant()
+
+    def test_failed_add_does_not_leak_vm_registration(self):
+        sim = Simulator()
+        server = Server(sim, num_cores=12)
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V, sim=sim,
+                             server=server)
+        orch = MtsOrchestrator(d)
+        orch.add_tenant()
+        vms_before = set(d.server.vms)
+        with pytest.raises(CoreExhaustedError):
+            orch.add_tenant()
+        assert set(d.server.vms) == vms_before

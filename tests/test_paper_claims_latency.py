@@ -1,0 +1,118 @@
+"""The paper's latency claims, verified in the packet-level DES."""
+
+import pytest
+
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario
+from repro.experiments.common import ConfigPoint
+from repro.experiments.fig5_latency import measure_latency
+from repro.units import MSEC, USEC
+
+B, L1, L2 = SecurityLevel.BASELINE, SecurityLevel.LEVEL_1, SecurityLevel.LEVEL_2
+SH, ISO = ResourceMode.SHARED, ResourceMode.ISOLATED
+P2P, P2V, V2V = (TrafficScenario.P2P, TrafficScenario.P2V,
+                 TrafficScenario.V2V)
+
+
+def cfg(label, level, vms=1, bc=1, mode=SH, us=False):
+    return ConfigPoint(label, level, vms, bc, mode, us)
+
+
+def median(config, scenario, **kwargs):
+    return measure_latency(config, scenario, duration=0.1, **kwargs).stats
+
+
+BASE_K = cfg("Baseline", B)
+L1_K = cfg("L1", L1)
+L2_2 = cfg("L2(2)", L2, vms=2)
+L2_4 = cfg("L2(4)", L2, vms=4)
+L1_ISO = cfg("L1", L1, mode=ISO)
+BASE_DPDK1 = cfg("Baseline(1)+L3", B, bc=1, mode=ISO, us=True)
+BASE_DPDK2 = cfg("Baseline(2)+L3", B, bc=2, mode=ISO, us=True)
+L1_DPDK = cfg("L1+L3", L1, mode=ISO, us=True)
+
+
+class TestKernelLatency:
+    def test_mts_p2p_latency_higher_than_baseline(self):
+        """"the p2p scenario shows that MTS increases the latency" --
+        the extra NIC round trip."""
+        assert (median(L1_K, P2P).median
+                > median(BASE_K, P2P).median)
+
+    def test_mts_p2v_slightly_faster(self):
+        """"the p2v and v2v scenarios show that MTS is slightly faster
+        than the Baseline" (SR-IOV beats vhost + Linux bridge)."""
+        base = median(BASE_K, P2V).median
+        mts = median(L1_ISO, P2V).median
+        assert mts < base
+        assert mts > 0.5 * base  # "slightly", not an order of magnitude
+
+    def test_mts_v2v_faster(self):
+        assert (median(L1_ISO, V2V).median
+                < median(BASE_K, V2V).median)
+
+    def test_latency_grows_with_path_length(self):
+        for config in (BASE_K, L1_K):
+            p2p = median(config, P2P).median
+            p2v = median(config, P2V).median
+            v2v = median(config, V2V).median
+            assert p2p < p2v < v2v
+
+    def test_shared_mode_variance_grows_with_compartments(self):
+        """"The variance in latency increases as more compartments share
+        the same physical core" """
+        iqr_1 = median(L1_K, P2V).iqr
+        iqr_2 = median(L2_2, P2V).iqr
+        iqr_4 = median(L2_4, P2V).iqr
+        assert iqr_1 < iqr_2 < iqr_4
+
+    def test_isolated_mode_is_predictable(self):
+        """"Isolating the vswitch VM cores leads to more predictable
+        latency" """
+        shared = measure_latency(L2_4, P2V, duration=0.1).stats
+        isolated = measure_latency(cfg("L2(4)", L2, vms=4, mode=ISO),
+                                   P2V, duration=0.1).stats
+        assert isolated.iqr < shared.iqr
+        assert isolated.median < shared.median
+
+
+class TestDpdkLatency:
+    def test_mts_dpdk_slower_than_mts_kernel(self):
+        """"MTS takes longer to forward packets than without using
+        DPDK" (untuned drain parameters)."""
+        assert (median(L1_DPDK, P2V).median
+                > median(L1_ISO, P2V).median)
+
+    def test_baseline_multiqueue_anomaly_at_10kpps(self):
+        """"the latency for Baseline with 2 and 4 cores for dpdk ...
+        is unexpectedly high (around 1 ms)" """
+        stats = median(BASE_DPDK2, P2P)
+        assert 0.5 * MSEC < stats.median < 2.5 * MSEC
+
+    def test_single_core_baseline_dpdk_unaffected(self):
+        stats = median(BASE_DPDK1, P2P)
+        assert stats.median < 100 * USEC
+
+    def test_anomaly_vanishes_at_100kpps(self):
+        """"At 100 kpps and 1 Mpps, we measured an approximately 2
+        microsecond latency for the p2p scenario." """
+        stats = measure_latency(BASE_DPDK2, P2P, aggregate_pps=100_000,
+                                duration=0.02).stats
+        assert stats.median < 100 * USEC
+
+    def test_baseline_1core_dpdk_fastest_in_p2v(self):
+        """"the Baseline with a single core for dpdk (2 in total) is
+        always faster than MTS" """
+        assert (median(BASE_DPDK1, P2V).median
+                > 0)  # sanity
+        assert (median(BASE_DPDK1, P2V).median
+                < median(L1_DPDK, P2V).median)
+
+
+class TestNicRoundTripOverhead:
+    def test_extra_nic_round_trip_is_microseconds(self):
+        """"the only downside is the extra round-trip to the NIC ...
+        negligible latency overhead" -- p2p delta between MTS and
+        Baseline is a few microseconds."""
+        delta = (median(L1_K, P2P).median
+                 - median(BASE_K, P2P).median)
+        assert 0 < delta < 10 * USEC

@@ -1,0 +1,200 @@
+"""Section 2's security arguments, executed on built deployments."""
+
+import pytest
+
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario, build_deployment
+from repro.security import (
+    SURVEY,
+    assess_compromise,
+    component_graph,
+    score_principles,
+    survey_statistics,
+    tcb_report,
+)
+from repro.security.components import Boundary, ComponentKind
+from repro.security.survey import render_table
+from tests.conftest import make_spec
+
+B, L1, L2 = SecurityLevel.BASELINE, SecurityLevel.LEVEL_1, SecurityLevel.LEVEL_2
+
+
+def deploy(level, vms=1, us=False, mode=ResourceMode.SHARED, bc=1):
+    spec = make_spec(level=level, vms=vms, user_space=us, mode=mode,
+                     baseline_cores=bc)
+    return build_deployment(spec, TrafficScenario.P2V)
+
+
+class TestExploitDistance:
+    def test_baseline_one_failure_reaches_host(self):
+        """"An adversary could not only break out of the VM and attack
+        all applications on the Host" -- one vswitch bug suffices."""
+        a = assess_compromise(deploy(B))
+        assert a.exploits_to_host == 1
+        assert not a.meets_extra_layer_rule
+
+    def test_level1_needs_two_failures(self):
+        """Compartmentalization: vswitch compromise + VM escape."""
+        a = assess_compromise(deploy(L1))
+        assert a.exploits_to_host == 2
+        assert a.meets_extra_layer_rule
+
+    def test_level3_adds_a_third_boundary(self):
+        a = assess_compromise(deploy(L2, vms=2, us=True,
+                                     mode=ResourceMode.ISOLATED))
+        assert a.exploits_to_host == 3
+
+    def test_host_userspace_vswitch_gets_two(self):
+        """Baseline+L3 satisfies the extra-layer rule without VMs."""
+        a = assess_compromise(deploy(B, us=True, mode=ResourceMode.ISOLATED,
+                                     bc=2))
+        assert a.exploits_to_host == 2
+
+    def test_security_strictly_monotone_across_levels(self):
+        distances = [
+            assess_compromise(deploy(B)).exploits_to_host,
+            assess_compromise(deploy(L1)).exploits_to_host,
+            assess_compromise(deploy(L1, us=True,
+                                     mode=ResourceMode.ISOLATED)).exploits_to_host,
+        ]
+        assert distances == sorted(distances)
+        assert distances[0] < distances[-1]
+
+
+class TestBlastRadius:
+    def test_baseline_vswitch_compromise_exposes_all_tenants(self):
+        a = assess_compromise(deploy(B))
+        assert a.vswitch_blast_radius == [0, 1, 2, 3]
+        assert not a.isolates_other_tenants_from_vswitch
+
+    def test_level1_still_shares_the_vswitch(self):
+        a = assess_compromise(deploy(L1))
+        assert a.vswitch_blast_radius == [0, 1, 2, 3]
+
+    def test_level2_halves_blast_radius(self):
+        a = assess_compromise(deploy(L2, vms=2))
+        assert a.vswitch_blast_radius == [0, 1]
+
+    def test_per_tenant_compartments_full_isolation(self):
+        """"we can maintain full network isolation for multiple
+        tenants" (Level-2 per-tenant)."""
+        a = assess_compromise(deploy(L2, vms=4))
+        assert a.isolates_other_tenants_from_vswitch
+
+    def test_blast_radius_from_any_attacker_position(self):
+        d = deploy(L2, vms=2)
+        for attacker in range(4):
+            a = assess_compromise(d, attacker_tenant=attacker)
+            assert attacker in a.vswitch_blast_radius
+            assert len(a.vswitch_blast_radius) == 2
+
+    def test_invalid_attacker_rejected(self):
+        with pytest.raises(ValueError):
+            assess_compromise(deploy(B), attacker_tenant=9)
+
+
+class TestPrinciples:
+    def test_baseline_violates_everything(self):
+        """"the current state-of-the-art violates basically all relevant
+        secure system design principles" """
+        scores = score_principles(deploy(B))
+        assert not scores.least_privilege
+        assert not scores.complete_mediation
+        assert not scores.meets_extra_layer_rule
+        assert scores.max_tenants_per_vswitch == 4
+
+    def test_mts_satisfies_principles(self):
+        scores = score_principles(deploy(L2, vms=4))
+        assert scores.least_privilege
+        assert scores.complete_mediation
+        assert scores.meets_extra_layer_rule
+        assert scores.max_tenants_per_vswitch == 1
+
+    def test_mediation_scoring_is_structural(self):
+        """Forgetting the spoof checks must be detected even though the
+        spec says Level-1."""
+        d = deploy(L1)
+        for vf in d.tenant_vf.values():
+            vf.spoof_check = False
+        assert not score_principles(d).complete_mediation
+
+    def test_rows_render(self):
+        row = score_principles(deploy(L1)).row()
+        assert "L1" in row and "boundaries=2" in row
+
+
+class TestTcb:
+    def test_mts_shrinks_host_exposed_tcb_by_10x(self):
+        """"Sharing the NIC SR-IOV VF driver and the Layer 2 ... is
+        considerably simpler than including the NIC driver and the
+        entire network virtualization stack (Layer 2-7) in the TCB." """
+        base = tcb_report(deploy(B))
+        mts = tcb_report(deploy(L1))
+        assert base.host_exposed_kloc / mts.host_exposed_kloc > 10
+
+    def test_per_tenant_compartments_minimize_shared_code(self):
+        shared_l1 = tcb_report(deploy(L1)).shared_between_tenants_kloc
+        shared_l2 = tcb_report(deploy(L2, vms=4)).shared_between_tenants_kloc
+        assert shared_l2 < shared_l1
+
+    def test_baseline_shares_entire_stack(self):
+        report = tcb_report(deploy(B))
+        assert report.shared_between_tenants_kloc == report.host_exposed_kloc
+
+
+class TestComponentGraph:
+    def test_nic_not_traversable(self):
+        graph = component_graph(deploy(L1))
+        assert graph.min_exploits("tenant0", "nic") is None
+
+    def test_graph_shape_level2(self):
+        graph = component_graph(deploy(L2, vms=2))
+        assert len(graph.components_of_kind(ComponentKind.VSWITCH)) == 2
+        assert len(graph.components_of_kind(ComponentKind.TENANT_VM)) == 4
+
+    def test_boundary_costs(self):
+        assert Boundary.NONE.exploit_cost == 0
+        assert Boundary.VM_ISOLATION.exploit_cost == 1
+        assert Boundary.TRUSTED_HW.exploit_cost is None
+
+    def test_duplicate_component_rejected(self):
+        from repro.security.components import Component, SystemGraph
+        graph = SystemGraph()
+        graph.add_component(Component("x", ComponentKind.NIC))
+        with pytest.raises(ValueError):
+            graph.add_component(Component("x", ComponentKind.NIC))
+
+    def test_unknown_channel_endpoint_rejected(self):
+        from repro.security.components import SystemGraph
+        with pytest.raises(KeyError):
+            SystemGraph().connect("a", "b", Boundary.NONE)
+
+
+class TestSurvey:
+    def test_23_designs_surveyed(self):
+        assert len(SURVEY) == 23  # 22 from Table 1 + MTS itself
+
+    def test_nearly_all_monolithic(self):
+        """"nearly all vswitches are monolithic in nature" """
+        stats = survey_statistics()
+        assert stats["monolithic_fraction"] > 0.9
+
+    def test_about_80_percent_colocated(self):
+        """"nearly 80% of the surveyed vswitches are co-located with the
+        Host virtualization layer" (counting the partially-colocated)."""
+        entries = [e for e in SURVEY if "MTS" not in e.name]
+        colocated = sum(1 for e in entries if e.colocated or e.colocated is None)
+        assert colocated / len(entries) == pytest.approx(0.8, abs=0.1)
+
+    def test_about_70_percent_touch_the_kernel(self):
+        stats = survey_statistics()
+        assert stats["kernel_involved_fraction"] == pytest.approx(0.7, abs=0.1)
+
+    def test_mts_and_sv3_are_the_non_monolithic_ones(self):
+        non_mono = [e.name for e in SURVEY if not e.monolithic]
+        assert "sv3" in non_mono
+        assert any("MTS" in n for n in non_mono)
+
+    def test_render_contains_all_names(self):
+        text = render_table()
+        for entry in SURVEY:
+            assert entry.name in text

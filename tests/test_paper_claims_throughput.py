@@ -1,0 +1,192 @@
+"""The paper's throughput claims, asserted against the capacity model.
+
+Each test quotes the sentence it verifies.  Only *shapes* are asserted
+(who wins, roughly by what factor, where saturation lies) -- absolute
+values live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario, build_deployment
+from repro.perfmodel.paths import throughput
+from repro.units import MPPS
+from tests.conftest import make_spec
+
+
+def mpps(level, vms=1, us=False, bc=1, mode=ResourceMode.SHARED,
+         scenario=TrafficScenario.P2V):
+    spec = make_spec(level=level, vms=vms, user_space=us, baseline_cores=bc,
+                     mode=mode)
+    d = build_deployment(spec, scenario)
+    return throughput(d, scenario).aggregate_pps / MPPS
+
+
+B, L1, L2 = SecurityLevel.BASELINE, SecurityLevel.LEVEL_1, SecurityLevel.LEVEL_2
+SH, ISO = ResourceMode.SHARED, ResourceMode.ISOLATED
+P2P, P2V, V2V = TrafficScenario.P2P, TrafficScenario.P2V, TrafficScenario.V2V
+
+
+class TestSharedMode:
+    """Fig. 5(a)."""
+
+    def test_mts_2x_in_p2v(self):
+        """"a 2x increase in throughput (nearly .4 Mpps and .2 Mpps)
+        compared to the Baseline (nearly .2 Mpps and .1 Mpps)" """
+        base = mpps(B, scenario=P2V)
+        mts = mpps(L2, vms=4, scenario=P2V)
+        assert 1.8 <= mts / base <= 2.5
+        assert base == pytest.approx(0.2, abs=0.08)
+        assert mts == pytest.approx(0.45, abs=0.1)
+
+    def test_mts_2x_in_v2v(self):
+        base = mpps(B, scenario=V2V)
+        mts = mpps(L2, vms=2, scenario=V2V)
+        assert 1.8 <= mts / base <= 2.8
+        assert base == pytest.approx(0.12, abs=0.05)
+
+    def test_isolation_is_free_in_shared_mode(self):
+        """More compartments on the same shared core keep aggregate
+        throughput (4x isolation at the same performance)."""
+        rates = [mpps(L1, vms=1, scenario=P2V),
+                 mpps(L2, vms=2, scenario=P2V),
+                 mpps(L2, vms=4, scenario=P2V)]
+        assert max(rates) - min(rates) < 0.05 * max(rates)
+
+    def test_p2p_comparable(self):
+        assert mpps(L1, scenario=P2P) == pytest.approx(
+            mpps(B, scenario=P2P), rel=0.05)
+
+    def test_throughput_decreases_with_path_length(self):
+        """"we expect the latency to increase and the throughput to
+        decrease when going from p2p to p2v to v2v" """
+        for level, vms in ((B, 1), (L1, 1), (L2, 2)):
+            p2p = mpps(level, vms=vms, scenario=P2P)
+            p2v = mpps(level, vms=vms, scenario=P2V)
+            v2v = mpps(level, vms=vms, scenario=V2V)
+            assert p2p > p2v > v2v
+
+
+class TestIsolatedMode:
+    """Fig. 5(d)."""
+
+    def test_baseline_p2p_scales_1_2_4_mpps(self):
+        """"the aggregate throughput increases roughly from 1 Mpps to
+        2 Mpps to 4 Mpps as the number of cores increase" """
+        assert mpps(B, bc=1, mode=ISO, scenario=P2P) == pytest.approx(1.0, abs=0.1)
+        assert mpps(B, bc=2, mode=ISO, scenario=P2P) == pytest.approx(2.0, abs=0.2)
+        assert mpps(B, bc=4, mode=ISO, scenario=P2P) == pytest.approx(4.0, abs=0.3)
+
+    def test_mts_slightly_above_baseline_in_p2p(self):
+        """"MTS is slightly more than the Baseline in the p2p" """
+        pairs = [(mpps(L1, mode=ISO, scenario=P2P),
+                  mpps(B, bc=1, mode=ISO, scenario=P2P)),
+                 (mpps(L2, vms=2, mode=ISO, scenario=P2P),
+                  mpps(B, bc=2, mode=ISO, scenario=P2P)),
+                 (mpps(L2, vms=4, mode=ISO, scenario=P2P),
+                  mpps(B, bc=4, mode=ISO, scenario=P2P))]
+        for mts, base in pairs:
+            assert 1.0 < mts / base < 1.1
+
+    def test_mts_higher_in_p2v_and_v2v(self):
+        assert mpps(L2, vms=2, mode=ISO, scenario=P2V) > mpps(
+            B, bc=2, mode=ISO, scenario=P2V)
+        assert mpps(L2, vms=2, mode=ISO, scenario=V2V) > mpps(
+            B, bc=2, mode=ISO, scenario=V2V)
+
+
+class TestDpdkMode:
+    """Fig. 5(g)."""
+
+    def test_baseline_saturates_link_with_2_cores(self):
+        """"the Baseline was able to saturate the link with 2 cores" """
+        assert mpps(B, us=True, bc=2, mode=ISO, scenario=P2P) > 12.0
+
+    def test_mts_near_line_rate_with_4_compartments(self):
+        """"we were able to nearly reach line rate (14.4 Mpps) with four
+        DPDK compartments" """
+        assert mpps(L2, vms=4, us=True, mode=ISO, scenario=P2P) > 13.0
+
+    def test_mts_p2v_saturates_around_2_3_mpps(self):
+        """"the throughput saturates (at around 2.3 Mpps) in the p2v
+        ... topologies" """
+        two = mpps(L2, vms=2, us=True, mode=ISO, scenario=P2V)
+        four = mpps(L2, vms=4, us=True, mode=ISO, scenario=P2V)
+        assert two == pytest.approx(2.3, abs=0.2)
+        assert four == pytest.approx(2.3, abs=0.2)
+
+    def test_slight_increase_with_more_vswitch_vms(self):
+        """"a slight increase in the throughput of MTS as the vswitch
+        VMs increase" """
+        one = mpps(L1, us=True, mode=ISO, scenario=P2V)
+        two = mpps(L2, vms=2, us=True, mode=ISO, scenario=P2V)
+        assert one < two
+
+    def test_baseline_about_2x_mts_in_p2v(self):
+        """"the Baseline where we observe nearly twice the throughput
+        for 2 ... cores" """
+        base = mpps(B, us=True, bc=2, mode=ISO, scenario=P2V)
+        mts = mpps(L2, vms=2, us=True, mode=ISO, scenario=P2V)
+        assert 1.7 <= base / mts <= 2.3
+
+    def test_dpdk_order_of_magnitude_over_kernel(self):
+        """"using DPDK can offer an order of magnitude better
+        throughput" """
+        kernel = mpps(B, bc=2, mode=ISO, scenario=P2P)
+        dpdk = mpps(B, us=True, bc=2, mode=ISO, scenario=P2P)
+        assert dpdk / kernel > 5
+
+    def test_hairpin_is_the_mts_p2v_bottleneck(self):
+        spec = make_spec(level=L2, vms=4, user_space=True, mode=ISO)
+        d = build_deployment(spec, P2V)
+        result = throughput(d, P2V)
+        assert set(result.bottleneck_of.values()) == {"nic.hairpin"}
+
+
+class TestPcieAblation:
+    """The discussion section: PCIe 3.0 x8 as a future bottleneck."""
+
+    def test_x8_gen3_binds_mts_at_higher_link_speeds(self):
+        from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+        from repro.perfmodel.paths import build_flow_paths
+        from repro.perfmodel.capacity import solve
+        spec = make_spec(level=L2, vms=4, user_space=True, mode=ISO)
+        # Idealize the NIC's internal switching so the PCIe effect shows
+        # in isolation (the paper's discussion is about the bus).
+        cal = DEFAULT_CALIBRATION.with_overrides(
+            nic_hairpin_bandwidth_bps=1e12, nic_hairpin_capacity=1e12)
+        d = build_deployment(spec, P2V, calibration=cal)
+        # At 40G with MTU frames, the 3-crossings-per-direction MTS path
+        # exceeds the ~50 Gbps usable per PCIe direction.
+        result = solve(build_flow_paths(d, P2V, frame_bytes=1514,
+                                        link_bandwidth_bps=40e9))
+        assert any(b.startswith("pcie") for b in result.bottleneck_of.values())
+
+    def test_wider_faster_pcie_removes_the_bottleneck(self):
+        """"increasing the lanes to x16 is one potential workaround ...
+        with chip vendors initiating PCIe 4.0 devices, the PCIe bus
+        bandwidth will increase" -- note that because MTS triples the
+        per-direction crossings, x16 alone does NOT suffice for 40G MTU
+        traffic; Gen4 x16 does."""
+        from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+        from repro.perfmodel.paths import build_flow_paths
+        from repro.perfmodel.capacity import solve
+        from repro.sriov.pcie import PcieBus, PcieGen
+        spec = make_spec(level=L2, vms=4, user_space=True, mode=ISO)
+        cal = DEFAULT_CALIBRATION.with_overrides(
+            nic_hairpin_bandwidth_bps=1e12, nic_hairpin_capacity=1e12)
+
+        def bottlenecks(bus):
+            d = build_deployment(spec, P2V, calibration=cal)
+            d.server.nic.pcie = bus
+            result = solve(build_flow_paths(d, P2V, frame_bytes=1514,
+                                            link_bandwidth_bps=40e9))
+            return set(result.bottleneck_of.values())
+
+        # Gen3 x16 doubles the bus but MTS's 3-crossings-per-direction
+        # path still exceeds it at 40G line rate.
+        assert any(b.startswith("pcie")
+                   for b in bottlenecks(PcieBus(lanes=16)))
+        # Gen4 x16 clears it.
+        assert not any(
+            b.startswith("pcie")
+            for b in bottlenecks(PcieBus(gen=PcieGen.GEN4, lanes=16)))

@@ -1,0 +1,112 @@
+"""Fig. 6 claims: iperf, Apache and Memcached under MTS vs Baseline."""
+
+import pytest
+
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario, build_deployment
+from repro.workloads import ApacheModel, IperfModel, MemcachedModel
+from tests.conftest import make_spec
+
+B, L1, L2 = SecurityLevel.BASELINE, SecurityLevel.LEVEL_1, SecurityLevel.LEVEL_2
+SH, ISO = ResourceMode.SHARED, ResourceMode.ISOLATED
+P2V, V2V = TrafficScenario.P2V, TrafficScenario.V2V
+
+
+def deploy(level, vms=1, us=False, bc=1, mode=SH, scenario=P2V):
+    spec = make_spec(level=level, vms=vms, user_space=us, baseline_cores=bc,
+                     mode=mode, nic_ports=1)
+    return build_deployment(spec, scenario)
+
+
+class TestIperf:
+    def test_mts_more_than_2x_in_shared_mode(self):
+        """"here too we observe that MTS has a higher throughput (more
+        than 2x in the shared mode) than the Baseline" """
+        base = IperfModel(deploy(B)).run().aggregate_gbps
+        mts = IperfModel(deploy(L2, vms=4)).run().aggregate_gbps
+        assert mts / base > 2.0
+
+    def test_mts_saturates_10g_when_isolated(self):
+        """"MTS saturated the 10G link in the p2v scenario when isolated
+        and DPDK modes were used" """
+        mts = IperfModel(deploy(L2, vms=4, mode=ISO)).run().aggregate_gbps
+        assert mts > 9.0  # goodput at MTU on a 10G wire is ~9.4G
+
+    def test_mts_saturates_10g_with_dpdk(self):
+        mts = IperfModel(deploy(L2, vms=2, us=True, mode=ISO)).run()
+        assert mts.aggregate_gbps > 9.0
+
+    def test_baseline_wins_v2v_with_dpdk(self):
+        """"except when DPDK is used in the v2v topology" """
+        base = IperfModel(deploy(B, us=True, bc=2, mode=ISO, scenario=V2V),
+                          V2V).run().aggregate_gbps
+        mts = IperfModel(deploy(L2, vms=2, us=True, mode=ISO, scenario=V2V),
+                         V2V).run().aggregate_gbps
+        assert base > mts
+
+    def test_per_tenant_rates_equal(self):
+        report = IperfModel(deploy(L2, vms=2)).run()
+        rates = list(report.per_tenant_gbps.values())
+        assert max(rates) - min(rates) < 0.01 * max(rates)
+
+
+class TestApache:
+    def test_mts_nearly_2x_throughput_shared(self):
+        """"MTS can offer nearly 2x throughput and 4x isolation
+        (Level-2) in the shared mode" """
+        base = ApacheModel(deploy(B)).run().aggregate_rps
+        mts = ApacheModel(deploy(L2, vms=4)).run().aggregate_rps
+        assert 1.8 <= mts / base <= 3.0
+
+    def test_mts_response_time_about_half(self):
+        """"maintain a lower response time (approximately twice as
+        fast) than the Baseline" """
+        base = ApacheModel(deploy(B)).run().mean_response_time
+        mts = ApacheModel(deploy(L2, vms=4)).run().mean_response_time
+        assert 1.8 <= base / mts <= 3.0
+
+    def test_v2v_runs_two_client_server_pairs(self):
+        """"In the v2v scenario, we used only two client-servers" """
+        report = ApacheModel(deploy(L2, vms=2, scenario=V2V), V2V).run()
+        assert sorted(report.per_tenant_rps) == [0, 2]
+
+    def test_response_time_closed_loop_consistency(self):
+        """Little's law: rate x response time = concurrency."""
+        model = ApacheModel(deploy(L1))
+        report = model.run()
+        for t, rate in report.per_tenant_rps.items():
+            rt = report.result.response_times[t]
+            assert rate * rt == pytest.approx(model.concurrency, rel=0.01)
+
+
+class TestMemcached:
+    def test_mts_throughput_higher_shared(self):
+        base = MemcachedModel(deploy(B)).run().aggregate_ops
+        mts = MemcachedModel(deploy(L2, vms=4)).run().aggregate_ops
+        assert mts / base > 1.8
+
+    def test_mts_response_time_lower(self):
+        base = MemcachedModel(deploy(B)).run().mean_response_time
+        mts = MemcachedModel(deploy(L2, vms=4)).run().mean_response_time
+        assert base / mts > 1.8
+
+    def test_set_fraction_validated(self):
+        with pytest.raises(ValueError):
+            MemcachedModel(deploy(L1), set_fraction=1.5)
+
+    def test_get_heavy_mix_shifts_bytes_to_reverse_path(self):
+        model_set = MemcachedModel(deploy(L1), set_fraction=0.9)
+        model_get = MemcachedModel(deploy(L1), set_fraction=0.1)
+        assert (model_set.profile().forward_bytes()
+                > model_get.profile().forward_bytes())
+        assert (model_set.profile().reverse_bytes()
+                < model_get.profile().reverse_bytes())
+
+
+class TestDpdkCostBenefit:
+    def test_dpdk_fractional_benefit_for_workloads(self):
+        """"for user-space packet processing, the resource costs go up
+        for a fractional benefit in throughput or latency": going from
+        isolated kernel to DPDK gains little for Apache under MTS."""
+        kernel = ApacheModel(deploy(L2, vms=2, mode=ISO)).run().aggregate_rps
+        dpdk = ApacheModel(deploy(L2, vms=2, us=True, mode=ISO)).run().aggregate_rps
+        assert dpdk < kernel * 2.0

@@ -1,0 +1,55 @@
+"""PCIe bus model: effective bandwidth, transfer times."""
+
+import pytest
+
+from repro.sriov import PcieBus, PcieGen
+
+
+class TestBandwidth:
+    def test_x8_gen3_is_about_50_gbps(self):
+        """The figure the paper quotes from Neugebauer et al."""
+        bus = PcieBus(gen=PcieGen.GEN3, lanes=8)
+        assert bus.effective_bandwidth_bps() == pytest.approx(50e9, rel=0.02)
+
+    def test_x16_doubles_bandwidth(self):
+        """The paper's proposed workaround for 40/100G deployments."""
+        x8 = PcieBus(gen=PcieGen.GEN3, lanes=8)
+        x16 = PcieBus(gen=PcieGen.GEN3, lanes=16)
+        assert x16.effective_bandwidth_bps() == pytest.approx(
+            2 * x8.effective_bandwidth_bps())
+
+    def test_gen4_doubles_bandwidth(self):
+        g3 = PcieBus(gen=PcieGen.GEN3, lanes=8)
+        g4 = PcieBus(gen=PcieGen.GEN4, lanes=8)
+        assert g4.effective_bandwidth_bps() == pytest.approx(
+            2 * g3.effective_bandwidth_bps(), rel=0.01)
+
+    def test_invalid_lane_count(self):
+        with pytest.raises(ValueError):
+            PcieBus(lanes=3)
+
+
+class TestTransfers:
+    def test_small_transfer_dominated_by_dma_latency(self):
+        bus = PcieBus()
+        t = bus.transfer_time(64)
+        assert 0.5e-6 < t < 2e-6
+
+    def test_transfer_time_grows_with_size(self):
+        bus = PcieBus()
+        assert bus.transfer_time(4096) > bus.transfer_time(64)
+
+    def test_bytes_accounted(self):
+        bus = PcieBus()
+        bus.transfer_time(100)
+        bus.transfer_time(28)
+        assert bus.bytes_transferred == 128
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PcieBus().transfer_time(-1)
+
+    def test_capacity_pps(self):
+        bus = PcieBus()
+        assert bus.capacity_pps(64) == pytest.approx(
+            bus.effective_bandwidth_bps() / 512)

@@ -1,0 +1,144 @@
+"""Path construction and the analytic latency estimator."""
+
+import math
+
+import pytest
+
+from repro.core import ResourceMode, SecurityLevel, TrafficScenario, build_deployment
+from repro.perfmodel.latency import estimate_oneway_latency, estimate_rtt
+from repro.perfmodel.paths import (
+    ResourceRegistry,
+    build_flow_paths,
+    passes_for_flow,
+    throughput,
+)
+from repro.vswitch.datapath import PortClass
+from tests.conftest import make_spec
+
+P2P, P2V, V2V = (TrafficScenario.P2P, TrafficScenario.P2V,
+                 TrafficScenario.V2V)
+
+
+def deploy(level=SecurityLevel.LEVEL_1, scenario=P2V, **kwargs):
+    return build_deployment(make_spec(level=level, **kwargs), scenario)
+
+
+class TestPassProfiles:
+    def test_mts_pass_counts(self):
+        d = deploy()
+        assert len(passes_for_flow(d, P2P, 0)) == 1
+        assert len(passes_for_flow(d, P2V, 0)) == 2
+        d2 = deploy(scenario=V2V)
+        assert len(passes_for_flow(d2, V2V, 0)) == 3
+
+    def test_mts_passes_use_vf_ports_and_rewrite(self):
+        d = deploy()
+        for prof in passes_for_flow(d, P2V, 0):
+            assert prof.in_class is PortClass.VF
+            assert prof.out_class is PortClass.VF
+            assert prof.rewrites
+
+    def test_baseline_p2v_crosses_vhost_twice(self):
+        d = deploy(level=SecurityLevel.BASELINE)
+        passes = passes_for_flow(d, P2V, 0)
+        assert sum(p.vhost_crossings for p in passes) == 2
+
+    def test_baseline_v2v_crosses_vhost_four_times(self):
+        d = deploy(level=SecurityLevel.BASELINE, scenario=V2V)
+        passes = passes_for_flow(d, V2V, 0)
+        assert sum(p.vhost_crossings for p in passes) == 4
+
+    def test_level2_flows_map_to_own_compartment(self):
+        d = deploy(level=SecurityLevel.LEVEL_2, vms=2)
+        assert passes_for_flow(d, P2V, 0)[0].bridge_index == 0
+        assert passes_for_flow(d, P2V, 3)[0].bridge_index == 1
+
+
+class TestPathConstruction:
+    def test_one_path_per_tenant(self):
+        paths = build_flow_paths(deploy(), P2V)
+        assert len(paths) == 4
+        assert {p.name for p in paths} == {f"flow-t{t}" for t in range(4)}
+
+    def test_registry_dedups_resources(self):
+        d = deploy()
+        registry = ResourceRegistry()
+        a = build_flow_paths(d, P2V, frame_bytes=64, registry=registry)
+        b = build_flow_paths(d, P2V, frame_bytes=1514, registry=registry)
+        res_a = {dem.resource.name: dem.resource for p in a for dem in p.demands}
+        res_b = {dem.resource.name: dem.resource for p in b for dem in p.demands}
+        for name in res_a.keys() & res_b.keys():
+            assert res_a[name] is res_b[name]
+
+    def test_reverse_swaps_link_directions(self):
+        d = deploy()
+        registry = ResourceRegistry()
+        fwd = build_flow_paths(d, P2V, registry=registry)[0]
+        rev = build_flow_paths(d, P2V, registry=registry, reverse=True,
+                               name_suffix=".r")[0]
+
+        def link_demand(path, name):
+            return sum(dem.units_per_packet for dem in path.demands
+                       if dem.resource.name == name)
+
+        assert link_demand(fwd, "link.in") == link_demand(rev, "link.out")
+
+    def test_mts_p2v_has_hairpin_demand(self):
+        path = build_flow_paths(deploy(), P2V)[0]
+        names = {dem.resource.name for dem in path.demands}
+        assert "nic.hairpin" in names
+        assert "nic.hairpin_bw" in names
+
+    def test_baseline_has_no_hairpin_demand(self):
+        path = build_flow_paths(deploy(level=SecurityLevel.BASELINE), P2V)[0]
+        names = {dem.resource.name for dem in path.demands}
+        assert "nic.hairpin" not in names
+
+    def test_offered_rate_respected(self):
+        result = throughput(deploy(), P2V, offered_per_flow_pps=1000)
+        assert result.aggregate_pps == pytest.approx(4000)
+
+    def test_larger_frames_fewer_pps_for_baseline(self):
+        """The vhost per-byte copy cost bites at MTU (Baseline only;
+        MTS's SR-IOV path is DMA-offloaded and stays CPU-bound at the
+        same pps)."""
+        base = deploy(level=SecurityLevel.BASELINE)
+        d64 = throughput(base, P2V, frame_bytes=64).aggregate_pps
+        d1500 = throughput(base, P2V, frame_bytes=1514).aggregate_pps
+        assert d64 > d1500
+
+    def test_mts_pps_size_independent_when_cpu_bound(self):
+        d64 = throughput(deploy(), P2V, frame_bytes=64).aggregate_pps
+        d1500 = throughput(deploy(), P2V, frame_bytes=1514).aggregate_pps
+        assert d64 == pytest.approx(d1500, rel=0.01)
+
+
+class TestAnalyticLatency:
+    def test_increases_with_path_length(self):
+        d_p2p = deploy(scenario=P2P)
+        d_p2v = deploy(scenario=P2V)
+        d_v2v = deploy(scenario=V2V)
+        lat = [estimate_oneway_latency(d_p2p, P2P),
+               estimate_oneway_latency(d_p2v, P2V),
+               estimate_oneway_latency(d_v2v, V2V)]
+        assert lat[0] < lat[1] < lat[2]
+
+    def test_sharing_increases_latency(self):
+        shared = deploy(level=SecurityLevel.LEVEL_2, vms=4)
+        isolated = build_deployment(
+            make_spec(level=SecurityLevel.LEVEL_2, vms=4,
+                      mode=ResourceMode.ISOLATED), P2V)
+        assert (estimate_oneway_latency(shared, P2V)
+                > estimate_oneway_latency(isolated, P2V))
+
+    def test_rtt_is_sum_of_directions(self):
+        d = deploy()
+        rtt = estimate_rtt(d, P2V, request_bytes=128, response_bytes=1500)
+        fwd = estimate_oneway_latency(d, P2V, 128)
+        rev = estimate_oneway_latency(d, P2V, 1500)
+        assert rtt == pytest.approx(fwd + rev)
+
+    def test_all_scenarios_sub_millisecond_kernel(self):
+        for scenario in (P2P, P2V):
+            d = deploy(scenario=scenario)
+            assert estimate_oneway_latency(d, scenario) < 1e-3

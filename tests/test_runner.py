@@ -1,0 +1,42 @@
+"""The experiments runner: completeness and extension hooks."""
+
+import pytest
+
+from repro.experiments.runner import run_everything, run_extensions
+
+
+class TestRunner:
+    def test_every_paper_figure_has_a_table(self):
+        tables = run_everything(quick=True)
+        expected = {"table1", "vf-budgets"}
+        for mode in ("shared", "isolated", "dpdk"):
+            expected |= {
+                f"fig5-throughput-{mode}",
+                f"fig5-latency-{mode}",
+                f"fig5-resources-{mode}",
+                f"fig6-iperf-{mode}",
+                f"fig6-apache-tput-{mode}",
+                f"fig6-apache-rt-{mode}",
+                f"fig6-memcached-tput-{mode}",
+                f"fig6-memcached-rt-{mode}",
+            }
+        assert set(tables) == expected
+
+    def test_all_tables_render_nonempty(self):
+        tables = run_everything(quick=True)
+        for key, table in tables.items():
+            text = table.render()
+            assert text.startswith("=="), key
+            assert len(text.splitlines()) >= 3, key
+
+    def test_extensions_run(self):
+        tables = run_extensions(quick=True)
+        assert set(tables) == {
+            "ext-noisy-neighbor",
+            "ext-policy-injection",
+            "ext-latency-breakdown",
+            "ext-fault-isolation",
+            "ext-deployment-cost",
+        }
+        for table in tables.values():
+            assert table.render()

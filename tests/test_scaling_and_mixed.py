@@ -1,0 +1,152 @@
+"""Scaling sweeps and heterogeneous workload mixes (extensions)."""
+
+import pytest
+
+from repro.core import (
+    DeploymentSpec,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+from repro.experiments.scaling import frame_size_throughput, tenant_scaling
+from repro.workloads import solve_mixed_workloads
+from repro.workloads.httpd import ApacheModel
+from repro.workloads.iperf import IperfModel, MSS_BYTES
+from repro.workloads.memcached import MemcachedModel
+
+
+class TestTenantScaling:
+    def test_aggregate_flat_per_tenant_fair_share(self):
+        table = tenant_scaling(tenant_counts=[2, 4, 8])
+        agg = table.series_by_label("L2(2) agg")
+        per = table.series_by_label("L2(2) per-tenant")
+        # CPU-bound aggregate is tenant-count invariant...
+        assert agg.get("2T") == pytest.approx(agg.get("8T"), rel=0.02)
+        # ...so the fair share decays inversely.
+        assert per.get("2T") == pytest.approx(4 * per.get("8T"), rel=0.05)
+
+    def test_mts_advantage_holds_at_every_scale(self):
+        table = tenant_scaling(tenant_counts=[2, 6])
+        for col in ("2T", "6T"):
+            assert (table.series_by_label("L2(2) agg").get(col)
+                    > 1.8 * table.series_by_label("Baseline agg").get(col))
+
+
+class TestFrameSizeThroughput:
+    def test_goodput_grows_with_frame_size(self):
+        table = frame_size_throughput()
+        for label in ("Baseline(2)", "L2(2)", "L2(4)"):
+            series = table.series_by_label(label)
+            values = [series.get(f"{s}B") for s in (64, 512, 1514)]
+            assert values == sorted(values)
+
+    def test_mts_reaches_the_wire_baseline_does_not(self):
+        """At MTU the Baseline's per-byte vhost copies keep it off the
+        10G wire; MTS saturates it."""
+        table = frame_size_throughput()
+        assert table.series_by_label("L2(2)").get("1514B") > 9.5
+        assert table.series_by_label("Baseline(2)").get("1514B") < 6.0
+
+
+class TestMixedWorkloads:
+    def _deploy(self, vms=2):
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=vms, nic_ports=1)
+        return build_deployment(spec, TrafficScenario.P2V)
+
+    def _profiles(self, d):
+        return {
+            0: IperfModel(d).profile(),
+            1: ApacheModel(d).profile(),
+            2: MemcachedModel(d).profile(),
+            3: ApacheModel(d).profile(),
+        }
+
+    def test_each_tenant_gets_its_own_workload_result(self):
+        d = self._deploy()
+        results = solve_mixed_workloads(d, TrafficScenario.P2V,
+                                        self._profiles(d))
+        assert set(results) == {0, 1, 2, 3}
+        assert results[0].profile_name == "iperf"
+        assert results[2].profile_name == "memcached"
+        for t, r in results.items():
+            assert r.rates[t] > 0
+            assert r.response_times[t] > 0
+
+    def test_memcached_faster_than_apache_under_the_same_roof(self):
+        """Small transactions beat page loads in response time even on
+        shared pools."""
+        d = self._deploy()
+        results = solve_mixed_workloads(d, TrafficScenario.P2V,
+                                        self._profiles(d))
+        assert (results[2].response_times[2]
+                < results[1].response_times[1] / 3)
+
+    def test_neighbor_workload_cannot_shrink_your_cycle_share(self):
+        """Cycle-share fairness: tenant 1's Apache gets the same rate
+        whether its compartment-mate runs memcached or bulk iperf --
+        the polite-tenant counterpart of the noisy-neighbor result."""
+        d1 = self._deploy()
+        light = solve_mixed_workloads(d1, TrafficScenario.P2V, {
+            0: MemcachedModel(d1).profile(),
+            1: ApacheModel(d1).profile(),
+            2: ApacheModel(d1).profile(),
+            3: ApacheModel(d1).profile(),
+        })
+        d2 = self._deploy()
+        heavy = solve_mixed_workloads(d2, TrafficScenario.P2V, {
+            0: IperfModel(d2).profile(),
+            1: ApacheModel(d2).profile(),
+            2: ApacheModel(d2).profile(),
+            3: ApacheModel(d2).profile(),
+        })
+        assert heavy[1].rates[1] == pytest.approx(light[1].rates[1],
+                                                  rel=0.05)
+        assert heavy[3].rates[3] == pytest.approx(light[3].rates[3],
+                                                  rel=0.01)
+
+    def test_compartment_mates_get_equal_cycle_shares(self):
+        """The fairness invariant itself: txn_rate x cycle_cost equal
+        for tenants sharing a compartment's core."""
+        d = self._deploy()
+        profiles = self._profiles(d)
+        results = solve_mixed_workloads(d, TrafficScenario.P2V, profiles)
+
+        def compartment_cycles(tenant):
+            from repro.perfmodel.paths import ResourceRegistry, build_flow_paths
+            registry = ResourceRegistry()
+            total = 0.0
+            k = d.compartment_of_tenant(tenant)
+            pool = f"cpu.{d.bridges[k].name}"
+            for phase in profiles[tenant].phases:
+                paths = build_flow_paths(d, TrafficScenario.P2V,
+                                         frame_bytes=phase.frame_bytes,
+                                         registry=registry,
+                                         reverse=phase.reverse)
+                for demand in paths[tenant].demands:
+                    if demand.resource.name == pool:
+                        total += demand.units_per_packet * phase.count
+            return total
+
+        share_0 = results[0].rates[0] * compartment_cycles(0)
+        share_1 = results[1].rates[1] * compartment_cycles(1)
+        assert share_0 == pytest.approx(share_1, rel=0.02)
+
+    def test_single_profile_mix_matches_solve_workload(self):
+        """A homogeneous mix must agree with the single-profile solver."""
+        from repro.workloads import solve_workload
+        d = self._deploy()
+        profile = ApacheModel(d).profile()
+        mixed = solve_mixed_workloads(d, TrafficScenario.P2V,
+                                      {t: profile for t in range(4)})
+        single = solve_workload(d, TrafficScenario.P2V, profile)
+        for t in range(4):
+            assert mixed[t].rates[t] == pytest.approx(single.rates[t],
+                                                      rel=0.01)
+
+    def test_iperf_tenant_goodput_derivable(self):
+        d = self._deploy()
+        results = solve_mixed_workloads(d, TrafficScenario.P2V,
+                                        self._profiles(d))
+        gbps = results[0].rates[0] * MSS_BYTES * 8 / 1e9
+        assert 0.5 < gbps < 10.0

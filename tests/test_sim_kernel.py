@@ -1,0 +1,135 @@
+"""The discrete-event kernel: ordering, cancellation, windows."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_call_later_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_later(2.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_cannot_schedule_into_the_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_later(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_fired == 0
+
+    def test_pending_skips_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        keep.cancel()
+        assert sim.pending() == 0
+
+
+class TestRunWindows:
+    def test_until_excludes_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # clock lands exactly on the window edge
+
+    def test_remaining_events_fire_on_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_peek_returns_next_timestamp(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.schedule(4.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek() == 2.0
+
+    def test_run_returns_fired_count(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run() == 4
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_cascading_events(self):
+        """An event scheduling another event at the same instant."""
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.call_later(0.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]

@@ -1,0 +1,113 @@
+"""DeploymentSpec validation and derived quantities."""
+
+import pytest
+
+from repro.core import DeploymentSpec, ResourceMode, SecurityLevel, TrafficScenario
+from repro.errors import ValidationError
+from tests.conftest import make_spec
+
+
+class TestValidation:
+    def test_level1_requires_single_vswitch_vm(self):
+        with pytest.raises(ValidationError):
+            make_spec(level=SecurityLevel.LEVEL_1, vms=2)
+
+    def test_level2_requires_multiple_vms(self):
+        with pytest.raises(ValidationError):
+            make_spec(level=SecurityLevel.LEVEL_2, vms=1)
+
+    def test_level2_cannot_exceed_tenants(self):
+        with pytest.raises(ValidationError):
+            make_spec(level=SecurityLevel.LEVEL_2, vms=5, tenants=4)
+
+    def test_dpdk_requires_isolated_mode(self):
+        """'only the isolated mode was used' for DPDK (section 4)."""
+        with pytest.raises(ValidationError):
+            make_spec(user_space=True, mode=ResourceMode.SHARED)
+
+    def test_dpdk_isolated_accepted(self):
+        spec = make_spec(user_space=True, mode=ResourceMode.ISOLATED)
+        assert spec.label == "L1+L3"
+
+    def test_baseline_needs_a_core(self):
+        with pytest.raises(ValidationError):
+            make_spec(level=SecurityLevel.BASELINE, baseline_cores=0)
+
+    def test_nic_port_range(self):
+        with pytest.raises(ValidationError):
+            make_spec(nic_ports=3)
+
+    def test_at_least_one_tenant(self):
+        with pytest.raises(ValidationError):
+            make_spec(tenants=0)
+
+
+class TestScenarioValidation:
+    def test_v2v_rejected_for_per_tenant_compartments(self):
+        """The paper could not evaluate 4 vswitch VMs in v2v."""
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=4)
+        with pytest.raises(ValidationError):
+            spec.validate_scenario(TrafficScenario.V2V)
+
+    def test_v2v_fine_with_two_tenants_per_compartment(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+        spec.validate_scenario(TrafficScenario.V2V)
+
+    def test_v2v_fine_for_baseline(self):
+        spec = make_spec(level=SecurityLevel.BASELINE)
+        spec.validate_scenario(TrafficScenario.V2V)
+
+    def test_p2p_always_fine(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=4)
+        spec.validate_scenario(TrafficScenario.P2P)
+
+
+class TestTenantAssignment:
+    def test_contiguous_blocks(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+        assert spec.tenants_of_compartment(0) == [0, 1]
+        assert spec.tenants_of_compartment(1) == [2, 3]
+
+    def test_per_tenant_compartments(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=4)
+        for k in range(4):
+            assert spec.tenants_of_compartment(k) == [k]
+
+    def test_uneven_split(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=3, tenants=4)
+        groups = [spec.tenants_of_compartment(k) for k in range(3)]
+        assert sorted(sum(groups, [])) == [0, 1, 2, 3]
+        assert max(len(g) for g in groups) - min(len(g) for g in groups) <= 1
+
+    def test_baseline_has_all_tenants_together(self):
+        spec = make_spec(level=SecurityLevel.BASELINE)
+        assert spec.tenants_of_compartment(0) == [0, 1, 2, 3]
+
+    def test_compartment_of_tenant_inverse(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2)
+        for t in range(4):
+            k = spec.compartment_of_tenant(t)
+            assert t in spec.tenants_of_compartment(k)
+
+    def test_unknown_tenant_rejected(self):
+        spec = make_spec()
+        with pytest.raises(ValidationError):
+            spec.compartment_of_tenant(99)
+
+
+class TestLabels:
+    @pytest.mark.parametrize("kwargs,expected", [
+        (dict(level=SecurityLevel.BASELINE), "Baseline(1)"),
+        (dict(level=SecurityLevel.BASELINE, baseline_cores=2,
+              user_space=True, mode=ResourceMode.ISOLATED), "Baseline(2)+L3"),
+        (dict(level=SecurityLevel.LEVEL_1), "L1"),
+        (dict(level=SecurityLevel.LEVEL_2, vms=2), "L2(2)"),
+        (dict(level=SecurityLevel.LEVEL_2, vms=4, user_space=True,
+              mode=ResourceMode.ISOLATED), "L2(4)+L3"),
+    ])
+    def test_labels(self, kwargs, expected):
+        assert make_spec(**kwargs).label == expected
+
+    def test_num_compartments(self):
+        assert make_spec(level=SecurityLevel.BASELINE).num_compartments == 0
+        assert make_spec(level=SecurityLevel.LEVEL_2, vms=2).num_compartments == 2

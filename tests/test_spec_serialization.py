@@ -1,0 +1,76 @@
+"""Spec JSON round-tripping and CLI config files."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cli import main
+from repro.core import DeploymentSpec, ResourceMode, SecurityLevel
+from repro.core.spec import ArpMode, CompartmentKind
+from repro.errors import ValidationError
+from tests.test_deployment_properties import specs
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_everything_set_round_trip(self):
+        spec = DeploymentSpec(
+            level=SecurityLevel.LEVEL_2, num_tenants=4, num_vswitch_vms=2,
+            resource_mode=ResourceMode.SHARED, user_space=False,
+            baseline_cores=2, nic_ports=1, tenant_cores=3,
+            arp_mode=ArpMode.PROXY, tunneling=True, tunnel_vni_base=7000,
+            zone_of_tenant=(0, 1, 1, 1),
+            compartment_kind=CompartmentKind.CONTAINER,
+            premium_compartments=(0,),
+        )
+        restored = DeploymentSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_json_serializable(self):
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_1, tunneling=True)
+        text = json.dumps(spec.to_dict())
+        assert DeploymentSpec.from_dict(json.loads(text)) == spec
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs())
+    def test_round_trip_property(self, spec):
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_partial_dict_uses_defaults(self):
+        spec = DeploymentSpec.from_dict({"level": "level1"})
+        assert spec.num_tenants == 4
+        assert spec.resource_mode is ResourceMode.SHARED
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            DeploymentSpec.from_dict({"level": "level1", "typo": 1})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValidationError):
+            DeploymentSpec.from_dict({"level": "level2",
+                                      "num_vswitch_vms": 1})
+
+
+class TestCliConfig:
+    def test_describe_from_config_file(self, tmp_path, capsys):
+        config = tmp_path / "spec.json"
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=4)
+        config.write_text(json.dumps(spec.to_dict()))
+        assert main(["describe", "--config", str(config)]) == 0
+        out = capsys.readouterr().out
+        assert "L2(4)" in out
+        assert "vsw3" in out
+
+    def test_config_overrides_flags(self, tmp_path, capsys):
+        config = tmp_path / "spec.json"
+        config.write_text(json.dumps(
+            DeploymentSpec(level=SecurityLevel.BASELINE).to_dict()))
+        assert main(["describe", "--level", "l2", "--vms", "2",
+                     "--config", str(config)]) == 0
+        assert "Baseline(1)" in capsys.readouterr().out

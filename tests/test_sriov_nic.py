@@ -1,0 +1,270 @@
+"""SR-IOV NIC: VF lifecycle, VEB forwarding, filters, spoof check."""
+
+import pytest
+
+from repro.errors import ConfigurationError, VFExhaustedError
+from repro.net import Frame, Link, MacAddress, Port
+from repro.sim import Simulator
+from repro.sriov import FilterAction, FunctionKind, SriovNic, WildcardFilter
+from repro.sriov.switch import UNTAGGED, UPLINK
+
+
+def build_nic(sim=None, **kwargs):
+    return SriovNic(sim if sim is not None else Simulator(), **kwargs)
+
+
+def frame(src, dst, **kwargs):
+    return Frame(src_mac=src, dst_mac=dst, **kwargs)
+
+
+class TestVfLifecycle:
+    def test_create_and_configure(self):
+        nic = build_nic()
+        port = nic.port(0)
+        vf = port.create_vf()
+        mac = MacAddress(0x10)
+        port.configure_vf(vf, mac, vlan=100, spoof_check=True,
+                          kind=FunctionKind.TENANT)
+        assert vf.mac == mac
+        assert vf.vlan == 100
+        assert vf.spoof_check
+        assert vf.name == "pf0vf0"
+
+    def test_vf_limit_is_64_per_pf(self):
+        nic = build_nic()
+        port = nic.port(0)
+        for _ in range(64):
+            port.create_vf()
+        with pytest.raises(VFExhaustedError):
+            port.create_vf()
+
+    def test_custom_vf_limit(self):
+        nic = build_nic(max_vfs_per_pf=2)
+        port = nic.port(0)
+        port.create_vf()
+        port.create_vf()
+        with pytest.raises(VFExhaustedError):
+            port.create_vf()
+
+    def test_double_attach_rejected(self):
+        nic = build_nic()
+        port = nic.port(0)
+        vf = port.create_vf()
+        port.attach_vf(vf, "vm-a")
+        with pytest.raises(ConfigurationError):
+            port.attach_vf(vf, "vm-b")
+
+    def test_total_vfs_across_ports(self):
+        nic = build_nic()
+        nic.port(0).create_vf()
+        nic.port(1).create_vf()
+        nic.port(1).create_vf()
+        assert nic.total_vfs() == 3
+
+    def test_reconfigure_rehomes_vlan_domain(self):
+        nic = build_nic()
+        port = nic.port(0)
+        vf = port.create_vf()
+        port.configure_vf(vf, MacAddress(0x1), vlan=100)
+        assert vf.name in port.veb.members(100)
+        port.configure_vf(vf, MacAddress(0x1), vlan=200)
+        assert vf.name not in port.veb.members(100)
+        assert vf.name in port.veb.members(200)
+
+    def test_invalid_port_count(self):
+        with pytest.raises(ConfigurationError):
+            build_nic(num_ports=0)
+
+    def test_foreign_vf_rejected(self):
+        nic = build_nic()
+        vf = nic.port(0).create_vf()
+        with pytest.raises(ConfigurationError):
+            nic.port(1).configure_vf(vf, MacAddress(1))
+
+
+class _Wired:
+    """Two VFs in one VLAN, one untagged VF, an uplink, and VM stubs."""
+
+    def __init__(self, spoof=False):
+        self.sim = Simulator()
+        self.nic = build_nic(self.sim)
+        port = self.nic.port(0)
+        self.port = port
+
+        self.received = {}
+
+        def make_vf(name, mac, vlan, kind, spoof_check=False):
+            vf = port.create_vf()
+            port.configure_vf(vf, mac, vlan=vlan, spoof_check=spoof_check,
+                              kind=kind)
+            port.attach_vf(vf, name)
+            self.received[name] = []
+            vf.port.rx.connect(
+                lambda f, n=name: self.received[n].append(f))
+            return vf
+
+        self.t0 = make_vf("tenant0", MacAddress(0x10), 100,
+                          FunctionKind.TENANT, spoof_check=spoof)
+        self.gw0 = make_vf("gw0", MacAddress(0x20), 100,
+                           FunctionKind.GATEWAY)
+        self.inout = make_vf("inout", MacAddress(0x30), None,
+                             FunctionKind.IN_OUT)
+        self.other = make_vf("other", MacAddress(0x40), 200,
+                             FunctionKind.TENANT)
+
+        self.wire = []
+        sink = Port("sink", lambda f: self.wire.append(f))
+        port.connect_fabric(Link(self.sim, sink))
+
+
+class TestVebForwarding:
+    def test_same_vlan_vf_to_vf(self):
+        w = _Wired()
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x20)))
+        w.sim.run()
+        assert len(w.received["gw0"]) == 1
+
+    def test_vlan_tag_popped_on_access_delivery(self):
+        w = _Wired()
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x20)))
+        w.sim.run()
+        assert w.received["gw0"][0].vlan is None
+
+    def test_cross_vlan_unicast_does_not_reach_other_tenant(self):
+        """VLAN isolation: tenant0 addressing tenant 'other' directly is
+        not delivered to it (unknown in VLAN 100 -> goes to the wire,
+        tagged)."""
+        w = _Wired()
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x40)))
+        w.sim.run()
+        assert w.received["other"] == []
+
+    def test_unknown_unicast_from_vf_goes_to_uplink_tagged(self):
+        w = _Wired()
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x99)))
+        w.sim.run()
+        assert len(w.wire) == 1
+        assert w.wire[0].vlan == 100  # leaves tagged with the VLAN
+
+    def test_untagged_domain_to_uplink_untagged(self):
+        w = _Wired()
+        w.inout.port.transmit(frame(MacAddress(0x30), MacAddress(0x99)))
+        w.sim.run()
+        assert len(w.wire) == 1
+        assert w.wire[0].vlan is None
+
+    def test_frame_from_wire_delivered_by_dmac(self):
+        w = _Wired()
+        w.port.fabric_rx.receive(frame(MacAddress(0x99), MacAddress(0x30)))
+        w.sim.run()
+        assert len(w.received["inout"]) == 1
+
+    def test_broadcast_floods_vlan_domain_only(self):
+        from repro.net import BROADCAST_MAC
+        w = _Wired()
+        w.t0.port.transmit(frame(MacAddress(0x10), BROADCAST_MAC))
+        w.sim.run()
+        assert len(w.received["gw0"]) == 1
+        assert w.received["other"] == []     # different VLAN
+        assert w.received["inout"] == []     # untagged domain
+        assert len(w.wire) == 1              # uplink is a domain member
+
+    def test_hairpin_to_self_dropped(self):
+        w = _Wired()
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x10)))
+        w.sim.run()
+        assert all(not v for v in w.received.values())
+        assert w.port.drops.no_destination == 1
+
+    def test_crossing_latency_is_microseconds(self):
+        w = _Wired()
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x20)))
+        w.sim.run()
+        # 2 DMA transfers + VEB: a few microseconds, "negligible".
+        assert 1e-6 < w.sim.now < 10e-6
+
+
+class TestSpoofCheck:
+    def test_spoofed_source_dropped(self):
+        w = _Wired(spoof=True)
+        w.t0.port.transmit(frame(MacAddress(0x66), MacAddress(0x20)))
+        w.sim.run()
+        assert w.received["gw0"] == []
+        assert w.t0.stats.spoof_drops == 1
+        assert w.nic.total_drops().spoof == 1
+
+    def test_correct_source_passes(self):
+        w = _Wired(spoof=True)
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x20)))
+        w.sim.run()
+        assert len(w.received["gw0"]) == 1
+
+    def test_spoof_check_disabled_allows_any_source(self):
+        w = _Wired(spoof=False)
+        w.t0.port.transmit(frame(MacAddress(0x66), MacAddress(0x20)))
+        w.sim.run()
+        assert len(w.received["gw0"]) == 1
+
+
+class TestWildcardFilters:
+    def test_drop_filter_blocks_tenant(self):
+        w = _Wired()
+        w.nic.install_filter(WildcardFilter(
+            action=FilterAction.DROP, priority=5, ingress_vf="pf0vf0",
+            name="drop-tenant0"))
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x20)))
+        w.sim.run()
+        assert w.received["gw0"] == []
+        assert w.t0.stats.filter_drops == 1
+
+    def test_higher_priority_allow_overrides(self):
+        w = _Wired()
+        w.nic.install_filter(WildcardFilter(
+            action=FilterAction.ALLOW, priority=10, ingress_vf="pf0vf0",
+            dst_mac=MacAddress(0x20), name="allow-gw"))
+        w.nic.install_filter(WildcardFilter(
+            action=FilterAction.DROP, priority=5, ingress_vf="pf0vf0",
+            name="drop-rest"))
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x20)))
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x30)))
+        w.sim.run()
+        assert len(w.received["gw0"]) == 1
+        assert w.received["inout"] == []
+
+    def test_filters_do_not_apply_to_other_vfs(self):
+        w = _Wired()
+        w.nic.install_filter(WildcardFilter(
+            action=FilterAction.DROP, priority=5, ingress_vf="pf0vf0",
+            name="drop-tenant0"))
+        w.gw0.port.transmit(frame(MacAddress(0x20), MacAddress(0x10)))
+        w.sim.run()
+        assert len(w.received["tenant0"]) == 1
+
+    def test_filter_removal(self):
+        w = _Wired()
+        w.nic.install_filter(WildcardFilter(
+            action=FilterAction.DROP, priority=5, ingress_vf="pf0vf0",
+            name="tmp"))
+        assert w.nic.filters.remove("tmp") == 1
+        w.t0.port.transmit(frame(MacAddress(0x10), MacAddress(0x20)))
+        w.sim.run()
+        assert len(w.received["gw0"]) == 1
+
+
+class TestVebTable:
+    def test_static_entries_pinned_by_config(self):
+        w = _Wired()
+        entry = w.port.veb.lookup(100, MacAddress(0x10))
+        assert entry is not None and entry.static
+
+    def test_learning_does_not_displace_static(self):
+        w = _Wired()
+        assert not w.port.veb.learn(100, MacAddress(0x10), UPLINK)
+
+    def test_learning_from_uplink_frames(self):
+        w = _Wired()
+        w.port.fabric_rx.receive(frame(MacAddress(0x99), MacAddress(0x30)))
+        w.sim.run()
+        # Reverse traffic now unicasts to the uplink without flooding.
+        entry = w.port.veb.lookup(UNTAGGED, MacAddress(0x99))
+        assert entry is not None and entry.dest == UPLINK

@@ -1,0 +1,155 @@
+"""Statistics helpers: percentiles, CIs, summaries."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.measure import SummaryStats, mean_confidence_interval, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_quartiles(self):
+        values = list(range(1, 101))
+        assert percentile(values, 25) == pytest.approx(25.75)
+        assert percentile(values, 75) == pytest.approx(75.25)
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_within_range(self, values, q):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2))
+    def test_percentile_monotone_in_q(self, values):
+        qs = [0, 25, 50, 75, 100]
+        ps = [percentile(values, q) for q in qs]
+        assert ps == sorted(ps)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        mean, half = mean_confidence_interval([5.0])
+        assert mean == 5.0
+        assert half == 0.0
+
+    def test_identical_samples_zero_width(self):
+        mean, half = mean_confidence_interval([2.0] * 5)
+        assert mean == 2.0
+        assert half == 0.0
+
+    def test_known_case(self):
+        # n=5, t(4) = 2.776
+        values = [10.0, 12.0, 14.0, 16.0, 18.0]
+        mean, half = mean_confidence_interval(values)
+        assert mean == 14.0
+        std_err = math.sqrt(10.0 / 5)  # sample variance 10
+        assert half == pytest.approx(2.776 * std_err)
+
+    def test_more_samples_tighter_interval(self):
+        import random
+        rng = random.Random(0)
+        small = [rng.gauss(0, 1) for _ in range(5)]
+        large = small * 10
+        _, half_small = mean_confidence_interval(small)
+        _, half_large = mean_confidence_interval(large)
+        assert half_large < half_small
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_only_95_supported(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], confidence=0.99)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.median == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.iqr == pytest.approx(stats.p75 - stats.p25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_ordering_invariants(self, values):
+        stats = summarize(values)
+        assert (stats.minimum <= stats.p25 <= stats.median
+                <= stats.p75 <= stats.p99 <= stats.maximum)
+        eps = 1e-9 * max(1.0, abs(stats.minimum), abs(stats.maximum))
+        assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+        assert stats.std >= 0
+
+
+class TestReporting:
+    def test_table_render_contains_series_and_values(self):
+        from repro.measure import Series, Table
+        table = Table(title="demo", unit="Mpps", fmt=lambda v: f"{v:.1f}")
+        s = Series(label="L1")
+        s.add("p2p", 1.0)
+        s.add("p2v", 0.5)
+        table.add_series(s)
+        text = table.render()
+        assert "demo" in text and "L1" in text
+        assert "1.0" in text and "0.5" in text
+
+    def test_missing_cells_render_dash(self):
+        from repro.measure import Series, Table
+        table = Table(title="demo")
+        a = Series(label="a")
+        a.add("x", 1.0)
+        b = Series(label="b")
+        b.add("y", 2.0)
+        table.add_series(a)
+        table.add_series(b)
+        text = table.render()
+        assert "-" in text
+
+    def test_series_by_label(self):
+        from repro.measure import Series, Table
+        table = Table(title="t")
+        table.add_series(Series(label="a"))
+        assert table.series_by_label("a").label == "a"
+        with pytest.raises(KeyError):
+            table.series_by_label("missing")
+
+    def test_columns_in_first_seen_order(self):
+        from repro.measure import Series, Table
+        table = Table(title="t")
+        s1 = Series(label="one")
+        s1.add("p2p", 1)
+        s1.add("p2v", 2)
+        table.add_series(s1)
+        s2 = Series(label="two")
+        s2.add("v2v", 3)
+        table.add_series(s2)
+        assert table.columns() == ["p2p", "p2v", "v2v"]

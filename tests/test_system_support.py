@@ -1,0 +1,137 @@
+"""Section 3.2 "System support": tunneling, proxy ARP, controller."""
+
+import pytest
+
+from repro.core import (
+    ArpMode,
+    ResourceMode,
+    SecurityLevel,
+    TrafficScenario,
+    build_deployment,
+)
+from repro.net import Frame, MacAddress
+from repro.traffic import TestbedHarness
+from repro.vswitch.actions import TUNNEL_OVERHEAD_BYTES
+from tests.conftest import make_spec
+
+LG_MAC = MacAddress.parse("02:1b:00:00:00:01")
+
+
+class TestTunneling:
+    """"advanced multi-tenant cloud systems rely on tunneling protocols
+    to support L2 virtual networks. This is also supported by MTS" """
+
+    def _deploy(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_1, tunneling=True)
+        return build_deployment(spec, TrafficScenario.P2V)
+
+    def _send(self, d, vni, tenant=0, dst_ip=None):
+        frame = Frame(
+            src_mac=LG_MAC,
+            dst_mac=d.ingress_dmac_for_tenant(tenant, 0),
+            src_ip=d.plan.external_ip(0),
+            dst_ip=dst_ip if dst_ip is not None else d.plan.tenant_ip(tenant),
+            tunnel_id=vni,
+            size_bytes=64 + TUNNEL_OVERHEAD_BYTES,
+            flow_id=tenant,
+        )
+        d.external_ingress(0).receive(frame)
+        d.sim.run(until=d.sim.now + 1.0)
+        return frame
+
+    def test_encapsulated_frame_decapped_and_delivered(self):
+        d = self._deploy()
+        h = TestbedHarness(d)
+        frame = self._send(d, vni=d.plan.vni(0))
+        assert h.sink.total == 1
+        # The egress chain re-encapsulated with the tenant's VNI.
+        assert frame.tunnel_id == d.plan.vni(0)
+
+    def test_wrong_vni_not_delivered(self):
+        """The tunnel id gates the tenant lookup: tenant 1's VNI with
+        tenant 0's IP matches no ingress rule."""
+        d = self._deploy()
+        h = TestbedHarness(d)
+        self._send(d, vni=d.plan.vni(1), tenant=0)
+        assert h.sink.total == 0
+        assert d.bridges[0].drops_no_match >= 1
+
+    def test_untunneled_frame_dropped_when_tunneling_on(self):
+        d = self._deploy()
+        h = TestbedHarness(d)
+        frame = Frame(src_mac=LG_MAC,
+                      dst_mac=d.ingress_dmac_for_tenant(0, 0),
+                      dst_ip=d.plan.tenant_ip(0))
+        d.external_ingress(0).receive(frame)
+        d.sim.run(until=d.sim.now + 1.0)
+        assert h.sink.total == 0
+
+    def test_harness_tunnels_flows_automatically(self):
+        d = self._deploy()
+        h = TestbedHarness(d)
+        h.configure_tenant_flows(rate_per_flow_pps=1000,
+                                 frame_bytes=64 + TUNNEL_OVERHEAD_BYTES)
+        result = h.run(duration=0.01)
+        assert result.delivered == result.sent
+
+
+class TestProxyArp:
+    """"or using the centralized controller and vswitch as a
+    proxy-ARP/ARP-responder" """
+
+    def test_responder_answers_gateway_queries(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_1, arp_mode=ArpMode.PROXY)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        responder = d.controller.proxy_arp[0]
+        for t in range(4):
+            assert responder.respond(d.plan.tenant_gw_ip(t)) == d.gw_vf[(t, 0)].mac
+
+    def test_responder_knows_tenant_bindings(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_1, arp_mode=ArpMode.PROXY)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        responder = d.controller.proxy_arp[0]
+        assert responder.respond(d.plan.tenant_ip(2)) == d.tenant_vf[(2, 0)].mac
+
+    def test_proxy_mode_skips_static_entries(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_1, arp_mode=ArpMode.PROXY)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        assert len(d.tenant_arp[0]) == 0
+
+    def test_static_mode_skips_responder(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_1, arp_mode=ArpMode.STATIC)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        assert d.controller.proxy_arp == {}
+
+    def test_per_compartment_responders(self):
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2,
+                         arp_mode=ArpMode.PROXY)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        assert set(d.controller.proxy_arp) == {0, 1}
+        # Each responder only knows its own tenants.
+        assert d.controller.proxy_arp[0].respond(d.plan.tenant_gw_ip(3)) is None
+
+
+class TestControllerAccounting:
+    def test_rule_count_scales_with_tenants_and_ports(self):
+        two = build_deployment(make_spec(level=SecurityLevel.LEVEL_1,
+                                         tenants=2),
+                               TrafficScenario.P2V)
+        four = build_deployment(make_spec(level=SecurityLevel.LEVEL_1,
+                                          tenants=4),
+                                TrafficScenario.P2V)
+        assert four.controller.rules_installed == 2 * two.controller.rules_installed
+
+    def test_egress_port_hairpins_on_single_port(self):
+        d = build_deployment(make_spec(level=SecurityLevel.LEVEL_1,
+                                       nic_ports=1),
+                             TrafficScenario.P2V)
+        assert d.egress_port_index() == 0
+
+    def test_v2v_partner_wraps_within_compartment(self):
+        d = build_deployment(make_spec(level=SecurityLevel.LEVEL_2, vms=2),
+                             TrafficScenario.V2V)
+        view = d.compartment_views[0]
+        assert d.controller.v2v_partner(view, 0) == 1
+        assert d.controller.v2v_partner(view, 1) == 0
+        view1 = d.compartment_views[1]
+        assert d.controller.v2v_partner(view1, 2) == 3

@@ -1,0 +1,69 @@
+"""Unit helpers: line rates, wire times, formatting."""
+
+import pytest
+
+from repro import units
+
+
+class TestLineRate:
+    def test_64b_line_rate_on_10g_is_14_88_mpps(self):
+        assert units.line_rate_pps(10 * units.GBPS, 64) == pytest.approx(
+            14.88e6, rel=0.001
+        )
+
+    def test_module_constant_matches_function(self):
+        assert units.LINE_RATE_10G_64B_PPS == pytest.approx(
+            units.line_rate_pps(10 * units.GBPS, 64)
+        )
+
+    def test_1500b_line_rate(self):
+        # (1500 + 20) * 8 bits per frame.
+        assert units.line_rate_pps(10 * units.GBPS, 1500) == pytest.approx(
+            10e9 / (1520 * 8)
+        )
+
+    def test_larger_frames_mean_fewer_pps(self):
+        rates = [units.line_rate_pps(10 * units.GBPS, s)
+                 for s in (64, 512, 1500, 2048)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_rejects_nonpositive_frame(self):
+        with pytest.raises(ValueError):
+            units.line_rate_pps(10 * units.GBPS, 0)
+
+
+class TestWireTime:
+    def test_wire_time_is_inverse_of_rate(self):
+        rate = units.line_rate_pps(10 * units.GBPS, 64)
+        assert units.wire_time(10 * units.GBPS, 64) == pytest.approx(1.0 / rate)
+
+    def test_64b_on_10g_is_67ns(self):
+        assert units.wire_time(10 * units.GBPS, 64) == pytest.approx(
+            67.2e-9, rel=0.001
+        )
+
+
+class TestConversions:
+    def test_pps_to_bps(self):
+        assert units.pps_to_bps(1e6, 64) == pytest.approx(512e6)
+
+
+class TestFormatting:
+    def test_fmt_rate_pps_mpps(self):
+        assert units.fmt_rate_pps(2.3e6) == "2.30 Mpps"
+
+    def test_fmt_rate_pps_kpps(self):
+        assert units.fmt_rate_pps(10_000) == "10.0 kpps"
+
+    def test_fmt_rate_pps_small(self):
+        assert units.fmt_rate_pps(500) == "500 pps"
+
+    def test_fmt_rate_bps(self):
+        assert units.fmt_rate_bps(9.41e9) == "9.41 Gbps"
+        assert units.fmt_rate_bps(100e6) == "100.0 Mbps"
+
+    def test_fmt_time_scales(self):
+        assert units.fmt_time(1.5) == "1.50 s"
+        assert units.fmt_time(2e-3) == "2.00 ms"
+        assert units.fmt_time(13.4e-6) == "13.4 us"
+        assert units.fmt_time(250e-9) == "250 ns"

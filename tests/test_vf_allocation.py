@@ -1,0 +1,76 @@
+"""Section 3.2's VF budgeting formulas and the paper's examples."""
+
+import pytest
+
+from repro.core import SecurityLevel, vf_budget
+from repro.core.vf_allocation import max_tenants, vf_budget_for_spec
+from repro.errors import ValidationError
+from tests.conftest import make_spec
+
+
+class TestPaperExamples:
+    """The exact numbers quoted in section 3.2."""
+
+    def test_level1_one_tenant_is_3(self):
+        assert vf_budget(SecurityLevel.LEVEL_1, 1, nic_ports=1).total == 3
+
+    def test_level1_four_tenants_is_9(self):
+        assert vf_budget(SecurityLevel.LEVEL_1, 4, nic_ports=1).total == 9
+
+    def test_level2_two_tenants_is_6(self):
+        assert vf_budget(SecurityLevel.LEVEL_2, 2, num_vswitch_vms=2,
+                         nic_ports=1).total == 6
+
+    def test_level2_four_tenants_is_12(self):
+        assert vf_budget(SecurityLevel.LEVEL_2, 4, num_vswitch_vms=4,
+                         nic_ports=1).total == 12
+
+
+class TestGeneralized:
+    def test_two_ports_double_the_budget(self):
+        one = vf_budget(SecurityLevel.LEVEL_1, 4, nic_ports=1)
+        two = vf_budget(SecurityLevel.LEVEL_1, 4, nic_ports=2)
+        assert two.total == 2 * one.total
+
+    def test_baseline_needs_no_vfs(self):
+        assert vf_budget(SecurityLevel.BASELINE, 4).total == 0
+
+    def test_level2_fewer_vms_than_tenants(self):
+        budget = vf_budget(SecurityLevel.LEVEL_2, 4, num_vswitch_vms=2,
+                           nic_ports=1)
+        assert budget.in_out == 2
+        assert budget.gateway == 4
+        assert budget.tenant == 4
+
+    def test_fits_against_64_limit(self):
+        assert vf_budget(SecurityLevel.LEVEL_1, 20, nic_ports=1).fits()
+        assert not vf_budget(SecurityLevel.LEVEL_1, 40, nic_ports=1).fits()
+
+    def test_budget_matches_built_deployment(self):
+        """The formulas must agree with what the builder actually
+        creates on the NIC."""
+        from repro.core import TrafficScenario, build_deployment
+        spec = make_spec(level=SecurityLevel.LEVEL_2, vms=2, nic_ports=2)
+        deployment = build_deployment(spec, TrafficScenario.P2V)
+        assert deployment.server.nic.total_vfs() == vf_budget_for_spec(spec).total
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            vf_budget(SecurityLevel.LEVEL_1, 0)
+        with pytest.raises(ValidationError):
+            vf_budget(SecurityLevel.LEVEL_1, 1, nic_ports=0)
+
+
+class TestScalingCeiling:
+    def test_level1_max_tenants_at_64_vfs(self):
+        # 1 + 2T <= 64  ->  T = 31
+        assert max_tenants(SecurityLevel.LEVEL_1, nic_ports=1) == 31
+
+    def test_per_tenant_level2_max(self):
+        # 3T <= 64 -> T = 21
+        assert max_tenants(SecurityLevel.LEVEL_2, nic_ports=1,
+                           per_tenant_vswitch=True) == 21
+
+    def test_smaller_nic_limit(self):
+        assert max_tenants(SecurityLevel.LEVEL_1, nic_ports=1,
+                           max_vfs_per_pf=8) == 3
