@@ -1,0 +1,15 @@
+PYTHON ?= python
+
+.PHONY: test bench bench-update
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Run the benchmark suite and fail if any benchmark regressed more
+# than 20% against the recorded baseline (BENCH_fastpath.json).
+bench:
+	$(PYTHON) tool/bench.py
+
+# Re-record the baseline after an intentional performance change.
+bench-update:
+	$(PYTHON) tool/bench.py --update

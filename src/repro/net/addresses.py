@@ -54,6 +54,11 @@ class MacAddress:
     def is_locally_administered(self) -> bool:
         return bool((self.value >> 40) & 0x02)
 
+    def __hash__(self) -> int:
+        # Hot path: addresses key every fast-path cache, and hashing the
+        # raw int skips the tuple the generated dataclass hash builds.
+        return hash(self.value)
+
     def __str__(self) -> str:
         octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
         return ":".join(f"{o:02x}" for o in octets)
@@ -104,6 +109,10 @@ class IPv4Address:
     def offset(self, delta: int) -> "IPv4Address":
         """Address ``delta`` positions away (used by allocators)."""
         return IPv4Address(self.value + delta)
+
+    def __hash__(self) -> int:
+        # Hot path: see MacAddress.__hash__.
+        return hash(self.value)
 
     def __str__(self) -> str:
         octets = [(self.value >> shift) & 0xFF for shift in range(24, -8, -8)]

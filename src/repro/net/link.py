@@ -71,15 +71,23 @@ class Link:
         """Time to clock the frame onto the wire (incl. 20 B phy overhead)."""
         return (frame.wire_size() + 20) * 8.0 / self.bandwidth_bps
 
-    def send(self, frame: Frame) -> float:
-        """Schedule the frame for delivery; returns its arrival time."""
-        start = max(self.sim.now, self._busy_until)
+    def send(self, frame: Frame, at: Optional[float] = None) -> float:
+        """Schedule the frame for delivery; returns its arrival time.
+
+        ``at`` lets burst emitters hand the link a frame whose wire
+        entry time lies (analytically) in the near future: the frame is
+        serialized from ``at`` instead of ``sim.now``, so a burst of N
+        frames submitted in one event carries the same per-packet
+        timestamps as N individually scheduled sends.
+        """
+        t = self.sim.now if at is None else at
+        start = t if t > self._busy_until else self._busy_until
         if self.tap is not None:
             self.tap._notify(frame, start)
         tx_done = start + self.serialization_time(frame)
         self._busy_until = tx_done
         arrival = tx_done + self.propagation_delay
-        frame.charge("wire", arrival - self.sim.now)
+        frame.charge("wire", arrival - t)
         self.tx_frames += 1
         self.tx_bytes += frame.wire_size()
         self.sim.schedule(arrival, self.dst.receive, frame)

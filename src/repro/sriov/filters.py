@@ -80,20 +80,29 @@ class FilterChain:
     filters are the extra, operator-installed guard rails.
     """
 
+    #: Bound on memoized verdicts.
+    MEMO_CAPACITY = 65536
+
     def __init__(self, default: FilterAction = FilterAction.ALLOW) -> None:
         self.default = default
         self._filters: List[WildcardFilter] = []
         self.evaluations = 0
         self.drops = 0
+        # Verdicts depend only on (vf.name, vf.vlan, src_mac, dst_mac) --
+        # everything WildcardFilter.matches can see -- so the chain walk
+        # is memoized per that key and flushed on install/remove.
+        self._memo: dict = {}
 
     def install(self, flt: WildcardFilter) -> None:
         self._filters.append(flt)
         self._filters.sort(key=lambda f: -f.priority)
+        self._memo.clear()
 
     def remove(self, name: str) -> int:
         """Remove all filters with the given name; returns the count."""
         before = len(self._filters)
         self._filters = [f for f in self._filters if f.name != name]
+        self._memo.clear()
         return before - len(self._filters)
 
     def __len__(self) -> int:
@@ -102,11 +111,17 @@ class FilterChain:
     def evaluate(self, vf: VirtualFunction, frame: Frame) -> FilterAction:
         """First matching filter decides; otherwise the default applies."""
         self.evaluations += 1
-        action = self.default
-        for flt in self._filters:
-            if flt.matches(vf, frame):
-                action = flt.action
-                break
+        key = (vf.name, vf.vlan, frame.src_mac, frame.dst_mac)
+        action = self._memo.get(key)
+        if action is None:
+            action = self.default
+            for flt in self._filters:
+                if flt.matches(vf, frame):
+                    action = flt.action
+                    break
+            if len(self._memo) >= self.MEMO_CAPACITY:
+                self._memo.pop(next(iter(self._memo)))
+            self._memo[key] = action
         if action == FilterAction.DROP:
             self.drops += 1
         return action

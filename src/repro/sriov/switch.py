@@ -51,8 +51,21 @@ class ForwardingDecision:
     reason: str = "hit"
 
 
+#: Bound on the VEB's cached forwarding decisions.
+DECISION_CACHE_CAPACITY = 65536
+
+
 class VebSwitch:
-    """Per-physical-port VEB: VLAN domains with MAC learning tables."""
+    """Per-physical-port VEB: VLAN domains with MAC learning tables.
+
+    Forwarding decisions are memoized per ``(ingress, vlan, src_mac,
+    dst_mac)`` -- the exact-match-cache shape of the vswitch fast path,
+    applied to the hardware switch.  The cache is flushed whenever the
+    MAC table or domain membership actually changes (a learn that
+    installs or re-homes an entry, ``attach``/``detach``); pure
+    ``last_seen`` refreshes keep it warm.  Counters (``lookups``,
+    ``floods``, ``unknown_unicasts``) stay exact on cached hits.
+    """
 
     def __init__(self, name: str = "veb") -> None:
         self.name = name
@@ -63,6 +76,10 @@ class VebSwitch:
         self.lookups = 0
         self.floods = 0
         self.unknown_unicasts = 0
+        # (ingress, vlan, src_mac, dst_mac) ->
+        #   (destinations, flooded, reason, lookup/flood/unknown deltas)
+        self._decisions: Dict[Tuple, Tuple] = {}
+        self.decision_cache_hits = 0
 
     # -- membership & static entries ------------------------------------
 
@@ -79,6 +96,7 @@ class VebSwitch:
             members.append(vf.name)
         if vf.mac is not None:
             self._table[(domain, vf.mac)] = MacEntry(dest=vf.name, static=True)
+        self._decisions.clear()
 
     def detach(self, vf: VirtualFunction) -> None:
         """Remove a function from its domain (before re-configuring it)."""
@@ -90,6 +108,7 @@ class VebSwitch:
                  if entry.dest == vf.name]
         for key in stale:
             del self._table[key]
+        self._decisions.clear()
 
     def members(self, vlan: int) -> List[str]:
         return list(self._members.get(vlan, []))
@@ -102,7 +121,13 @@ class VebSwitch:
         existing = self._table.get(key)
         if existing is not None and existing.static:
             return False
+        if existing is not None and existing.dest == dest:
+            # Pure refresh: the table's forwarding content is unchanged,
+            # so cached decisions stay valid.
+            existing.last_seen = now
+            return True
         self._table[key] = MacEntry(dest=dest, static=False, last_seen=now)
+        self._decisions.clear()
         return True
 
     def lookup(self, vlan: int, mac: MacAddress) -> Optional[MacEntry]:
@@ -118,6 +143,34 @@ class VebSwitch:
                 now: float = 0.0) -> ForwardingDecision:
         """Decide egress for a frame that entered domain ``vlan`` from
         ``ingress`` (a function name or :data:`UPLINK`)."""
+        key = (ingress, vlan, frame.src_mac, frame.dst_mac)
+        cached = self._decisions.get(key)
+        if cached is not None:
+            dests, flooded, reason, d_lookups, d_floods, d_unknown = cached
+            self.decision_cache_hits += 1
+            self.lookups += d_lookups
+            self.floods += d_floods
+            self.unknown_unicasts += d_unknown
+            # The source entry was learned when this decision was cached
+            # (any change since would have flushed); refresh its age.
+            entry = self._table.get((vlan, frame.src_mac))
+            if entry is not None and not entry.static:
+                entry.last_seen = now
+            return ForwardingDecision(destinations=list(dests),
+                                      flooded=flooded, reason=reason)
+        before = (self.lookups, self.floods, self.unknown_unicasts)
+        decision = self._forward_uncached(ingress, vlan, frame, now)
+        if len(self._decisions) >= DECISION_CACHE_CAPACITY:
+            self._decisions.pop(next(iter(self._decisions)))
+        self._decisions[key] = (
+            tuple(decision.destinations), decision.flooded, decision.reason,
+            self.lookups - before[0], self.floods - before[1],
+            self.unknown_unicasts - before[2])
+        return decision
+
+    def _forward_uncached(self, ingress: str, vlan: int, frame: Frame,
+                          now: float = 0.0) -> ForwardingDecision:
+        """The uncached forwarding walk (also the fuzz-test oracle)."""
         # Learn the source everywhere, including the uplink -- replies
         # then unicast to the wire instead of flooding.
         self.learn(vlan, frame.src_mac, ingress, now)

@@ -64,6 +64,11 @@ class VirtualFunction:
     port: PortPair = field(init=False)
 
     def __post_init__(self) -> None:
+        # Both name forms are fixed by (pf_index, index); precompute them
+        # so the hot-path ``name`` property is a plain attribute pick
+        # (it keys the NIC filter memo on every ingress frame).
+        self._pf_name = f"pf{self.pf_index}"
+        self._vf_name = f"pf{self.pf_index}vf{self.index}"
         self.port = PortPair(self.name)
 
     @property
@@ -73,8 +78,8 @@ class VirtualFunction:
     @property
     def name(self) -> str:
         if self.kind == FunctionKind.PF:
-            return f"pf{self.pf_index}"
-        return f"pf{self.pf_index}vf{self.index}"
+            return self._pf_name
+        return self._vf_name
 
     @property
     def configured(self) -> bool:

@@ -41,6 +41,16 @@ def flow_signature(frame: Frame, in_port: int) -> Tuple:
             frame.src_port, frame.dst_port)
 
 
+def emc_signature(frame: Frame, in_port: int) -> Tuple:
+    """Exact-match-cache key: the microflow signature extended with the
+    remaining fields the OpenFlow pipeline can match on (VLAN tag and
+    tunnel id), so two frames share a key only if every rule in the
+    table necessarily treats them identically."""
+    return (in_port, frame.src_mac, frame.dst_mac, frame.ethertype,
+            frame.src_ip, frame.dst_ip, frame.proto,
+            frame.src_port, frame.dst_port, frame.vlan, frame.tunnel_id)
+
+
 @dataclass
 class CacheStats:
     hits: int = 0

@@ -34,7 +34,7 @@ RX_RING_DEPTH = 512
 from repro.vswitch.actions import Action, ActionType
 from repro.vswitch.datapath import DatapathMode, DatapathModel, PassCosts, PortClass
 from repro.vswitch.flowtable import FlowRule, FlowTable
-from repro.vswitch.megaflow import MegaflowCache
+from repro.vswitch.megaflow import MegaflowCache, emc_signature
 
 
 @dataclass
@@ -58,6 +58,34 @@ class _ForwardPlan:
     dropped: bool = False
 
 
+#: Step opcodes of a cached pass plan (see :class:`_PlanTemplate`).
+_HIT, _MISS, _APPLY = 0, 1, 2
+
+
+class _PlanTemplate:
+    """A memoized pipeline outcome for one exact header signature.
+
+    ``steps`` replays the pipeline's observable side effects in order --
+    table/rule counter bumps interleaved with header-rewrite actions, so
+    per-rule ``n_bytes`` sees the same frame size the uncached walk saw.
+    Plans containing NORMAL (MAC-table dependent) or CONTROLLER
+    (punt-handler dependent) actions are never cached.
+    """
+
+    __slots__ = ("steps", "out_ports", "rewrites", "dropped", "drop_kind")
+
+    def __init__(self, steps, out_ports, rewrites, dropped, drop_kind):
+        self.steps = steps
+        self.out_ports = out_ports
+        self.rewrites = rewrites
+        self.dropped = dropped
+        self.drop_kind = drop_kind
+
+
+#: Bound on the bridge's pass-plan cache (same scale as the EMC).
+PLAN_CACHE_CAPACITY = 8192
+
+
 class OvsBridge:
     """A programmable learning/flow switch."""
 
@@ -73,10 +101,14 @@ class OvsBridge:
         self.name = name
         self.sim = sim
         self.rng = rng if rng is not None else random.Random(0)
+        #: Exact-match cache over whole pipeline passes: header signature
+        #: -> replayable plan.  Flushed whenever any table changes.
+        self._plan_cache: Dict[tuple, _PlanTemplate] = {}
+        self.plan_cache_hits = 0
         #: OpenFlow-style multi-table pipeline; table 0 always exists
         #: and is where processing starts.
         self.tables: Dict[int, FlowTable] = {
-            0: FlowTable(name=f"{name}.table0")
+            0: self._new_table(f"{name}.table0")
         }
         self.model = DatapathModel(mode, costs) if costs is not None else None
         self.mode = mode
@@ -128,13 +160,18 @@ class OvsBridge:
         """Table 0 (the single-table view most callers use)."""
         return self.tables[0]
 
+    def _new_table(self, name: str) -> FlowTable:
+        table = FlowTable(name=name)
+        table.add_listener(self._plan_cache.clear)
+        return table
+
     def flow_table(self, table_id: int) -> FlowTable:
         """Get (creating if needed) a pipeline table."""
         if table_id < 0:
             raise ConfigurationError("table ids are non-negative")
         if table_id not in self.tables:
-            self.tables[table_id] = FlowTable(
-                name=f"{self.name}.table{table_id}")
+            self.tables[table_id] = self._new_table(
+                f"{self.name}.table{table_id}")
         return self.tables[table_id]
 
     def add_flow(self, rule: FlowRule) -> FlowRule:
@@ -179,7 +216,13 @@ class OvsBridge:
     def _ingress(self, port: BridgePort, frame: Frame) -> None:
         port.rx_frames += 1
         frame.stamp(f"{self.name}.p{port.port_no}.rx")
-        plan = self._pipeline(port, frame)
+        key = emc_signature(frame, port.port_no)
+        template = self._plan_cache.get(key)
+        if template is not None:
+            self.plan_cache_hits += 1
+            plan = self._replay(template, port, frame)
+        else:
+            plan = self._pipeline(port, frame, cache_key=key)
         if plan.dropped:
             return
         self.passes += 1
@@ -192,15 +235,47 @@ class OvsBridge:
     #: so this is a safety net, not a semantic limit).
     MAX_PIPELINE_DEPTH = 16
 
-    def _pipeline(self, port: BridgePort, frame: Frame) -> _ForwardPlan:
+    def _replay(self, template: _PlanTemplate, port: BridgePort,
+                frame: Frame) -> _ForwardPlan:
+        """Apply a cached pass plan to a fresh frame, reproducing the
+        uncached walk's counters and header mutations exactly."""
+        self._learn(frame.src_mac, port.port_no)
+        for op, target, rule in template.steps:
+            if op == _HIT:
+                target.lookups += 1
+                rule.n_packets += 1
+                rule.n_bytes += frame.wire_size()
+            elif op == _MISS:
+                target.lookups += 1
+                target.misses += 1
+            else:
+                target.apply(frame)
+        if template.drop_kind == "no_match":
+            self.drops_no_match += 1
+        elif template.drop_kind == "action":
+            self.drops_action += 1
+        return _ForwardPlan(frame=frame, in_port=port.port_no,
+                            out_ports=list(template.out_ports),
+                            rewrites=template.rewrites,
+                            dropped=template.dropped)
+
+    def _pipeline(self, port: BridgePort, frame: Frame,
+                  cache_key: Optional[tuple] = None) -> _ForwardPlan:
         """Run the (multi-table) flow pipeline.
 
         Header rewrites apply immediately, so later tables match the
         modified packet, as OpenFlow specifies.  Timing happens later;
         mutating the in-flight frame early is unobservable.
+
+        When ``cache_key`` is given and the walk only touched
+        header-signature-determined state, the outcome is memoized so
+        the next frame with the same signature replays it.
         """
         plan = _ForwardPlan(frame=frame, in_port=port.port_no)
         self._learn(frame.src_mac, port.port_no)
+        steps: list = []
+        cacheable = cache_key is not None
+        drop_kind: Optional[str] = None
         table_id: Optional[int] = 0
         depth = 0
         while table_id is not None:
@@ -212,34 +287,50 @@ class OvsBridge:
             rule = (table.lookup(frame, port.port_no)
                     if table is not None else None)
             if rule is None:
+                if table is not None:
+                    steps.append((_MISS, table, None))
                 self.drops_no_match += 1
                 plan.dropped = True
-                return plan
+                drop_kind = "no_match"
+                break
+            steps.append((_HIT, table, rule))
             table_id = None
             for action in rule.actions:
                 if action.type == ActionType.DROP:
                     self.drops_action += 1
                     plan.dropped = True
-                    return plan
+                    drop_kind = "action"
+                    break
                 if action.type == ActionType.OUTPUT:
                     plan.out_ports.append(action.port_no)  # type: ignore[attr-defined]
                 elif action.type == ActionType.NORMAL:
+                    cacheable = False
                     plan.out_ports.extend(
                         self._normal_lookup(frame, port.port_no))
                 elif action.type == ActionType.GOTO_TABLE:
                     table_id = action.table_id  # type: ignore[attr-defined]
                 elif action.type == ActionType.CONTROLLER:
+                    cacheable = False
                     self.punted += 1
                     if self.punt_handler is not None:
                         self.punt_handler(frame, port.port_no)
                     plan.dropped = True  # consumed by the slow path
-                    return plan
+                    break
                 else:
+                    steps.append((_APPLY, action, None))
                     action.apply(frame)
                     if action.rewrites():
                         plan.rewrites = True
-        if not plan.out_ports:
+            if plan.dropped:
+                break
+        if not plan.dropped and not plan.out_ports:
             plan.dropped = True
+        if cacheable:
+            if len(self._plan_cache) >= PLAN_CACHE_CAPACITY:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[cache_key] = _PlanTemplate(
+                tuple(steps), tuple(plan.out_ports), plan.rewrites,
+                plan.dropped, drop_kind)
         return plan
 
     def _learn(self, mac: MacAddress, port_no: int) -> None:

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Benchmark runner with regression gating.
+
+Runs the micro/e2e benchmark suite under pytest-benchmark and compares
+every benchmark's mean against the checked-in baseline
+(``BENCH_fastpath.json`` in the repo root).  A benchmark more than
+``--tolerance`` (default 20%) slower than its recorded mean fails the
+run -- the guard that keeps the lookup fast path fast.
+
+Usage::
+
+    python tool/bench.py            # run + gate against the baseline
+    python tool/bench.py --update   # run + rewrite the baseline
+    make bench                      # the same, via the Makefile
+
+New benchmarks (present in the run, absent from the baseline) are
+reported but do not fail; run with ``--update`` to record them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_fastpath.json")
+BENCH_TARGET = "benchmarks/test_microbench.py"
+
+
+def run_benchmarks(json_out: str) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p)
+    cmd = [sys.executable, "-m", "pytest", BENCH_TARGET, "-q",
+           "-p", "no:cacheprovider",
+           f"--benchmark-json={json_out}"]
+    print("+", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+
+
+def extract_means(benchmark_json: str) -> dict:
+    with open(benchmark_json) as handle:
+        data = json.load(handle)
+    return {
+        bench["name"]: {
+            # min is the gating statistic: it is far more stable against
+            # scheduler/load noise than the mean (the mean is recorded
+            # for reference only).
+            "min_us": bench["stats"]["min"] * 1e6,
+            "mean_us": bench["stats"]["mean"] * 1e6,
+        }
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def load_baseline() -> dict:
+    if not os.path.exists(BASELINE_PATH):
+        return {}
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def gate(current: dict, baseline: dict, tolerance: float) -> int:
+    recorded = baseline.get("benchmarks", {})
+    regressions = []
+    for name, stats in sorted(current.items()):
+        value = stats["min_us"]
+        base = recorded.get(name)
+        if base is None:
+            print(f"  NEW      {name}: {value:.2f}us (no baseline)")
+            continue
+        base_value = base["min_us"]
+        ratio = value / base_value if base_value else float("inf")
+        status = "OK" if ratio <= 1.0 + tolerance else "REGRESSED"
+        print(f"  {status:<8} {name}: min {value:.2f}us "
+              f"vs baseline {base_value:.2f}us ({ratio:.2f}x)")
+        if status == "REGRESSED":
+            regressions.append((name, ratio))
+    missing = sorted(set(recorded) - set(current))
+    for name in missing:
+        print(f"  MISSING  {name}: in baseline but not in this run")
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{tolerance:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline")
+        return 1
+    if missing:
+        print(f"\n{len(missing)} baseline benchmark(s) missing from the "
+              "run (renamed/removed? run --update).")
+        return 1
+    print("\nAll benchmarks within tolerance.")
+    return 0
+
+
+def update_baseline(current: dict, baseline: dict) -> None:
+    baseline = dict(baseline)
+    baseline["benchmarks"] = current
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Baseline rewritten: {BASELINE_PATH} "
+          f"({len(current)} benchmarks)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed slowdown vs baseline "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_out = os.path.join(tmp, "bench.json")
+        rc = run_benchmarks(json_out)
+        if rc != 0:
+            print("benchmark suite failed; not gating", file=sys.stderr)
+            return rc
+        current = extract_means(json_out)
+
+    baseline = load_baseline()
+    if args.update:
+        update_baseline(current, baseline)
+        return 0
+    if not baseline.get("benchmarks"):
+        print(f"No baseline at {BASELINE_PATH}; run with --update first.",
+              file=sys.stderr)
+        return 1
+    print(f"\nGating against {BASELINE_PATH} "
+          f"(tolerance {args.tolerance:.0%}):")
+    return gate(current, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
