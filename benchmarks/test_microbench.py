@@ -261,6 +261,34 @@ def test_e2e_des_packet_rate(benchmark):
     assert benchmark(run) == 8001
 
 
+@pytest.mark.benchmark(group="e2e")
+def test_e2e_traced_packet_rate(benchmark):
+    """The same Fig. 5 e2e run with the packet tracer ENABLED -- the
+    recording path's cost.  tool/bench.py divides this benchmark's min
+    by test_e2e_des_packet_rate's to report the enabled-tracer overhead
+    factor; the disabled path is what the 20% regression gate protects."""
+    from repro import obs
+    from repro.core import SecurityLevel, TrafficScenario, build_deployment
+    from repro.core.spec import DeploymentSpec
+    from repro.traffic import TestbedHarness
+
+    def run():
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        tracer = obs.enable_tracing(d.sim)
+        try:
+            h = TestbedHarness(d)
+            h.configure_tenant_flows(rate_per_flow_pps=200_000)
+            result = h.run(duration=0.01)
+            assert len(tracer.spans) > result.sent  # actually recording
+            return result.sent
+        finally:
+            obs.disable_tracing()
+
+    assert benchmark(run) == 8001
+
+
 @pytest.mark.benchmark(group="micro")
 def test_capacity_solve_rate(benchmark):
     from repro.core import SecurityLevel, TrafficScenario, build_deployment

@@ -154,20 +154,83 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_everything, run_extensions
-    tables = run_everything(quick=not args.full)
+    from repro import obs
+    from repro.experiments.runner import experiment_plan, extension_plan
+    plan = experiment_plan(quick=not args.full)
     if args.extensions:
-        tables.update(run_extensions(quick=not args.full))
-    keys = sorted(tables)
+        plan.extend(extension_plan(quick=not args.full))
+    available = [key for key, _ in plan]
     if args.only:
-        keys = [k for k in keys if args.only in k]
-        if not keys:
+        plan = [(k, t) for k, t in plan if args.only in k]
+        if not plan:
             print(f"no experiment matches {args.only!r}; available:",
-                  ", ".join(sorted(tables)), file=sys.stderr)
+                  ", ".join(sorted(available)), file=sys.stderr)
             return 1
-    for key in keys:
-        print(tables[key].render())
+    for key, thunk in sorted(plan):
+        before = obs.REGISTRY.snapshot()
+        print(thunk().render())
+        # The harnesses inside the thunk harvested their cache counters
+        # into the registry; the delta is this experiment's share.
+        line = obs.cache_efficacy_line(obs.REGISTRY, before)
+        if line:
+            print(line)
         print()
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run one traced deployment and print/export its telemetry."""
+    from repro import obs
+    from repro.obs.export import (
+        drop_report,
+        journey_report,
+        tenant_hop_table,
+        tenant_latency_table,
+        write_prometheus,
+        write_spans_jsonl,
+    )
+    from repro.traffic.harness import TestbedHarness
+    scenario = _scenario_from(args)
+    deployment = build_deployment(_spec_from(args), scenario)
+    tracer = obs.enable_tracing(deployment.sim, capacity=args.span_capacity)
+    try:
+        harness = TestbedHarness(deployment)
+        harness.configure_tenant_flows(
+            rate_per_flow_pps=args.rate_pps / args.tenants,
+            frame_bytes=args.frame_bytes)
+        result = harness.run(duration=args.duration,
+                             warmup=args.duration / 5)
+        print(f"{deployment.spec.label} {scenario.value} @ "
+              f"{args.rate_pps:.0f} pps for {args.duration} s: "
+              f"delivered {result.delivered}/{result.sent}, "
+              f"{len(tracer.spans)} spans over "
+              f"{len(tracer.trace_ids())} traces")
+        print()
+        print(tenant_latency_table(tracer).render())
+        print()
+        print(tenant_hop_table(tracer).render())
+        drops = drop_report(tracer)
+        if drops:
+            print()
+            print("drops:")
+            for line in drops:
+                print(f"  {line}")
+        line = obs.cache_efficacy_line(obs.REGISTRY)
+        if line:
+            print()
+            print(line)
+        for trace_id in tracer.trace_ids()[:args.journeys]:
+            print()
+            print(journey_report(tracer.journey(trace_id)))
+        if args.trace_out:
+            count = write_spans_jsonl(tracer, args.trace_out)
+            print(f"\nwrote {count} spans to {args.trace_out}")
+        if args.metrics_out:
+            registry = obs.deployment_metrics(deployment)
+            write_prometheus(registry, args.metrics_out)
+            print(f"wrote metrics snapshot to {args.metrics_out}")
+    finally:
+        obs.disable_tracing()
     return 0
 
 
@@ -204,6 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extensions", action="store_true",
                    help="include the beyond-the-paper experiments")
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "obs", help="run one traced deployment and dump its telemetry")
+    _add_spec_args(p)
+    p.add_argument("--frame-bytes", type=int, default=64)
+    p.add_argument("--rate-pps", type=float, default=10_000)
+    p.add_argument("--duration", type=float, default=0.05)
+    p.add_argument("--journeys", type=int, default=1,
+                   help="packet journeys to print (default: 1)")
+    p.add_argument("--span-capacity", type=int, default=1_000_000)
+    p.add_argument("--trace-out", metavar="SPANS.jsonl",
+                   help="write all spans as JSON-lines")
+    p.add_argument("--metrics-out", metavar="METRICS.prom",
+                   help="write a Prometheus text snapshot")
+    p.set_defaults(func=cmd_obs)
     return parser
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.core.controller import AddressPlan, BaselineView, CompartmentView, Controller
 from repro.core.levels import ResourceMode
 from repro.core.primitives import OpLog
@@ -228,6 +229,7 @@ class _Builder:
         self.oplog.record("program-flows", "controller",
                           f"{self.controller.rules_installed} rules for "
                           f"{self.scenario.value}")
+        _obs.on_deployment_built(d)
         return d
 
     # -- common pieces ---------------------------------------------------------

@@ -8,7 +8,7 @@ only sample counts shrink).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.experiments import fig5_latency, fig5_resources, fig5_throughput
 from repro.experiments import fig6_apache, fig6_iperf, fig6_memcached
@@ -24,35 +24,64 @@ from repro.experiments.common import EvalMode
 from repro.measure.reporting import Table
 
 
+#: An experiment id paired with a zero-arg callable producing its table.
+ExperimentPlan = List[Tuple[str, Callable[[], Table]]]
+
+
+def experiment_plan(quick: bool = True) -> ExperimentPlan:
+    """The paper's evaluation as (id, thunk) pairs, in run order.
+
+    Callers that want per-experiment bookkeeping (the CLI's cache-efficacy
+    lines diff the obs registry around each thunk) iterate this instead
+    of :func:`run_everything`, which is now a thin fold over it.
+    """
+    latency_duration = 0.15 if quick else 0.5
+    plan: ExperimentPlan = [
+        ("table1", table1_survey.run),
+        ("vf-budgets", vf_table.run),
+    ]
+    for mode in EvalMode.ALL:
+        plan.extend([
+            (f"fig5-throughput-{mode}",
+             lambda m=mode: fig5_throughput.run(m)),
+            (f"fig5-latency-{mode}",
+             lambda m=mode: fig5_latency.run(m, duration=latency_duration)),
+            (f"fig5-resources-{mode}",
+             lambda m=mode: fig5_resources.run(m)),
+            (f"fig6-iperf-{mode}", lambda m=mode: fig6_iperf.run(m)),
+            (f"fig6-apache-tput-{mode}",
+             lambda m=mode: fig6_apache.run_throughput(m)),
+            (f"fig6-apache-rt-{mode}",
+             lambda m=mode: fig6_apache.run_response_time(m)),
+            (f"fig6-memcached-tput-{mode}",
+             lambda m=mode: fig6_memcached.run_throughput(m)),
+            (f"fig6-memcached-rt-{mode}",
+             lambda m=mode: fig6_memcached.run_response_time(m)),
+        ])
+    return plan
+
+
+def extension_plan(quick: bool = True) -> ExperimentPlan:
+    """The beyond-the-paper experiments as (id, thunk) pairs."""
+    window = 0.06 if quick else 0.15
+    return [
+        ("ext-noisy-neighbor", lambda: noisy_neighbor.run(duration=window)),
+        ("ext-policy-injection", lambda: policy_injection.run(duration=window)),
+        ("ext-latency-breakdown",
+         lambda: latency_breakdown.run(duration=window)),
+        ("ext-fault-isolation", lambda: fault_isolation.run(phase=window / 1.5)),
+        ("ext-deployment-cost", deployment_cost.run),
+    ]
+
+
 def run_everything(quick: bool = True) -> Dict[str, Table]:
     """All tables of the paper's evaluation, keyed by experiment id."""
-    latency_duration = 0.15 if quick else 0.5
-    tables: Dict[str, Table] = {}
-    tables["table1"] = table1_survey.run()
-    tables["vf-budgets"] = vf_table.run()
-    for mode in EvalMode.ALL:
-        tables[f"fig5-throughput-{mode}"] = fig5_throughput.run(mode)
-        tables[f"fig5-latency-{mode}"] = fig5_latency.run(
-            mode, duration=latency_duration)
-        tables[f"fig5-resources-{mode}"] = fig5_resources.run(mode)
-        tables[f"fig6-iperf-{mode}"] = fig6_iperf.run(mode)
-        tables[f"fig6-apache-tput-{mode}"] = fig6_apache.run_throughput(mode)
-        tables[f"fig6-apache-rt-{mode}"] = fig6_apache.run_response_time(mode)
-        tables[f"fig6-memcached-tput-{mode}"] = fig6_memcached.run_throughput(mode)
-        tables[f"fig6-memcached-rt-{mode}"] = fig6_memcached.run_response_time(mode)
-    return tables
+    return {key: thunk() for key, thunk in experiment_plan(quick=quick)}
 
 
 def run_extensions(quick: bool = True) -> Dict[str, Table]:
     """The beyond-the-paper experiments (DESIGN.md section 7)."""
-    window = 0.06 if quick else 0.15
-    return {
-        "ext-noisy-neighbor": noisy_neighbor.run(duration=window),
-        "ext-policy-injection": policy_injection.run(duration=window),
-        "ext-latency-breakdown": latency_breakdown.run(duration=window),
-        "ext-fault-isolation": fault_isolation.run(phase=window / 1.5),
-        "ext-deployment-cost": deployment_cost.run(),
-    }
+    return {key: thunk() for key, thunk in extension_plan(quick=quick)}
 
 
 def render_everything(quick: bool = True,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional
 
+from repro import obs as _obs
 from repro.host.cpu import ComputeShare
 from repro.host.memory import MemoryAllocation
 from repro.sriov.vf import VirtualFunction
@@ -49,6 +50,9 @@ class Vm:
 
     def attach_vf(self, vf: VirtualFunction) -> None:
         self.vfs.append(vf)
+        _obs.REGISTRY.counter(
+            "vm_vfs_attached_total", "VFs handed to VMs, by VM role",
+            labels=("role",)).labels(role=self.role.value).inc()
 
     def vf_by_kind(self, kind) -> List[VirtualFunction]:
         """All attached VFs of a given :class:`FunctionKind`."""
@@ -60,6 +64,9 @@ class Vm:
         if name in self.apps:
             raise ValueError(f"app {name!r} already installed in {self.name}")
         self.apps[name] = app
+        _obs.REGISTRY.counter(
+            "vm_apps_installed_total", "applications installed, by VM role",
+            labels=("role",)).labels(role=self.role.value).inc()
 
     def app(self, name: str) -> Any:
         return self.apps[name]

@@ -41,9 +41,17 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
+    if q == 0:
+        return ordered[0]
+    if q == 100:
+        # Exact endpoints: no interpolation arithmetic, so p0/p100 are
+        # immune to the FP rank rounding below.
+        return ordered[-1]
     rank = (q / 100.0) * (len(ordered) - 1)
-    low = math.floor(rank)
-    high = math.ceil(rank)
+    # Clamp against FP spill: q just below 100 can put ceil(rank) one
+    # past the last index on large n.
+    low = min(math.floor(rank), len(ordered) - 1)
+    high = min(math.ceil(rank), len(ordered) - 1)
     if low == high or ordered[low] == ordered[high]:
         return ordered[low]
     frac = rank - low
@@ -84,11 +92,39 @@ class SummaryStats:
         i.e. the latency-variance signal of Fig. 5(b) vs 5(e)."""
         return self.p75 - self.p25
 
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
 
-def summarize(values: Sequence[float]) -> SummaryStats:
+    @classmethod
+    def empty(cls) -> "SummaryStats":
+        """The zero-sample summary (every statistic is NaN): what a run
+        that delivered nothing reports instead of crashing."""
+        nan = float("nan")
+        return cls(count=0, mean=nan, std=nan, minimum=nan, p25=nan,
+                   median=nan, p75=nan, p99=nan, maximum=nan)
+
+
+def summarize(values: Sequence[float], empty_ok: bool = False) -> SummaryStats:
+    """Reduce ``values`` to a :class:`SummaryStats`.
+
+    An empty sequence raises by default (a silent NaN row in a paper
+    table is worse than a loud failure); callers that must survive
+    zero-sample windows -- a run that delivered no frames, an
+    observability histogram nobody fed -- pass ``empty_ok=True`` and
+    get :meth:`SummaryStats.empty`.
+    """
     if not values:
+        if empty_ok:
+            return SummaryStats.empty()
         raise ValueError("summarize of empty sequence")
     n = len(values)
+    if n == 1:
+        # Degenerate single-sample summary: every order statistic is the
+        # sample itself and the spread is exactly zero.
+        v = float(values[0])
+        return SummaryStats(count=1, mean=v, std=0.0, minimum=v, p25=v,
+                            median=v, p75=v, p99=v, maximum=v)
     mean = sum(values) / n
     variance = sum((v - mean) ** 2 for v in values) / n
     return SummaryStats(

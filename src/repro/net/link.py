@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro import obs as _obs
 from repro.net.interfaces import Port
 from repro.net.packet import Frame
 from repro.sim.kernel import Simulator
@@ -91,4 +92,5 @@ class Link:
         self.tx_frames += 1
         self.tx_bytes += frame.wire_size()
         self.sim.schedule(arrival, self.dst.receive, frame)
+        _obs.TRACER.link_send(self.name, frame, t, start, tx_done, arrival)
         return arrival

@@ -1,0 +1,277 @@
+"""Per-hop packet tracing across the mediation chain.
+
+A frame's journey through the MTS chain (VM -> virtio/VF -> vswitch VM
+-> VF -> VEB -> wire, Fig. 3) is recorded as one :class:`Span` per hop:
+link enqueue/transmit, flow-table lookup (with hit/miss outcome and
+which cache layer answered), bridge pass, VEB forwarding decision, NIC
+filter verdict, vhost crossing, and every drop with its reason.  Spans
+carry the frame id as trace context (stable along a unicast journey;
+:meth:`Frame.copy` on multicast fan-out starts a new trace) plus the
+tenant id, so journeys can be grouped per tenant.
+
+The disabled default is :class:`NullTracer`: every hook is the same
+shared no-op, so an instrumentation site costs its callers exactly one
+attribute load and an empty call -- there are no conditionals in the
+hot paths.  :func:`repro.obs.enable_tracing` swaps in a recording
+:class:`PacketTracer` bound to the simulation clock.
+
+Span ordering is total and deterministic: every span gets a global
+sequence number at record time, so spans sharing one simulated
+timestamp (common: a whole cached pipeline pass happens at one instant)
+still replay in exact causal order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One hop of one frame's journey."""
+
+    __slots__ = ("trace_id", "seq", "component", "kind", "start", "end",
+                 "outcome", "tenant", "attrs")
+
+    def __init__(self, trace_id: int, seq: int, component: str, kind: str,
+                 start: float, end: float, outcome: str,
+                 tenant: Optional[int], attrs: Optional[dict]) -> None:
+        self.trace_id = trace_id
+        self.seq = seq
+        self.component = component
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.outcome = outcome
+        self.tenant = tenant
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        d = {
+            "trace_id": self.trace_id,
+            "seq": self.seq,
+            "component": self.component,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "outcome": self.outcome,
+        }
+        if self.tenant is not None:
+            d["tenant"] = self.tenant
+        if self.attrs:
+            d["attrs"] = self.attrs
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(d["trace_id"], d["seq"], d["component"], d["kind"],
+                   d["start"], d["end"], d.get("outcome", ""),
+                   d.get("tenant"), d.get("attrs"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Span #{self.seq} trace={self.trace_id} "
+                f"{self.component}/{self.kind} [{self.start:.9f}, "
+                f"{self.end:.9f}] {self.outcome}>")
+
+
+def _noop(*args, **kwargs) -> None:
+    return None
+
+
+class NullTracer:
+    """The zero-cost disabled tracer: every hook is a shared no-op."""
+
+    enabled = False
+
+    kernel_run = staticmethod(_noop)
+    link_send = staticmethod(_noop)
+    flow_lookup = staticmethod(_noop)
+    bridge_rx = staticmethod(_noop)
+    bridge_tx = staticmethod(_noop)
+    veb_forward = staticmethod(_noop)
+    nic_filter = staticmethod(_noop)
+    vhost = staticmethod(_noop)
+    drop = staticmethod(_noop)
+    run_complete = staticmethod(_noop)
+
+
+class PacketTracer:
+    """Recording tracer: appends one :class:`Span` per hook invocation.
+
+    ``capacity`` bounds memory on long runs; once reached, further spans
+    are counted in ``spans_dropped`` but not stored (the trace stays a
+    valid prefix).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 capacity: int = 1_000_000) -> None:
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.capacity = capacity
+        self.spans: List[Span] = []
+        self.spans_dropped = 0
+        self._seq = 0
+        #: Kernel progress samples: (sim_now, events_fired, heap_depth,
+        #: wall_seconds) per ``Simulator.run`` return.
+        self.kernel_samples: List[Tuple[float, int, int, float]] = []
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # -- recording core ----------------------------------------------------
+
+    def _record(self, trace_id: int, component: str, kind: str,
+                start: float, end: float, outcome: str,
+                tenant: Optional[int], attrs: Optional[dict]) -> None:
+        if len(self.spans) >= self.capacity:
+            self.spans_dropped += 1
+            return
+        self._seq += 1
+        self.spans.append(Span(trace_id, self._seq, component, kind,
+                               start, end, outcome, tenant, attrs))
+
+    # -- hooks (called from the instrumented hot paths) --------------------
+
+    def kernel_run(self, sim_now: float, events_fired: int,
+                   heap_depth: int, wall_seconds: float) -> None:
+        """One ``Simulator.run`` call completed (wall-vs-sim progress)."""
+        self.kernel_samples.append(
+            (sim_now, events_fired, heap_depth, wall_seconds))
+
+    def link_send(self, name: str, frame, t_submit: float, t_start: float,
+                  t_done: float, t_arrival: float) -> None:
+        """A frame was handed to a link: an enqueue span (head-of-line
+        wait) when it had to queue, then the transmit span (serialization
+        + propagation)."""
+        if t_start > t_submit:
+            self._record(frame.frame_id, name, "link.enqueue",
+                         t_submit, t_start, "queued", frame.tenant_id, None)
+        self._record(frame.frame_id, name, "link.tx", t_start, t_arrival,
+                     "sent", frame.tenant_id,
+                     {"bytes": frame.wire_size(),
+                      "serialization": t_done - t_start})
+
+    def flow_lookup(self, table_name: str, frame, in_port: int,
+                    rule, source: str) -> None:
+        """One flow-table lookup; ``source`` names the layer that
+        answered: ``emc``, ``tss`` (tuple-space search), ``linear``, or
+        ``plan`` (replayed from the bridge's pass-plan cache)."""
+        now = self._clock()
+        outcome = "miss" if rule is None else "hit"
+        attrs = {"source": source, "in_port": in_port}
+        if rule is not None:
+            attrs["cookie"] = rule.cookie
+            attrs["priority"] = rule.priority
+        self._record(frame.frame_id, table_name, "flowtable.lookup",
+                     now, now, outcome, frame.tenant_id, attrs)
+
+    def bridge_rx(self, bridge_name: str, frame, port_no: int,
+                  plan_cached: bool) -> None:
+        now = self._clock()
+        self._record(frame.frame_id, bridge_name, "vswitch.rx", now, now,
+                     "plan_cache_hit" if plan_cached else "pipeline",
+                     frame.tenant_id, {"in_port": port_no})
+
+    def bridge_tx(self, bridge_name: str, frame, port_no: int,
+                  t_rx: Optional[float] = None) -> None:
+        now = self._clock()
+        start = now if t_rx is None else t_rx
+        self._record(frame.frame_id, bridge_name, "vswitch.tx", start, now,
+                     "forwarded", frame.tenant_id, {"out_port": port_no})
+
+    def veb_forward(self, veb_name: str, frame, ingress: str, vlan: int,
+                    decision) -> None:
+        """The NIC's embedded switch decided egress for a frame."""
+        now = self._clock()
+        self._record(frame.frame_id, veb_name, "veb.forward", now, now,
+                     decision.reason, frame.tenant_id,
+                     {"ingress": ingress, "vlan": vlan,
+                      "destinations": list(decision.destinations),
+                      "flooded": decision.flooded})
+
+    def nic_filter(self, nic_port: str, vf_name: str, frame,
+                   verdict: str) -> None:
+        """Ingress security chain verdict on a VF transmit (``pass``,
+        ``spoof_drop``, ``filter_drop``, ``rate_limited``,
+        ``unconfigured``)."""
+        now = self._clock()
+        self._record(frame.frame_id, nic_port, "nic.filter", now, now,
+                     verdict, frame.tenant_id, {"vf": vf_name})
+
+    def vhost(self, name: str, frame, direction: str,
+              latency: float) -> None:
+        now = self._clock()
+        self._record(frame.frame_id, name, "vhost.crossing", now,
+                     now + latency, direction, frame.tenant_id, None)
+
+    def drop(self, component: str, frame, reason: str) -> None:
+        """A frame left the chain: where and why."""
+        now = self._clock()
+        self._record(frame.frame_id, component, "drop", now, now,
+                     reason, frame.tenant_id, None)
+
+    def run_complete(self, harness, result) -> None:
+        """Hook point for end-of-run reporting (see repro.obs.enable)."""
+        return None
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def trace_ids(self) -> List[int]:
+        seen: Dict[int, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def journey(self, trace_id: int) -> List[Span]:
+        """All spans of one frame in causal order.  Sorting key is
+        ``(start, seq)``: sim timestamps first, with the record sequence
+        breaking the (frequent) equal-timestamp ties deterministically."""
+        spans = [s for s in self.spans if s.trace_id == trace_id]
+        spans.sort(key=lambda s: (s.start, s.seq))
+        return spans
+
+    def breakdown(self, trace_id: int) -> Dict[str, float]:
+        """Per-stage latency of one frame: summed span durations keyed by
+        span kind (instantaneous decision spans contribute 0)."""
+        totals: Dict[str, float] = {}
+        for span in self.journey(trace_id):
+            totals[span.kind] = totals.get(span.kind, 0.0) + span.duration
+        return totals
+
+    def drops(self) -> List[Span]:
+        return [s for s in self.spans
+                if s.kind == "drop" or s.outcome.endswith("_drop")]
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, one span per line."""
+        return "\n".join(json.dumps(s.to_dict(), sort_keys=True)
+                         for s in self.spans)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.kernel_samples.clear()
+        self.spans_dropped = 0
+
+
+def journeys_from_jsonl(text: str) -> Dict[int, List[Span]]:
+    """Reconstruct per-packet journeys from a JSON-lines span dump."""
+    by_trace: Dict[int, List[Span]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        span = Span.from_dict(json.loads(line))
+        by_trace.setdefault(span.trace_id, []).append(span)
+    for spans in by_trace.values():
+        spans.sort(key=lambda s: (s.start, s.seq))
+    return by_trace

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Optional
 
+from repro import obs as _obs
 from repro.errors import SimulationError
 from repro.sim.events import Event
 
@@ -73,6 +75,7 @@ class Simulator:
             raise SimulationError("run() re-entered; the kernel is not reentrant")
         self._running = True
         fired = 0
+        wall_start = time.perf_counter()
         try:
             while self._heap:
                 event = self._heap[0][2]
@@ -92,6 +95,9 @@ class Simulator:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
+        _obs.TRACER.kernel_run(self._now, self._events_fired,
+                               len(self._heap),
+                               time.perf_counter() - wall_start)
         return fired
 
     def peek(self) -> Optional[float]:

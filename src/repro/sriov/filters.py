@@ -88,6 +88,7 @@ class FilterChain:
         self._filters: List[WildcardFilter] = []
         self.evaluations = 0
         self.drops = 0
+        self.memo_hits = 0
         # Verdicts depend only on (vf.name, vf.vlan, src_mac, dst_mac) --
         # everything WildcardFilter.matches can see -- so the chain walk
         # is memoized per that key and flushed on install/remove.
@@ -113,7 +114,9 @@ class FilterChain:
         self.evaluations += 1
         key = (vf.name, vf.vlan, frame.src_mac, frame.dst_mac)
         action = self._memo.get(key)
-        if action is None:
+        if action is not None:
+            self.memo_hits += 1
+        else:
             action = self.default
             for flt in self._filters:
                 if flt.matches(vf, frame):

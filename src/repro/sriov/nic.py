@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs as _obs
 from repro.errors import ConfigurationError, VFExhaustedError
 from repro.net.addresses import MacAddress
 from repro.net.interfaces import Port
@@ -176,20 +177,29 @@ class NicPort:
         vf.stats.tx_bytes += frame.wire_size()
         if vf.mac is None:
             self.drops.unconfigured_vf += 1
+            _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
+                                   "unconfigured")
             return
         if not SpoofCheck.permits(vf, frame):
             vf.stats.spoof_drops += 1
             self.drops.spoof += 1
+            _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
+                                   "spoof_drop")
             return
         bucket = self._buckets.get(vf.name)
         if bucket is not None and not bucket.allow(self.nic.sim.now):
             vf.stats.rate_limit_drops += 1
             self.drops.rate_limited += 1
+            _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
+                                   "rate_limited")
             return
         if self.nic.filters.evaluate(vf, frame) == FilterAction.DROP:
             vf.stats.filter_drops += 1
             self.drops.filtered += 1
+            _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
+                                   "filter_drop")
             return
+        _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame, "pass")
         frame.stamp(f"nic.p{self.index}.{vf.name}.in")
         domain = self.veb.domain_of(vf)
         # VM -> NIC DMA has already been paid conceptually by the VM's
@@ -209,6 +219,9 @@ class NicPort:
         decision = self.veb.forward(ingress, domain, frame, now=self.nic.sim.now)
         if not decision.destinations:
             self.drops.no_destination += 1
+            _obs.TRACER.drop(f"nic.p{self.index}", frame,
+                             "no_destination" if decision.reason != "hairpin"
+                             else "hairpin")
             return
         self.frames_switched += 1
         for dest in decision.destinations:
@@ -221,6 +234,7 @@ class NicPort:
     def _to_fabric(self, domain: int, frame: Frame) -> None:
         if self.fabric_link is None:
             self.drops.no_destination += 1
+            _obs.TRACER.drop(f"nic.p{self.index}", frame, "no_fabric_link")
             return
         # Untagged-domain frames leave untagged; tagged domains keep the
         # 802.1Q tag on the wire.

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.net.addresses import MacAddress
 from repro.net.packet import Frame
 from repro.sriov.vf import VirtualFunction
@@ -76,6 +77,7 @@ class VebSwitch:
         self.lookups = 0
         self.floods = 0
         self.unknown_unicasts = 0
+        self.forwards = 0
         # (ingress, vlan, src_mac, dst_mac) ->
         #   (destinations, flooded, reason, lookup/flood/unknown deltas)
         self._decisions: Dict[Tuple, Tuple] = {}
@@ -143,6 +145,7 @@ class VebSwitch:
                 now: float = 0.0) -> ForwardingDecision:
         """Decide egress for a frame that entered domain ``vlan`` from
         ``ingress`` (a function name or :data:`UPLINK`)."""
+        self.forwards += 1
         key = (ingress, vlan, frame.src_mac, frame.dst_mac)
         cached = self._decisions.get(key)
         if cached is not None:
@@ -156,8 +159,10 @@ class VebSwitch:
             entry = self._table.get((vlan, frame.src_mac))
             if entry is not None and not entry.static:
                 entry.last_seen = now
-            return ForwardingDecision(destinations=list(dests),
-                                      flooded=flooded, reason=reason)
+            decision = ForwardingDecision(destinations=list(dests),
+                                          flooded=flooded, reason=reason)
+            _obs.TRACER.veb_forward(self.name, frame, ingress, vlan, decision)
+            return decision
         before = (self.lookups, self.floods, self.unknown_unicasts)
         decision = self._forward_uncached(ingress, vlan, frame, now)
         if len(self._decisions) >= DECISION_CACHE_CAPACITY:
@@ -166,6 +171,7 @@ class VebSwitch:
             tuple(decision.destinations), decision.flooded, decision.reason,
             self.lookups - before[0], self.floods - before[1],
             self.unknown_unicasts - before[2])
+        _obs.TRACER.veb_forward(self.name, frame, ingress, vlan, decision)
         return decision
 
     def _forward_uncached(self, ingress: str, vlan: int, frame: Frame,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs as _obs
 from repro.core.deployment import Deployment
 from repro.measure.stats import SummaryStats, summarize
 from repro.net.addresses import MacAddress
@@ -40,7 +41,7 @@ class HarnessResult:
         return max(0.0, 1.0 - self.delivered / self.sent)
 
     def latency_stats(self) -> SummaryStats:
-        return summarize(self.latencies)
+        return summarize(self.latencies, empty_ok=True)
 
 
 class TestbedHarness:
@@ -123,7 +124,7 @@ class TestbedHarness:
         self.sim.run(until=self.sim.now + duration + cooldown)
         t0, t1 = warmup, duration
         delivered = self.monitor.delivered_in_window(t0, t1)
-        return HarnessResult(
+        result = HarnessResult(
             offered_pps=offered,
             delivered_pps=delivered / (t1 - t0),
             sent=self.lg.sent,
@@ -131,3 +132,5 @@ class TestbedHarness:
             latencies=self.monitor.latencies_in_window(t0, t1),
             window=(t0, t1),
         )
+        _obs.on_run_complete(self, result)
+        return result

@@ -36,6 +36,7 @@ from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.errors import FlowTableError
 from repro.net.packet import Frame
 from repro.vswitch.actions import Action, ActionType
@@ -304,15 +305,19 @@ class FlowTable:
             rule = self._emc.get(key, _ABSENT)
             if rule is not _ABSENT:
                 self.emc_stats.hits += 1
+                source = "emc"
             else:
                 self.emc_stats.misses += 1
                 rule = self._classify(frame, in_port)
+                source = "tss"
                 if len(self._emc) >= self._emc_capacity:
                     self._emc.pop(next(iter(self._emc)))
                     self.emc_stats.evictions += 1
                 self._emc[key] = rule
         else:
             rule = self._linear_scan(frame, in_port)
+            source = "linear"
+        _obs.TRACER.flow_lookup(self.name, frame, in_port, rule, source)
         if rule is None:
             self.misses += 1
             return None

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs as _obs
 from repro.errors import ConfigurationError
 from repro.host.cpu import ComputeShare
 from repro.net.addresses import MacAddress
@@ -56,6 +57,7 @@ class _ForwardPlan:
     out_ports: List[int] = field(default_factory=list)
     rewrites: bool = False
     dropped: bool = False
+    drop_reason: Optional[str] = None
 
 
 #: Step opcodes of a cached pass plan (see :class:`_PlanTemplate`).
@@ -105,6 +107,7 @@ class OvsBridge:
         #: -> replayable plan.  Flushed whenever any table changes.
         self._plan_cache: Dict[tuple, _PlanTemplate] = {}
         self.plan_cache_hits = 0
+        self.plan_cache_invalidations = 0
         #: OpenFlow-style multi-table pipeline; table 0 always exists
         #: and is where processing starts.
         self.tables: Dict[int, FlowTable] = {
@@ -162,8 +165,14 @@ class OvsBridge:
 
     def _new_table(self, name: str) -> FlowTable:
         table = FlowTable(name=name)
-        table.add_listener(self._plan_cache.clear)
+        table.add_listener(self._invalidate_plans)
         return table
+
+    def _invalidate_plans(self) -> None:
+        """Rule change in any table: flush every cached pass plan."""
+        if self._plan_cache:
+            self.plan_cache_invalidations += 1
+            self._plan_cache.clear()
 
     def flow_table(self, table_id: int) -> FlowTable:
         """Get (creating if needed) a pipeline table."""
@@ -218,12 +227,15 @@ class OvsBridge:
         frame.stamp(f"{self.name}.p{port.port_no}.rx")
         key = emc_signature(frame, port.port_no)
         template = self._plan_cache.get(key)
+        _obs.TRACER.bridge_rx(self.name, frame, port.port_no,
+                              template is not None)
         if template is not None:
             self.plan_cache_hits += 1
             plan = self._replay(template, port, frame)
         else:
             plan = self._pipeline(port, frame, cache_key=key)
         if plan.dropped:
+            _obs.TRACER.drop(self.name, frame, plan.drop_reason or "consumed")
             return
         self.passes += 1
         if not self._stations:
@@ -245,19 +257,27 @@ class OvsBridge:
                 target.lookups += 1
                 rule.n_packets += 1
                 rule.n_bytes += frame.wire_size()
+                _obs.TRACER.flow_lookup(target.name, frame, port.port_no,
+                                        rule, "plan")
             elif op == _MISS:
                 target.lookups += 1
                 target.misses += 1
+                _obs.TRACER.flow_lookup(target.name, frame, port.port_no,
+                                        None, "plan")
             else:
                 target.apply(frame)
         if template.drop_kind == "no_match":
             self.drops_no_match += 1
         elif template.drop_kind == "action":
             self.drops_action += 1
+        reason = template.drop_kind
+        if reason is None and template.dropped:
+            reason = "no_egress"
         return _ForwardPlan(frame=frame, in_port=port.port_no,
                             out_ports=list(template.out_ports),
                             rewrites=template.rewrites,
-                            dropped=template.dropped)
+                            dropped=template.dropped,
+                            drop_reason=reason)
 
     def _pipeline(self, port: BridgePort, frame: Frame,
                   cache_key: Optional[tuple] = None) -> _ForwardPlan:
@@ -291,7 +311,7 @@ class OvsBridge:
                     steps.append((_MISS, table, None))
                 self.drops_no_match += 1
                 plan.dropped = True
-                drop_kind = "no_match"
+                plan.drop_reason = drop_kind = "no_match"
                 break
             steps.append((_HIT, table, rule))
             table_id = None
@@ -299,7 +319,7 @@ class OvsBridge:
                 if action.type == ActionType.DROP:
                     self.drops_action += 1
                     plan.dropped = True
-                    drop_kind = "action"
+                    plan.drop_reason = drop_kind = "action"
                     break
                 if action.type == ActionType.OUTPUT:
                     plan.out_ports.append(action.port_no)  # type: ignore[attr-defined]
@@ -315,6 +335,7 @@ class OvsBridge:
                     if self.punt_handler is not None:
                         self.punt_handler(frame, port.port_no)
                     plan.dropped = True  # consumed by the slow path
+                    plan.drop_reason = "punt"
                     break
                 else:
                     steps.append((_APPLY, action, None))
@@ -325,6 +346,7 @@ class OvsBridge:
                 break
         if not plan.dropped and not plan.out_ports:
             plan.dropped = True
+            plan.drop_reason = "no_egress"
         if cacheable:
             if len(self._plan_cache) >= PLAN_CACHE_CAPACITY:
                 self._plan_cache.pop(next(iter(self._plan_cache)))
@@ -399,6 +421,7 @@ class OvsBridge:
             frame = plan.frame if i == len(plan.out_ports) - 1 else plan.frame.copy()
             port.tx_frames += 1
             frame.stamp(f"{self.name}.p{port_no}.tx")
+            _obs.TRACER.bridge_tx(self.name, frame, port_no)
             port.pair.transmit(frame)
 
     # -- introspection -----------------------------------------------------

@@ -30,6 +30,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_fastpath.json")
 BENCH_TARGET = "benchmarks/test_microbench.py"
 
+#: The observability-overhead pair: the e2e run with the tracer disabled
+#: (gated against the baseline like every benchmark) and the identical
+#: run with span recording enabled (reported as an overhead factor, not
+#: gated -- recording is opt-in and allowed to cost).
+OBS_DISABLED_BENCH = "test_e2e_des_packet_rate"
+OBS_ENABLED_BENCH = "test_e2e_traced_packet_rate"
+
 
 def run_benchmarks(json_out: str) -> int:
     env = dict(os.environ)
@@ -98,9 +105,31 @@ def gate(current: dict, baseline: dict, tolerance: float) -> int:
     return 0
 
 
+def obs_overhead_factor(current: dict):
+    """min(enabled) / min(disabled) of the e2e pair, or None if either
+    benchmark is absent from the run."""
+    disabled = current.get(OBS_DISABLED_BENCH)
+    enabled = current.get(OBS_ENABLED_BENCH)
+    if not disabled or not enabled or not disabled["min_us"]:
+        return None
+    return enabled["min_us"] / disabled["min_us"]
+
+
+def report_obs_overhead(current: dict) -> None:
+    factor = obs_overhead_factor(current)
+    if factor is None:
+        return
+    print(f"\nObservability: enabled-tracer e2e overhead {factor:.2f}x "
+          f"({current[OBS_ENABLED_BENCH]['min_us']:.0f}us traced vs "
+          f"{current[OBS_DISABLED_BENCH]['min_us']:.0f}us disabled)")
+
+
 def update_baseline(current: dict, baseline: dict) -> None:
     baseline = dict(baseline)
     baseline["benchmarks"] = current
+    factor = obs_overhead_factor(current)
+    if factor is not None:
+        baseline["obs_overhead_factor"] = round(factor, 3)
     with open(BASELINE_PATH, "w") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -128,6 +157,7 @@ def main() -> int:
     baseline = load_baseline()
     if args.update:
         update_baseline(current, baseline)
+        report_obs_overhead(current)
         return 0
     if not baseline.get("benchmarks"):
         print(f"No baseline at {BASELINE_PATH}; run with --update first.",
@@ -135,7 +165,9 @@ def main() -> int:
         return 1
     print(f"\nGating against {BASELINE_PATH} "
           f"(tolerance {args.tolerance:.0%}):")
-    return gate(current, baseline, args.tolerance)
+    rc = gate(current, baseline, args.tolerance)
+    report_obs_overhead(current)
+    return rc
 
 
 if __name__ == "__main__":
