@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-update
+.PHONY: test bench bench-update sweep-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -13,3 +13,21 @@ bench:
 # Re-record the baseline after an intentional performance change.
 bench-update:
 	$(PYTHON) tool/bench.py --update
+
+# End-to-end smoke of the sweep runner: a 4-point grid through the
+# process pool, written to a throwaway cache, then re-run to prove
+# every point comes back from the store.
+sweep-smoke:
+	rm -rf .sweep-smoke
+	PYTHONPATH=src $(PYTHON) -m repro sweep \
+		--levels baseline l1 --tenants 4 \
+		--duration 0.05 --traffic p2p p2v --jobs 2 \
+		--cache-dir .sweep-smoke/cache --out .sweep-smoke/sweep.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro sweep \
+		--levels baseline l1 --tenants 4 \
+		--duration 0.05 --traffic p2p p2v --jobs 2 \
+		--cache-dir .sweep-smoke/cache --out .sweep-smoke/sweep2.jsonl \
+		> .sweep-smoke/second.txt
+	cat .sweep-smoke/second.txt
+	grep -q "0 computed" .sweep-smoke/second.txt
+	rm -rf .sweep-smoke

@@ -1,0 +1,102 @@
+"""Sweep-runner benchmarks: spec hashing, and the backend pair.
+
+The e2e pair runs the same 8-scenario sweep once through each backend;
+``tool/bench.py`` reports pool-vs-sequential as a speedup factor the
+same way it reports the tracer-overhead pair.  Both benchmarks assert
+value-identical results, so the speedup is never bought with drift.
+"""
+
+import os
+
+import pytest
+
+from repro.core.levels import SecurityLevel
+from repro.core.spec import DeploymentSpec
+from repro.scenario import (
+    Engine,
+    ProcessPoolBackend,
+    ScenarioSpec,
+    SequentialBackend,
+    SweepGrid,
+    build_grid,
+)
+
+#: 4 configurations x 2 traffic patterns = 8 scenario points.
+GRID = SweepGrid(
+    workload="fig5.latency",
+    levels=("baseline", "l1", "l2"),
+    compartments=(2, 4),
+    traffic=("p2p", "p2v"),
+    duration=0.05,
+)
+
+POOL_WORKERS = 4
+
+_EXPECTED_HASHES = []
+
+
+def _run(backend) -> list:
+    specs, skipped = build_grid(GRID)
+    assert len(specs) == 8 and not skipped
+    results = Engine(backend=backend).run(specs)
+    hashes = [r.result_hash() for r in results]
+    if not _EXPECTED_HASHES:
+        _EXPECTED_HASHES.extend(hashes)
+    assert hashes == _EXPECTED_HASHES  # backends must agree exactly
+    return results
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sweep_sequential_8pt(benchmark):
+    """The 8-point sweep, one process (the speedup denominator)."""
+    results = benchmark.pedantic(
+        lambda: _run(SequentialBackend()), rounds=2, iterations=1)
+    assert len(results) == 8
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sweep_pool_8pt(benchmark):
+    """The same sweep fanned out over worker processes."""
+    results = benchmark.pedantic(
+        lambda: _run(ProcessPoolBackend(max_workers=POOL_WORKERS)),
+        rounds=2, iterations=1)
+    assert len(results) == 8
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup criterion targets a >=4-core runner")
+def test_pool_speedup_on_multicore():
+    """On a 4-core runner the pool must halve the sweep's wall time."""
+    import time
+    specs, _ = build_grid(GRID)
+    start = time.perf_counter()
+    seq = Engine(backend=SequentialBackend()).run(specs)
+    t_seq = time.perf_counter() - start
+    start = time.perf_counter()
+    pool = Engine(backend=ProcessPoolBackend(max_workers=POOL_WORKERS)
+                  ).run(specs)
+    t_pool = time.perf_counter() - start
+    assert [r.result_hash() for r in seq] == \
+        [r.result_hash() for r in pool]
+    assert t_seq / t_pool >= 2.0, (
+        f"pool speedup {t_seq / t_pool:.2f}x < 2x "
+        f"({t_seq:.2f}s sequential vs {t_pool:.2f}s pooled)")
+
+
+@pytest.mark.benchmark(group="micro")
+def test_spec_content_hash_rate(benchmark):
+    """Hashing throughput: the per-point cost of every cache lookup."""
+    spec = ScenarioSpec(
+        workload="fig5.latency",
+        deployment=DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                  num_vswitch_vms=2),
+        duration=0.1, warmup=0.02, seed=42,
+        params={"frame_bytes": 64, "aggregate_pps": 10_000.0})
+
+    def hash_many():
+        digest = None
+        for _ in range(100):
+            digest = spec.content_hash()
+        return digest
+
+    assert benchmark(hash_many) == spec.content_hash()

@@ -9,6 +9,8 @@
     python -m repro audit      --level l2 --vms 4
     python -m repro survey
     python -m repro experiments --only fig5-throughput-shared
+    python -m repro sweep      --levels baseline l1 l2 --tenants 2 4 \
+                               --jobs 4 --out sweep.jsonl
 
 Every subcommand builds the requested deployment from scratch (the
 simulated testbed is cheap), so commands compose without shared state.
@@ -109,7 +111,8 @@ def cmd_throughput(args: argparse.Namespace) -> int:
 def cmd_latency(args: argparse.Namespace) -> int:
     from repro.traffic.harness import TestbedHarness
     scenario = _scenario_from(args)
-    deployment = build_deployment(_spec_from(args), scenario)
+    deployment = build_deployment(_spec_from(args), scenario,
+                                  seed=args.seed)
     harness = TestbedHarness(deployment)
     harness.configure_tenant_flows(
         rate_per_flow_pps=args.rate_pps / args.tenants,
@@ -156,9 +159,9 @@ def cmd_survey(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.experiments.runner import experiment_plan, extension_plan
-    plan = experiment_plan(quick=not args.full)
+    plan = experiment_plan(quick=not args.full, seed=args.seed)
     if args.extensions:
-        plan.extend(extension_plan(quick=not args.full))
+        plan.extend(extension_plan(quick=not args.full, seed=args.seed))
     available = [key for key, _ in plan]
     if args.only:
         plan = [(k, t) for k, t in plan if args.only in k]
@@ -191,7 +194,8 @@ def cmd_obs(args: argparse.Namespace) -> int:
     )
     from repro.traffic.harness import TestbedHarness
     scenario = _scenario_from(args)
-    deployment = build_deployment(_spec_from(args), scenario)
+    deployment = build_deployment(_spec_from(args), scenario,
+                                  seed=args.seed)
     tracer = obs.enable_tracing(deployment.sim, capacity=args.span_capacity)
     try:
         harness = TestbedHarness(deployment)
@@ -234,6 +238,62 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Cartesian sweep over deployment axes through the scenario engine."""
+    from repro import obs
+    from repro.scenario import (
+        Engine,
+        NullStore,
+        ProcessPoolBackend,
+        ResultStore,
+        SequentialBackend,
+        SweepGrid,
+        build_grid,
+        sweep_table,
+        write_jsonl,
+    )
+    grid = SweepGrid(
+        workload=args.workload,
+        levels=tuple(args.levels),
+        compartments=tuple(args.vms),
+        tenants=tuple(args.tenants),
+        datapaths=tuple(args.datapaths),
+        modes=tuple(args.modes),
+        traffic=tuple(args.traffic),
+        duration=args.duration,
+        frame_bytes=args.frame_bytes,
+        rate_pps=args.rate_pps,
+        seed=args.seed,
+    )
+    specs, skipped = build_grid(grid)
+    for point in skipped:
+        print(f"[skip] {point.point_id}: {point.reason}", file=sys.stderr)
+    if not specs:
+        print("sweep is empty: every grid point was skipped",
+              file=sys.stderr)
+        return 1
+    backend = (SequentialBackend() if args.jobs == 1
+               else ProcessPoolBackend(max_workers=args.jobs))
+    store = NullStore() if args.no_cache else ResultStore(args.cache_dir)
+    engine = Engine(backend=backend, store=store)
+    results = engine.run(specs)
+    print(sweep_table(grid, specs, results).render())
+    computed = sum(1 for r in results if not r.cached)
+    cached = len(results) - computed
+    line = f"{len(results)} points: {computed} computed, {cached} cached"
+    if not args.no_cache:
+        line += f" (store: {store.root}, {len(store)} entries)"
+    print(line)
+    efficacy = obs.cache_efficacy_line(obs.REGISTRY)
+    if efficacy:
+        print(efficacy)
+    if args.out:
+        with open(args.out, "w") as handle:
+            count = write_jsonl(handle, specs, results)
+        print(f"wrote {count} points to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "latency":
             p.add_argument("--rate-pps", type=float, default=10_000)
             p.add_argument("--duration", type=float, default=0.2)
+            p.add_argument("--seed", type=int, default=0,
+                           help="master seed for the DES run (default: 0)")
         p.set_defaults(func=fn)
 
     p = sub.add_parser("survey")
@@ -266,7 +328,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="longer DES windows (more latency samples)")
     p.add_argument("--extensions", action="store_true",
                    help="include the beyond-the-paper experiments")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for every experiment (default: 0)")
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "sweep",
+        help="cartesian sweep over deployment axes, cached and parallel")
+    p.add_argument("--workload", default="fig5.latency",
+                   help="workload name (default: fig5.latency); see "
+                        "repro.scenario.WORKLOADS")
+    p.add_argument("--levels", nargs="+", default=["baseline", "l1", "l2"],
+                   choices=["baseline", "l1", "l2"])
+    p.add_argument("--vms", nargs="+", type=int, default=[2],
+                   help="Level-2 compartment counts (default: 2)")
+    p.add_argument("--tenants", nargs="+", type=int, default=[4])
+    p.add_argument("--datapaths", nargs="+", default=["kernel"],
+                   choices=["kernel", "dpdk"])
+    p.add_argument("--modes", nargs="+", default=["shared"],
+                   choices=["shared", "isolated"])
+    p.add_argument("--traffic", nargs="+", default=["p2v"],
+                   choices=["p2p", "p2v", "v2v"])
+    p.add_argument("--duration", type=float, default=0.1,
+                   help="DES window per point, seconds (default: 0.1)")
+    p.add_argument("--frame-bytes", type=int, default=64)
+    p.add_argument("--rate-pps", type=float, default=10_000)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: one per core; "
+                        "1 = in-process sequential)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't write the result store")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result store directory (default: .repro-cache)")
+    p.add_argument("--out", metavar="SWEEP.jsonl",
+                   help="write one JSON line per point")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; per-point seeds fork off it")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
         "obs", help="run one traced deployment and dump its telemetry")
@@ -274,6 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frame-bytes", type=int, default=64)
     p.add_argument("--rate-pps", type=float, default=10_000)
     p.add_argument("--duration", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for the DES run (default: 0)")
     p.add_argument("--journeys", type=int, default=1,
                    help="packet journeys to print (default: 1)")
     p.add_argument("--span-capacity", type=int, default=1_000_000)

@@ -18,13 +18,13 @@ variation is emulated with a small seeded relative jitter (the paper's
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.levels import ResourceMode, SecurityLevel
 from repro.core.spec import DeploymentSpec, TrafficScenario
 from repro.measure.stats import mean_confidence_interval
+from repro.sim.rng import RngStreams
 
 
 class EvalMode:
@@ -120,14 +120,22 @@ def repeat_with_noise(
     repetitions: int = 5,
     rel_sigma: float = 0.01,
     seed: int = 0,
+    stream: str = "noise",
+    streams: Optional[RngStreams] = None,
 ) -> Tuple[float, float]:
     """Emulate the paper's 5-repetition mean with 95% confidence.
 
     The underlying models are deterministic; run-to-run variation of a
     real testbed is emulated as a small seeded Gaussian relative jitter.
-    Returns ``(mean, ci_half_width)``.
+    The jitter draws from the named ``stream`` of an
+    :class:`~repro.sim.rng.RngStreams` family -- the same master-seed
+    mechanism that governs the DES -- so experiment noise is stable
+    across processes and uncorrelated between call sites (name the
+    stream after the measurement: ``"apache.rps:L2(2):p2v"``).  Pass
+    ``streams`` to share a family across measurements; otherwise one is
+    derived from ``seed``.  Returns ``(mean, ci_half_width)``.
     """
-    rng = random.Random(seed)
+    rng = (streams if streams is not None else RngStreams(seed)).stream(stream)
     base = value_fn()
     samples = [base * (1.0 + rng.gauss(0.0, rel_sigma))
                for _ in range(repetitions)]

@@ -11,12 +11,14 @@ rules, filters) each configuration takes to stand up, and what the
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.core.deployment import plan_deployment
-from repro.core.levels import ResourceMode, SecurityLevel
+from repro.core.levels import SecurityLevel
 from repro.core.spec import DeploymentSpec, TrafficScenario
 from repro.measure.reporting import Series, Table
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
 
 #: Control-plane verbs grouped for reporting.
 GROUPS = {
@@ -27,6 +29,8 @@ GROUPS = {
     "other": ("pin-cores", "alloc-hugepages", "install-filters",
               "program-flows"),
 }
+
+WORKLOAD = "ext.deployment-cost"
 
 
 def op_counts(spec: DeploymentSpec,
@@ -39,28 +43,55 @@ def op_counts(spec: DeploymentSpec,
     return counts
 
 
-def run(scenario: TrafficScenario = TrafficScenario.P2V) -> Table:
-    table = Table(
-        title=f"Deployment cost: primitive control-plane operations "
-              f"({scenario.value})",
-        fmt=lambda v: f"{v:.0f}",
-    )
-    configs = [
+def measure_scenario(spec: ScenarioSpec,
+                     calibration: Calibration = DEFAULT_CALIBRATION
+                     ) -> Dict[str, float]:
+    """Engine entry point: exact control-plane op counts of one spec."""
+    counts = op_counts(spec.deployment, spec.traffic)
+    return {key: float(value) for key, value in counts.items()}
+
+
+def configurations() -> List[DeploymentSpec]:
+    return [
         DeploymentSpec(level=SecurityLevel.BASELINE),
         DeploymentSpec(level=SecurityLevel.LEVEL_1),
         DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=2),
         DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=4),
     ]
+
+
+def scenarios(scenario: TrafficScenario = TrafficScenario.P2V,
+              seed: int = 0) -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(workload=WORKLOAD, deployment=spec, traffic=scenario,
+                     seed=seed, label=spec.label)
+        for spec in configurations()
+    ]
+
+
+def tabulate(results: Sequence[ScenarioResult],
+             scenario: TrafficScenario = TrafficScenario.P2V) -> Table:
+    table = Table(
+        title=f"Deployment cost: primitive control-plane operations "
+              f"({scenario.value})",
+        fmt=lambda v: f"{v:.0f}",
+    )
     baseline_total = None
-    for spec in configs:
-        counts = op_counts(spec, scenario)
+    for result in results:
         if baseline_total is None:
-            baseline_total = counts["total"]
-        series = Series(label=spec.label)
+            baseline_total = result.values["total"]
+        series = Series(label=result.label)
         for group in GROUPS:
-            series.add(group, float(counts[group]))
-        series.add("total", float(counts["total"]))
+            series.add(group, result.values[group])
+        series.add("total", result.values["total"])
         series.add("delta vs Baseline",
-                   float(counts["total"] - baseline_total))
+                   result.values["total"] - baseline_total)
         table.add_series(series)
     return table
+
+
+def run(scenario: TrafficScenario = TrafficScenario.P2V,
+        seed: int = 0) -> Table:
+    from repro.experiments.runner import default_engine
+    return tabulate(default_engine().run(scenarios(scenario, seed=seed)),
+                    scenario)

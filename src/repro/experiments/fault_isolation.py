@@ -11,17 +11,21 @@ window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.core.deployment import build_deployment
 from repro.core.levels import ResourceMode, SecurityLevel
 from repro.core.orchestrator import crash_bridge, restore_bridge
 from repro.core.spec import DeploymentSpec, TrafficScenario
 from repro.measure.reporting import Series, Table
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
 from repro.traffic.harness import TestbedHarness
 from repro.units import KPPS
 
 RATE_PER_TENANT = 5 * KPPS
+
+WORKLOAD = "ext.fault-isolation"
 
 
 @dataclass
@@ -39,10 +43,16 @@ class AvailabilityResult:
         return [t for t, f in self.during_outage.items() if f > 0.99]
 
 
-def measure(spec: DeploymentSpec, crash_index: int = 0,
-            phase: float = 0.05, seed: int = 0) -> AvailabilityResult:
-    """Three equal phases: healthy, crashed, recovered."""
-    deployment = build_deployment(spec, TrafficScenario.P2V, seed=seed)
+def measure_scenario(spec: ScenarioSpec,
+                     calibration: Calibration = DEFAULT_CALIBRATION
+                     ) -> Dict[str, float]:
+    """Engine entry point: three equal phases -- healthy, crashed,
+    recovered -- with per-tenant delivery fractions for the last two
+    (``during:t<N>`` / ``after:t<N>`` keys)."""
+    phase = spec.duration / 3.0
+    crash_index = int(spec.param("crash_index", 0))
+    deployment = build_deployment(spec.deployment, spec.traffic,
+                                  seed=spec.seed, calibration=calibration)
     harness = TestbedHarness(deployment)
     harness.configure_tenant_flows(rate_per_flow_pps=RATE_PER_TENANT)
 
@@ -60,30 +70,44 @@ def measure(spec: DeploymentSpec, crash_index: int = 0,
     sim.schedule(2 * phase, restore)
     harness.run(duration=3 * phase, warmup=0.0)
 
+    num_tenants = spec.deployment.num_tenants
+
     def fractions(t0: float, t1: float) -> Dict[int, float]:
         expected = RATE_PER_TENANT * (t1 - t0)
         return {
             t: min(1.0, harness.monitor.delivered_in_window(t0, t1, flow_id=t)
                    / expected)
-            for t in range(spec.num_tenants)
+            for t in range(num_tenants)
         }
 
     # Give recovery a small settle margin inside the third phase.
+    during = fractions(phase, 2 * phase)
+    after = fractions(2 * phase + phase / 5, 3 * phase - phase / 5)
+    values: Dict[str, float] = {}
+    for t in range(num_tenants):
+        values[f"during:t{t}"] = during[t]
+        values[f"after:t{t}"] = after[t]
+    return values
+
+
+def measure(spec: DeploymentSpec, crash_index: int = 0,
+            phase: float = 0.05, seed: int = 0) -> AvailabilityResult:
+    """Three equal phases: healthy, crashed, recovered."""
+    values = measure_scenario(ScenarioSpec(
+        workload=WORKLOAD, deployment=spec, traffic=TrafficScenario.P2V,
+        duration=3 * phase, seed=seed, label=spec.label,
+        params={"crash_index": crash_index}))
     return AvailabilityResult(
         label=spec.label,
-        during_outage=fractions(phase, 2 * phase),
-        after_recovery=fractions(2 * phase + phase / 5, 3 * phase
-                                 - phase / 5),
+        during_outage={t: values[f"during:t{t}"]
+                       for t in range(spec.num_tenants)},
+        after_recovery={t: values[f"after:t{t}"]
+                        for t in range(spec.num_tenants)},
     )
 
 
-def run(phase: float = 0.05) -> Table:
-    table = Table(
-        title="Fault isolation: one vswitch crashes for a third of the "
-              "run (p2v, per-tenant delivered fraction during outage)",
-        fmt=lambda v: f"{v:.2f}",
-    )
-    configs = [
+def configurations() -> List[DeploymentSpec]:
+    return [
         DeploymentSpec(level=SecurityLevel.BASELINE,
                        resource_mode=ResourceMode.SHARED),
         DeploymentSpec(level=SecurityLevel.LEVEL_1,
@@ -93,10 +117,35 @@ def run(phase: float = 0.05) -> Table:
         DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=4,
                        resource_mode=ResourceMode.ISOLATED),
     ]
-    for spec in configs:
-        result = measure(spec, phase=phase)
-        series = Series(label=spec.label)
-        for t in range(spec.num_tenants):
-            series.add(f"t{t}", result.during_outage[t])
+
+
+def scenarios(phase: float = 0.05, seed: int = 0) -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(workload=WORKLOAD, deployment=spec,
+                     traffic=TrafficScenario.P2V, duration=3 * phase,
+                     seed=seed, label=spec.label,
+                     params={"crash_index": 0})
+        for spec in configurations()
+    ]
+
+
+def tabulate(results: Sequence[ScenarioResult]) -> Table:
+    table = Table(
+        title="Fault isolation: one vswitch crashes for a third of the "
+              "run (p2v, per-tenant delivered fraction during outage)",
+        fmt=lambda v: f"{v:.2f}",
+    )
+    for result in results:
+        series = Series(label=result.label)
+        tenants = sorted(int(key.split(":t", 1)[1])
+                         for key in result.values
+                         if key.startswith("during:t"))
+        for t in tenants:
+            series.add(f"t{t}", result.values[f"during:t{t}"])
         table.add_series(series)
     return table
+
+
+def run(phase: float = 0.05, seed: int = 0) -> Table:
+    from repro.experiments.runner import default_engine
+    return tabulate(default_engine().run(scenarios(phase=phase, seed=seed)))

@@ -3,20 +3,34 @@
 Single-stream iperf clients at the load generator against servers in
 the tenant VMs, 100 s runs, 5 repetitions, mean with 95% confidence.
 The workload topology uses one NIC port for both directions (the
-paper's Fig. 6 resource note).
+paper's Fig. 6 resource note).  Repetition noise draws from a named
+RNG stream per (config, scenario) so the numbers are stable across
+runs, processes and execution order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.deployment import build_deployment
 from repro.core.spec import TrafficScenario
-from repro.experiments.common import ConfigPoint, EvalMode, configs_for_mode, repeat_with_noise
+from repro.experiments.common import (
+    ConfigPoint,
+    EvalMode,
+    configs_for_mode,
+    repeat_with_noise,
+)
 from repro.measure.reporting import Series, Table
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
 from repro.workloads.iperf import IperfModel
 
 SCENARIOS = (TrafficScenario.P2V, TrafficScenario.V2V)
+
+WORKLOAD = "fig6.iperf"
+
+#: The paper's repetition count.
+REPETITIONS = 5
 
 
 def iperf_gbps(config: ConfigPoint, scenario: TrafficScenario) -> float:
@@ -25,13 +39,52 @@ def iperf_gbps(config: ConfigPoint, scenario: TrafficScenario) -> float:
 
 
 def iperf_with_ci(config: ConfigPoint, scenario: TrafficScenario,
-                  repetitions: int = 5) -> Tuple[float, float]:
-    return repeat_with_noise(lambda: iperf_gbps(config, scenario),
-                             repetitions=repetitions,
-                             seed=hash((config.label, scenario.value)) & 0xFFFF)
+                  repetitions: int = REPETITIONS,
+                  seed: int = 0) -> Tuple[float, float]:
+    return repeat_with_noise(
+        lambda: iperf_gbps(config, scenario),
+        repetitions=repetitions,
+        seed=seed,
+        stream=f"iperf:{config.label}:{scenario.value}")
 
 
-def run(mode: str = EvalMode.SHARED) -> Table:
+def measure_scenario(spec: ScenarioSpec,
+                     calibration: Calibration = DEFAULT_CALIBRATION
+                     ) -> Dict[str, float]:
+    """Engine entry point: iperf mean/CI of one spec."""
+    deployment = build_deployment(spec.deployment, spec.traffic,
+                                  seed=spec.seed, calibration=calibration)
+    base = IperfModel(deployment, spec.traffic).run().aggregate_gbps
+    mean, ci = repeat_with_noise(
+        lambda: base,
+        repetitions=int(spec.param("repetitions", REPETITIONS)),
+        seed=spec.seed,
+        stream=f"iperf:{spec.deployment.label}:{spec.traffic.value}")
+    return {"gbps_mean": mean, "gbps_ci": ci}
+
+
+def scenarios(mode: str = EvalMode.SHARED,
+              seed: int = 0) -> List[ScenarioSpec]:
+    """One figure row as engine-consumable specs."""
+    specs: List[ScenarioSpec] = []
+    for config in configs_for_mode(mode):
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            specs.append(ScenarioSpec(
+                workload=WORKLOAD,
+                deployment=config.spec(nic_ports=1),
+                traffic=scenario,
+                seed=seed,
+                eval_mode=mode,
+                label=config.label,
+                params={"repetitions": REPETITIONS},
+            ))
+    return specs
+
+
+def tabulate(results: Sequence[ScenarioResult],
+             mode: str = EvalMode.SHARED) -> Table:
     figure = {EvalMode.SHARED: "Fig. 6(a)", EvalMode.ISOLATED: "Fig. 6(f)",
               EvalMode.DPDK: "Fig. 6(k)"}[mode]
     table = Table(
@@ -39,15 +92,20 @@ def run(mode: str = EvalMode.SHARED) -> Table:
         unit="Gbps",
         fmt=lambda v: f"{v:.2f}",
     )
-    for config in configs_for_mode(mode):
-        series = Series(label=config.label)
-        for scenario in SCENARIOS:
-            if not config.supports(scenario):
-                continue
-            mean, _ci = iperf_with_ci(config, scenario)
-            series.add(scenario.value, mean)
-        table.add_series(series)
+    by_label: Dict[str, Series] = {}
+    for result in results:
+        series = by_label.get(result.label)
+        if series is None:
+            series = by_label[result.label] = Series(label=result.label)
+            table.add_series(series)
+        series.add(result.traffic, result.values["gbps_mean"])
     return table
+
+
+def run(mode: str = EvalMode.SHARED, seed: int = 0) -> Table:
+    from repro.experiments.runner import default_engine
+    results = default_engine().run(scenarios(mode, seed=seed))
+    return tabulate(results, mode)
 
 
 def run_all() -> Dict[str, Table]:

@@ -3,20 +3,35 @@
 memslap with the default 90/10 set/get mix against each tenant's
 memcached; 100 s, 5 repetitions, 95% confidence.  v2v runs two
 client-server pairs (others forward), as in the paper.
+
+One scenario measures *both* metrics (each with its own named noise
+stream), so the throughput and response-time rows of the figure share
+one cached point per configuration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.deployment import build_deployment
 from repro.core.spec import TrafficScenario
-from repro.experiments.common import ConfigPoint, EvalMode, configs_for_mode, repeat_with_noise
+from repro.experiments.common import (
+    ConfigPoint,
+    EvalMode,
+    configs_for_mode,
+    repeat_with_noise,
+)
 from repro.measure.reporting import Series, Table
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
 from repro.units import MSEC
 from repro.workloads.memcached import MemcachedModel
 
 SCENARIOS = (TrafficScenario.P2V, TrafficScenario.V2V)
+
+WORKLOAD = "fig6.memcached"
+
+REPETITIONS = 5
 
 
 def memcached_metrics(config: ConfigPoint,
@@ -27,48 +42,88 @@ def memcached_metrics(config: ConfigPoint,
     return report.aggregate_ops, report.mean_response_time
 
 
-def run_throughput(mode: str = EvalMode.SHARED) -> Table:
+def measure_scenario(spec: ScenarioSpec,
+                     calibration: Calibration = DEFAULT_CALIBRATION
+                     ) -> Dict[str, float]:
+    """Engine entry point: both Memcached metrics of one spec."""
+    deployment = build_deployment(spec.deployment, spec.traffic,
+                                  seed=spec.seed, calibration=calibration)
+    report = MemcachedModel(deployment, spec.traffic).run()
+    repetitions = int(spec.param("repetitions", REPETITIONS))
+    point = f"{spec.deployment.label}:{spec.traffic.value}"
+    ops_mean, ops_ci = repeat_with_noise(
+        lambda: report.aggregate_ops, repetitions=repetitions,
+        seed=spec.seed, stream=f"memcached.ops:{point}")
+    rt_mean, rt_ci = repeat_with_noise(
+        lambda: report.mean_response_time, repetitions=repetitions,
+        seed=spec.seed, stream=f"memcached.rt:{point}")
+    return {"ops_mean": ops_mean, "ops_ci": ops_ci,
+            "rt_mean_s": rt_mean, "rt_ci_s": rt_ci}
+
+
+def scenarios(mode: str = EvalMode.SHARED,
+              seed: int = 0) -> List[ScenarioSpec]:
+    """One figure row as engine-consumable specs (shared by the
+    throughput and response-time tables)."""
+    specs: List[ScenarioSpec] = []
+    for config in configs_for_mode(mode):
+        for scenario in SCENARIOS:
+            if not config.supports(scenario):
+                continue
+            specs.append(ScenarioSpec(
+                workload=WORKLOAD,
+                deployment=config.spec(nic_ports=1),
+                traffic=scenario,
+                seed=seed,
+                eval_mode=mode,
+                label=config.label,
+                params={"repetitions": REPETITIONS},
+            ))
+    return specs
+
+
+def _tabulate(results: Sequence[ScenarioResult], title: str, unit: str,
+              fmt, value_of) -> Table:
+    table = Table(title=title, unit=unit, fmt=fmt)
+    by_label: Dict[str, Series] = {}
+    for result in results:
+        series = by_label.get(result.label)
+        if series is None:
+            series = by_label[result.label] = Series(label=result.label)
+            table.add_series(series)
+        series.add(result.traffic, value_of(result))
+    return table
+
+
+def tabulate_throughput(results: Sequence[ScenarioResult],
+                        mode: str = EvalMode.SHARED) -> Table:
     figure = {EvalMode.SHARED: "Fig. 6(c)", EvalMode.ISOLATED: "Fig. 6(h)",
               EvalMode.DPDK: "Fig. 6(m)"}[mode]
-    table = Table(
-        title=f"{figure} Memcached throughput, {mode} mode",
-        unit="ops/s",
-        fmt=lambda v: f"{v:.0f}",
-    )
-    for config in configs_for_mode(mode):
-        series = Series(label=config.label)
-        for scenario in SCENARIOS:
-            if not config.supports(scenario):
-                continue
-            mean, _ci = repeat_with_noise(
-                lambda: memcached_metrics(config, scenario)[0],
-                seed=hash(("mc-ops", config.label, scenario.value)) & 0xFFFF,
-            )
-            series.add(scenario.value, mean)
-        table.add_series(series)
-    return table
+    return _tabulate(results, f"{figure} Memcached throughput, {mode} mode",
+                     "ops/s", lambda v: f"{v:.0f}",
+                     lambda r: r.values["ops_mean"])
 
 
-def run_response_time(mode: str = EvalMode.SHARED) -> Table:
+def tabulate_response_time(results: Sequence[ScenarioResult],
+                           mode: str = EvalMode.SHARED) -> Table:
     figure = {EvalMode.SHARED: "Fig. 6(e)", EvalMode.ISOLATED: "Fig. 6(j)",
               EvalMode.DPDK: "Fig. 6(o)"}[mode]
-    table = Table(
-        title=f"{figure} Memcached response time, {mode} mode",
-        unit="ms",
-        fmt=lambda v: f"{v:.2f}",
-    )
-    for config in configs_for_mode(mode):
-        series = Series(label=config.label)
-        for scenario in SCENARIOS:
-            if not config.supports(scenario):
-                continue
-            mean, _ci = repeat_with_noise(
-                lambda: memcached_metrics(config, scenario)[1],
-                seed=hash(("mc-rt", config.label, scenario.value)) & 0xFFFF,
-            )
-            series.add(scenario.value, mean / MSEC)
-        table.add_series(series)
-    return table
+    return _tabulate(results,
+                     f"{figure} Memcached response time, {mode} mode",
+                     "ms", lambda v: f"{v:.2f}",
+                     lambda r: r.values["rt_mean_s"] / MSEC)
+
+
+def run_throughput(mode: str = EvalMode.SHARED, seed: int = 0) -> Table:
+    from repro.experiments.runner import default_engine
+    return tabulate_throughput(
+        default_engine().run(scenarios(mode, seed=seed)), mode)
+
+
+def run_response_time(mode: str = EvalMode.SHARED, seed: int = 0) -> Table:
+    from repro.experiments.runner import default_engine
+    return tabulate_response_time(
+        default_engine().run(scenarios(mode, seed=seed)), mode)
 
 
 def run_all() -> Dict[str, Table]:

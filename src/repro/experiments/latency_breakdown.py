@@ -18,40 +18,45 @@ in the tenant's l2fwd poll loop.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.core.deployment import build_deployment
 from repro.core.spec import DeploymentSpec, TrafficScenario
 from repro.experiments.common import EvalMode, configs_for_mode
 from repro.measure.reporting import Series, Table
 from repro.net.packet import Frame
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
 from repro.traffic.harness import TestbedHarness
 from repro.units import KPPS, USEC
 
 COMPONENTS = ("wire", "nic", "vswitch.service", "vswitch.wait",
               "vswitch.queue", "vhost", "tenant")
 
+WORKLOAD = "ext.latency-breakdown"
 
-def measure_breakdown(
-    spec: DeploymentSpec,
-    scenario: TrafficScenario = TrafficScenario.P2V,
-    aggregate_pps: float = 10 * KPPS,
-    duration: float = 0.1,
-    warmup: float = 0.02,
-    seed: int = 0,
-) -> Dict[str, float]:
-    """Mean per-component latency (seconds) of delivered frames."""
-    deployment = build_deployment(spec, scenario, seed=seed)
+DEFAULT_AGGREGATE_PPS = 10 * KPPS
+
+
+def measure_scenario(spec: ScenarioSpec,
+                     calibration: Calibration = DEFAULT_CALIBRATION
+                     ) -> Dict[str, float]:
+    """Engine entry point: mean per-component latency (seconds)."""
+    deployment = build_deployment(spec.deployment, spec.traffic,
+                                  seed=spec.seed, calibration=calibration)
     harness = TestbedHarness(deployment)
+    aggregate_pps = float(spec.param("aggregate_pps",
+                                     DEFAULT_AGGREGATE_PPS))
     harness.configure_tenant_flows(
-        rate_per_flow_pps=aggregate_pps / spec.num_tenants)
+        rate_per_flow_pps=aggregate_pps / spec.deployment.num_tenants)
 
+    warmup = spec.warmup
     captured: List[Frame] = []
     harness.egress_tap.observe(
         lambda frame, now: captured.append(frame) if now >= warmup else None)
-    harness.run(duration=duration, warmup=warmup)
+    harness.run(duration=spec.duration, warmup=warmup)
     if not captured:
-        raise RuntimeError(f"no frames captured for {spec.label}")
+        raise RuntimeError(f"no frames captured for {spec.display_label}")
 
     totals = {component: 0.0 for component in COMPONENTS}
     for frame in captured:
@@ -61,24 +66,59 @@ def measure_breakdown(
             for component, total in totals.items()}
 
 
-def run(mode: str = EvalMode.SHARED,
-        scenario: TrafficScenario = TrafficScenario.P2V,
-        duration: float = 0.1) -> Table:
+def measure_breakdown(
+    spec: DeploymentSpec,
+    scenario: TrafficScenario = TrafficScenario.P2V,
+    aggregate_pps: float = DEFAULT_AGGREGATE_PPS,
+    duration: float = 0.1,
+    warmup: float = 0.02,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Mean per-component latency (seconds) of delivered frames."""
+    return measure_scenario(ScenarioSpec(
+        workload=WORKLOAD, deployment=spec, traffic=scenario,
+        duration=duration, warmup=warmup, seed=seed, label=spec.label,
+        params={"aggregate_pps": aggregate_pps}))
+
+
+def scenarios(mode: str = EvalMode.SHARED,
+              scenario: TrafficScenario = TrafficScenario.P2V,
+              duration: float = 0.1, warmup: float = 0.02,
+              seed: int = 0) -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(workload=WORKLOAD, deployment=config.spec(),
+                     traffic=scenario, duration=duration, warmup=warmup,
+                     seed=seed, eval_mode=mode, label=config.label,
+                     params={"aggregate_pps": DEFAULT_AGGREGATE_PPS})
+        for config in configs_for_mode(mode)
+        if config.supports(scenario)
+    ]
+
+
+def tabulate(results: Sequence[ScenarioResult],
+             mode: str = EvalMode.SHARED,
+             scenario: TrafficScenario = TrafficScenario.P2V) -> Table:
     table = Table(
         title=f"Latency breakdown ({scenario.value}, {mode} mode, "
               "10 kpps, mean per component)",
         unit="us",
         fmt=lambda v: f"{v:.1f}",
     )
-    for config in configs_for_mode(mode):
-        if not config.supports(scenario):
-            continue
-        breakdown = measure_breakdown(config.spec(), scenario,
-                                      duration=duration)
-        series = Series(label=config.label)
+    for result in results:
+        series = Series(label=result.label)
         for component in COMPONENTS:
-            if breakdown[component] > 0:
-                series.add(component, breakdown[component] / USEC)
-        series.add("TOTAL", sum(breakdown.values()) / USEC)
+            if result.values[component] > 0:
+                series.add(component, result.values[component] / USEC)
+        series.add("TOTAL",
+                   sum(result.values[c] for c in COMPONENTS) / USEC)
         table.add_series(series)
     return table
+
+
+def run(mode: str = EvalMode.SHARED,
+        scenario: TrafficScenario = TrafficScenario.P2V,
+        duration: float = 0.1, seed: int = 0) -> Table:
+    from repro.experiments.runner import default_engine
+    results = default_engine().run(
+        scenarios(mode, scenario, duration=duration, seed=seed))
+    return tabulate(results, mode, scenario)

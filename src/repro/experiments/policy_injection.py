@@ -18,13 +18,15 @@ experiment needs for the same damage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.core.deployment import build_deployment
 from repro.core.levels import ResourceMode, SecurityLevel
 from repro.core.spec import DeploymentSpec, TrafficScenario
 from repro.measure.reporting import Series, Table
 from repro.measure.stats import percentile
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
 from repro.traffic.harness import TestbedHarness
 from repro.units import KPPS, USEC
 
@@ -37,6 +39,10 @@ VICTIMS = (1, 2, 3)
 ATTACK_RATE_PPS = 40 * KPPS
 VICTIM_RATE_PPS = 10 * KPPS
 
+WORKLOAD = "ext.policy-injection"
+
+_HIT_RATE_PREFIX = "cache_hit_rate:"
+
 
 @dataclass
 class PolicyInjectionResult:
@@ -47,17 +53,24 @@ class PolicyInjectionResult:
     cache_hit_rate: Dict[str, float]
 
 
-def measure(spec: DeploymentSpec, duration: float = 0.1,
-            warmup: float = 0.02, seed: int = 0) -> PolicyInjectionResult:
-    deployment = build_deployment(spec, TrafficScenario.P2V, seed=seed)
+def measure_scenario(spec: ScenarioSpec,
+                     calibration: Calibration = DEFAULT_CALIBRATION
+                     ) -> Dict[str, float]:
+    """Engine entry point: victim metrics under cache-busting traffic.
+
+    Per-bridge flow-cache hit rates ride along as
+    ``cache_hit_rate:<bridge>`` keys.
+    """
+    deployment = build_deployment(spec.deployment, spec.traffic,
+                                  seed=spec.seed, calibration=calibration)
     harness = TestbedHarness(deployment)
     harness.add_tenant_flow(ATTACKER, ATTACK_RATE_PPS,
                             randomize_src_port=True)
     for victim in VICTIMS:
         harness.add_tenant_flow(victim, VICTIM_RATE_PPS)
-    harness.run(duration=duration, warmup=warmup)
+    harness.run(duration=spec.duration, warmup=spec.warmup)
 
-    t0, t1 = warmup, duration
+    t0, t1 = spec.warmup, spec.duration
     sent_per_victim = VICTIM_RATE_PPS * (t1 - t0)
     delivered = sum(harness.monitor.delivered_in_window(t0, t1, flow_id=v)
                     for v in VICTIMS)
@@ -65,16 +78,34 @@ def measure(spec: DeploymentSpec, duration: float = 0.1,
     for victim in VICTIMS:
         latencies.extend(
             harness.monitor.latencies_in_window(t0, t1, flow_id=victim))
+    values = {
+        "victim_delivery_fraction": min(
+            1.0, delivered / (sent_per_victim * len(VICTIMS))),
+        "victim_p99_latency_s": (percentile(latencies, 99) if latencies
+                                 else float("inf")),
+        "attacker_rate_pps": ATTACK_RATE_PPS,
+    }
+    for bridge in deployment.bridges:
+        if bridge.cache is not None:
+            values[f"{_HIT_RATE_PREFIX}{bridge.name}"] = \
+                bridge.cache.stats.hit_rate
+    return values
+
+
+def measure(spec: DeploymentSpec, duration: float = 0.1,
+            warmup: float = 0.02, seed: int = 0) -> PolicyInjectionResult:
+    values = measure_scenario(ScenarioSpec(
+        workload=WORKLOAD, deployment=spec, traffic=TrafficScenario.P2V,
+        duration=duration, warmup=warmup, seed=seed, label=spec.label))
     return PolicyInjectionResult(
         label=spec.label,
-        victim_delivery_fraction=min(
-            1.0, delivered / (sent_per_victim * len(VICTIMS))),
-        victim_p99_latency=(percentile(latencies, 99) if latencies
-                            else float("inf")),
-        attacker_rate_pps=ATTACK_RATE_PPS,
+        victim_delivery_fraction=values["victim_delivery_fraction"],
+        victim_p99_latency=values["victim_p99_latency_s"],
+        attacker_rate_pps=values["attacker_rate_pps"],
         cache_hit_rate={
-            bridge.name: bridge.cache.stats.hit_rate
-            for bridge in deployment.bridges if bridge.cache is not None
+            key[len(_HIT_RATE_PREFIX):]: rate
+            for key, rate in values.items()
+            if key.startswith(_HIT_RATE_PREFIX)
         },
     )
 
@@ -90,7 +121,17 @@ def configurations() -> List[DeploymentSpec]:
     ]
 
 
-def run(duration: float = 0.1) -> Table:
+def scenarios(duration: float = 0.1, warmup: float = 0.02,
+              seed: int = 0) -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(workload=WORKLOAD, deployment=spec,
+                     traffic=TrafficScenario.P2V, duration=duration,
+                     warmup=warmup, seed=seed, label=spec.label)
+        for spec in configurations()
+    ]
+
+
+def tabulate(results: Sequence[ScenarioResult]) -> Table:
     table = Table(
         title="Policy-injection DoS: 40 kpps of cache-busting traffic "
               "from tenant 0 (p2v)",
@@ -98,10 +139,16 @@ def run(duration: float = 0.1) -> Table:
     )
     delivery = Series(label="victim delivery fraction")
     latency = Series(label="victim p99 latency (us)")
-    for spec in configurations():
-        result = measure(spec, duration=duration)
-        delivery.add(spec.label, result.victim_delivery_fraction)
-        latency.add(spec.label, result.victim_p99_latency / USEC)
+    for result in results:
+        delivery.add(result.label, result.values["victim_delivery_fraction"])
+        latency.add(result.label,
+                    result.values["victim_p99_latency_s"] / USEC)
     table.add_series(delivery)
     table.add_series(latency)
     return table
+
+
+def run(duration: float = 0.1, seed: int = 0) -> Table:
+    from repro.experiments.runner import default_engine
+    return tabulate(default_engine().run(
+        scenarios(duration=duration, seed=seed)))

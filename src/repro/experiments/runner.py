@@ -4,6 +4,14 @@
 row of the paper's evaluation and prints them in order.  ``quick=True``
 shortens the DES latency windows (the distributions are stationary, so
 only sample counts shrink).
+
+Every experiment module follows the scenario-engine split:
+``scenarios(...)`` declares frozen :class:`ScenarioSpec` lists,
+``tabulate(results, ...)`` is a pure function from engine results to a
+:class:`Table`, and ``run(...)`` composes the two through
+:func:`default_engine`.  This module holds the plan (what to run, in
+what order, at which durations) and the engine the ``run()`` wrappers
+share.
 """
 
 from __future__ import annotations
@@ -22,13 +30,25 @@ from repro.experiments import (
 )
 from repro.experiments.common import EvalMode
 from repro.measure.reporting import Table
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.engine import Engine, SequentialBackend
+
+
+def default_engine(calibration: Calibration = DEFAULT_CALIBRATION
+                   ) -> Engine:
+    """The engine the ``run()`` wrappers share: sequential, no disk
+    cache (within-batch dedup still applies).  ``repro sweep`` builds
+    its own engine with a process pool and a content-addressed store.
+    """
+    return Engine(backend=SequentialBackend(), store=None,
+                  calibration=calibration)
 
 
 #: An experiment id paired with a zero-arg callable producing its table.
 ExperimentPlan = List[Tuple[str, Callable[[], Table]]]
 
 
-def experiment_plan(quick: bool = True) -> ExperimentPlan:
+def experiment_plan(quick: bool = True, seed: int = 0) -> ExperimentPlan:
     """The paper's evaluation as (id, thunk) pairs, in run order.
 
     Callers that want per-experiment bookkeeping (the CLI's cache-efficacy
@@ -43,52 +63,60 @@ def experiment_plan(quick: bool = True) -> ExperimentPlan:
     for mode in EvalMode.ALL:
         plan.extend([
             (f"fig5-throughput-{mode}",
-             lambda m=mode: fig5_throughput.run(m)),
+             lambda m=mode: fig5_throughput.run(m, seed=seed)),
             (f"fig5-latency-{mode}",
-             lambda m=mode: fig5_latency.run(m, duration=latency_duration)),
+             lambda m=mode: fig5_latency.run(m, duration=latency_duration,
+                                             seed=seed)),
             (f"fig5-resources-{mode}",
-             lambda m=mode: fig5_resources.run(m)),
-            (f"fig6-iperf-{mode}", lambda m=mode: fig6_iperf.run(m)),
+             lambda m=mode: fig5_resources.run(m, seed=seed)),
+            (f"fig6-iperf-{mode}",
+             lambda m=mode: fig6_iperf.run(m, seed=seed)),
             (f"fig6-apache-tput-{mode}",
-             lambda m=mode: fig6_apache.run_throughput(m)),
+             lambda m=mode: fig6_apache.run_throughput(m, seed=seed)),
             (f"fig6-apache-rt-{mode}",
-             lambda m=mode: fig6_apache.run_response_time(m)),
+             lambda m=mode: fig6_apache.run_response_time(m, seed=seed)),
             (f"fig6-memcached-tput-{mode}",
-             lambda m=mode: fig6_memcached.run_throughput(m)),
+             lambda m=mode: fig6_memcached.run_throughput(m, seed=seed)),
             (f"fig6-memcached-rt-{mode}",
-             lambda m=mode: fig6_memcached.run_response_time(m)),
+             lambda m=mode: fig6_memcached.run_response_time(m, seed=seed)),
         ])
     return plan
 
 
-def extension_plan(quick: bool = True) -> ExperimentPlan:
+def extension_plan(quick: bool = True, seed: int = 0) -> ExperimentPlan:
     """The beyond-the-paper experiments as (id, thunk) pairs."""
     window = 0.06 if quick else 0.15
     return [
-        ("ext-noisy-neighbor", lambda: noisy_neighbor.run(duration=window)),
-        ("ext-policy-injection", lambda: policy_injection.run(duration=window)),
+        ("ext-noisy-neighbor",
+         lambda: noisy_neighbor.run(duration=window, seed=seed)),
+        ("ext-policy-injection",
+         lambda: policy_injection.run(duration=window, seed=seed)),
         ("ext-latency-breakdown",
-         lambda: latency_breakdown.run(duration=window)),
-        ("ext-fault-isolation", lambda: fault_isolation.run(phase=window / 1.5)),
-        ("ext-deployment-cost", deployment_cost.run),
+         lambda: latency_breakdown.run(duration=window, seed=seed)),
+        ("ext-fault-isolation",
+         lambda: fault_isolation.run(phase=window / 1.5, seed=seed)),
+        ("ext-deployment-cost", lambda: deployment_cost.run(seed=seed)),
     ]
 
 
-def run_everything(quick: bool = True) -> Dict[str, Table]:
+def run_everything(quick: bool = True, seed: int = 0) -> Dict[str, Table]:
     """All tables of the paper's evaluation, keyed by experiment id."""
-    return {key: thunk() for key, thunk in experiment_plan(quick=quick)}
+    return {key: thunk()
+            for key, thunk in experiment_plan(quick=quick, seed=seed)}
 
 
-def run_extensions(quick: bool = True) -> Dict[str, Table]:
+def run_extensions(quick: bool = True, seed: int = 0) -> Dict[str, Table]:
     """The beyond-the-paper experiments (DESIGN.md section 7)."""
-    return {key: thunk() for key, thunk in extension_plan(quick=quick)}
+    return {key: thunk()
+            for key, thunk in extension_plan(quick=quick, seed=seed)}
 
 
 def render_everything(quick: bool = True,
-                      include_extensions: bool = False) -> str:
-    tables = run_everything(quick=quick)
+                      include_extensions: bool = False,
+                      seed: int = 0) -> str:
+    tables = run_everything(quick=quick, seed=seed)
     if include_extensions:
-        tables.update(run_extensions(quick=quick))
+        tables.update(run_extensions(quick=quick, seed=seed))
     chunks: List[str] = []
     for key in sorted(tables):
         chunks.append(tables[key].render())

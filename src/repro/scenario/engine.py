@@ -1,0 +1,204 @@
+"""The scenario engine: pluggable execution over frozen specs.
+
+Layering::
+
+    ScenarioSpec list --> Engine --> backend --> measurement function
+                            |
+                            +--> ResultStore (content-addressed cache)
+
+The **engine** owns policy: result-cache lookups, within-run
+deduplication of identical specs, and order preservation (results come
+back in input order no matter how the backend schedules).  The
+**backend** owns mechanics only; two are provided:
+
+- :class:`SequentialBackend` -- in-process, in-order; the default, and
+  the reference implementation of the contract;
+- :class:`ProcessPoolBackend` -- a
+  :class:`concurrent.futures.ProcessPoolExecutor` fan-out; specs travel
+  as JSON dicts, results (plus the obs metrics harvested in the
+  worker) come back as dicts and the metric deltas are folded into the
+  parent registry.
+
+Backend contract: given the same spec list, every backend must return
+value-identical results in the same order.  Backends introduce **no
+randomness** -- every seed is already pinned inside the specs (sweep
+grids derive per-scenario seeds from the master seed via
+:meth:`RngStreams.fork <repro.sim.rng.RngStreams.fork>` at
+grid-construction time), which is what makes sequential and parallel
+runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.errors import ValidationError
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.registry import resolve
+from repro.scenario.spec import (
+    ScenarioResult,
+    ScenarioSpec,
+    calibration_ref,
+)
+
+#: Counter families shipped from workers and folded into the parent
+#: registry (the obs cache/drop counters harvested per harness run).
+SHIPPED_COUNTERS = (
+    "cache_hits_total",
+    "cache_lookups_total",
+    "cache_evictions_total",
+    "plan_invalidations_total",
+    "drops_total",
+)
+
+_KEY_RE = re.compile(r"^(?P<name>\w+)(?:\{(?P<labels>.*)\})?$")
+_LABEL_RE = re.compile(r'(\w+)="([^"]*)"')
+
+
+def run_scenario(spec: ScenarioSpec,
+                 calibration: Calibration = DEFAULT_CALIBRATION
+                 ) -> ScenarioResult:
+    """Execute one scenario in-process and capture its obs deltas."""
+    if spec.calibration_ref != calibration_ref(calibration):
+        raise ValidationError(
+            f"scenario {spec.content_hash()[:12]} was built against "
+            f"calibration {spec.calibration_ref}, engine runs "
+            f"{calibration_ref(calibration)}")
+    fn = resolve(spec.workload)
+    before = obs.REGISTRY.snapshot()
+    start = time.perf_counter()
+    values = fn(spec, calibration)
+    elapsed = time.perf_counter() - start
+    after = obs.REGISTRY.snapshot()
+    metrics = {}
+    for key, value in after.items():
+        if key.startswith(SHIPPED_COUNTERS):
+            delta = value - before.get(key, 0.0)
+            if delta:
+                metrics[key] = delta
+    return ScenarioResult(
+        spec_hash=spec.content_hash(),
+        workload=spec.workload,
+        label=spec.display_label,
+        traffic=spec.traffic.value,
+        # Sorted so fresh, pooled and cached results (JSON round-trips
+        # sort keys) agree on column order everywhere downstream.
+        values=dict(sorted(values.items())),
+        metrics=metrics,
+        elapsed=elapsed,
+    )
+
+
+def fold_metrics(registry, metrics: Dict[str, float]) -> None:
+    """Fold shipped counter deltas (flat ``name{k="v"}`` keys) into a
+    registry, so parallel runs report cache efficacy like local ones."""
+    for key, delta in metrics.items():
+        if delta <= 0:
+            continue
+        match = _KEY_RE.match(key)
+        if not match or not match.group("name").startswith(SHIPPED_COUNTERS):
+            continue
+        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        family = registry.counter(match.group("name"),
+                                 labels=tuple(labels))
+        family.labels(**labels).inc(delta)
+
+
+class SequentialBackend:
+    """In-process, in-order execution (the reference backend)."""
+
+    name = "sequential"
+
+    def run(self, specs: Sequence[ScenarioSpec],
+            calibration: Calibration = DEFAULT_CALIBRATION
+            ) -> List[ScenarioResult]:
+        return [run_scenario(spec, calibration) for spec in specs]
+
+
+def _pool_worker(spec_dict: dict, calibration: Calibration) -> dict:
+    """Top-level so the pool can import it; specs travel as dicts."""
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return run_scenario(spec, calibration).to_dict()
+
+
+class ProcessPoolBackend:
+    """Parallel execution across worker processes.
+
+    Results return in input order (``Executor.map`` semantics) and are
+    value-identical to the sequential backend's because the specs pin
+    every seed.  Worker obs metrics ship back inside the results and
+    are folded into this process's registry.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def run(self, specs: Sequence[ScenarioSpec],
+            calibration: Calibration = DEFAULT_CALIBRATION
+            ) -> List[ScenarioResult]:
+        if not specs:
+            return []
+        workers = min(self.max_workers, len(specs))
+        if workers <= 1:
+            return SequentialBackend().run(specs, calibration)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            dicts = list(pool.map(_pool_worker,
+                                  [s.to_dict() for s in specs],
+                                  repeat(calibration)))
+        results = [ScenarioResult.from_dict(d) for d in dicts]
+        for result in results:
+            fold_metrics(obs.REGISTRY, result.metrics)
+        return results
+
+
+class Engine:
+    """Cache-aware scenario execution with a pluggable backend."""
+
+    def __init__(self, backend=None, store=None,
+                 calibration: Calibration = DEFAULT_CALIBRATION) -> None:
+        self.backend = backend or SequentialBackend()
+        self.store = store  # None = no caching
+        self.calibration = calibration
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+        """Run ``specs``, serving store hits and deduplicating identical
+        specs within the batch; results in input order."""
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        pending: List[ScenarioSpec] = []
+        pending_idx: List[int] = []
+        first_of: Dict[str, int] = {}
+        dupes: List[tuple] = []  # (index, first-index)
+
+        for i, spec in enumerate(specs):
+            key = spec.content_hash()
+            if key in first_of:
+                dupes.append((i, first_of[key]))
+                continue
+            first_of[key] = i
+            hit = self.store.get(spec) if self.store is not None else None
+            if hit is not None:
+                results[i] = hit.relabeled(spec, cached=True)
+            else:
+                pending.append(spec)
+                pending_idx.append(i)
+
+        fresh = self.backend.run(pending, self.calibration)
+        for spec, i, result in zip(pending, pending_idx, fresh):
+            results[i] = result
+            if self.store is not None:
+                self.store.put(spec, result)
+
+        for i, j in dupes:
+            results[i] = results[j].relabeled(specs[i], cached=True)
+        return results
+
+    def run_one(self, spec: ScenarioSpec) -> ScenarioResult:
+        return self.run([spec])[0]

@@ -1,0 +1,78 @@
+"""The workload registry: scenario names -> measurement functions.
+
+Workloads are registered as ``"module:function"`` import paths and
+resolved lazily.  Two reasons this is a string table rather than direct
+imports:
+
+- **no import cycles**: experiment modules import the scenario package
+  (for :class:`~repro.scenario.spec.ScenarioSpec`), while the engine
+  dispatches *into* experiment modules -- lazy resolution breaks the
+  loop;
+- **process-pool friendliness**: worker processes receive only the
+  workload name and import the measurement code themselves, so the
+  parent never pickles functions.
+
+A measurement function has the signature::
+
+    def measure_scenario(spec: ScenarioSpec,
+                         calibration: Calibration = DEFAULT_CALIBRATION
+                         ) -> Dict[str, float]
+
+It must be **pure up to its spec**: same spec (and calibration), same
+returned values, regardless of process, ordering, or what ran before
+it.  That contract is what makes results cacheable and backends
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict
+
+from repro.errors import ValidationError
+
+#: Built-in workloads.  Third parties extend via :func:`register`.
+WORKLOADS: Dict[str, str] = {
+    "fig5.throughput": "repro.experiments.fig5_throughput:measure_scenario",
+    "fig5.latency": "repro.experiments.fig5_latency:measure_scenario",
+    "fig5.resources": "repro.experiments.fig5_resources:measure_scenario",
+    "fig6.iperf": "repro.experiments.fig6_iperf:measure_scenario",
+    "fig6.apache": "repro.experiments.fig6_apache:measure_scenario",
+    "fig6.memcached": "repro.experiments.fig6_memcached:measure_scenario",
+    "ext.noisy-neighbor":
+        "repro.experiments.noisy_neighbor:measure_scenario",
+    "ext.policy-injection":
+        "repro.experiments.policy_injection:measure_scenario",
+    "ext.latency-breakdown":
+        "repro.experiments.latency_breakdown:measure_scenario",
+    "ext.fault-isolation":
+        "repro.experiments.fault_isolation:measure_scenario",
+    "ext.deployment-cost":
+        "repro.experiments.deployment_cost:measure_scenario",
+}
+
+_RESOLVED: Dict[str, Callable] = {}
+
+
+def register(name: str, target: str) -> None:
+    """Add (or override) a workload as a ``"module:function"`` path."""
+    if ":" not in target:
+        raise ValidationError(
+            f"workload target must be 'module:function', got {target!r}")
+    WORKLOADS[name] = target
+    _RESOLVED.pop(name, None)
+
+
+def resolve(name: str) -> Callable:
+    """Import and return the measurement function for ``name``."""
+    fn = _RESOLVED.get(name)
+    if fn is not None:
+        return fn
+    target = WORKLOADS.get(name)
+    if target is None:
+        raise ValidationError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    module_name, _, attr = target.partition(":")
+    fn = getattr(importlib.import_module(module_name), attr)
+    _RESOLVED[name] = fn
+    return fn

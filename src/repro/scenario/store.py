@@ -1,0 +1,85 @@
+"""The content-addressed result store.
+
+One JSON file per computed scenario, named by the spec's content hash
+(which already folds in the calibration ref), so the cache can never
+serve numbers computed under different constants.  Files carry the full
+spec next to the result for auditability -- ``get`` re-verifies the
+stored spec's hash before trusting a file, so a corrupt or hand-edited
+entry degrades to a miss, never to wrong numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
+
+#: Default cache location (overridable per store / via CLI).
+DEFAULT_STORE_DIR = ".repro-cache"
+
+
+class ResultStore:
+    """Content-addressed scenario results on disk."""
+
+    def __init__(self, root: str = DEFAULT_STORE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(root, exist_ok=True)
+
+    def path_for(self, spec: ScenarioSpec) -> str:
+        return os.path.join(self.root, spec.content_hash() + ".json")
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        path = self.path_for(spec)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+            stored = ScenarioSpec.from_dict(entry["spec"])
+            if stored.content_hash() != spec.content_hash():
+                raise ValueError("stored spec does not match its key")
+            result = ScenarioResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ScenarioSpec, result: ScenarioResult) -> str:
+        """Write atomically (temp file + rename) so a crashed run never
+        leaves a truncated entry behind."""
+        path = self.path_for(spec)
+        entry = {"spec": spec.to_dict(), "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root)
+                   if name.endswith(".json"))
+
+
+class NullStore:
+    """The ``--no-cache`` escape hatch: never hits, never writes."""
+
+    hits = 0
+    misses = 0
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        return None
+
+    def put(self, spec: ScenarioSpec, result: ScenarioResult) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,316 @@
+"""Scenario engine: spec hashing, store, backends, sweep grids."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.levels import ResourceMode, SecurityLevel
+from repro.core.spec import DeploymentSpec, TrafficScenario
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.scenario import (
+    DEFAULT_CALIBRATION_REF,
+    Engine,
+    NullStore,
+    ProcessPoolBackend,
+    ResultStore,
+    ScenarioResult,
+    ScenarioSpec,
+    SequentialBackend,
+    SweepGrid,
+    build_grid,
+    calibration_ref,
+    fold_metrics,
+    resolve,
+    run_scenario,
+)
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+
+
+def latency_spec(seed=0, duration=0.02, **over) -> ScenarioSpec:
+    fields = dict(
+        workload="fig5.latency",
+        deployment=DeploymentSpec(level=SecurityLevel.LEVEL_1),
+        traffic=TrafficScenario.P2V,
+        duration=duration,
+        warmup=duration / 5,
+        seed=seed,
+        params={"frame_bytes": 64, "aggregate_pps": 10_000.0},
+    )
+    fields.update(over)
+    return ScenarioSpec(**fields)
+
+
+def resources_spec(**over) -> ScenarioSpec:
+    fields = dict(
+        workload="fig5.resources",
+        deployment=DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                  num_vswitch_vms=2),
+        traffic=TrafficScenario.P2V,
+    )
+    fields.update(over)
+    return ScenarioSpec(**fields)
+
+
+class TestSpecSerialization:
+    def test_json_round_trip(self):
+        spec = latency_spec(seed=3, label="L1", eval_mode="shared")
+        clone = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_unknown_field_rejected(self):
+        data = latency_spec().to_dict()
+        data["frobnicate"] = 1
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_dict(data)
+
+    def test_infeasible_deployment_rejected(self):
+        # v2v needs a shared path; per-tenant L2(4) has none.
+        with pytest.raises(ValidationError):
+            ScenarioSpec(
+                workload="fig5.latency",
+                deployment=DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                          num_vswitch_vms=4),
+                traffic=TrafficScenario.V2V)
+
+    def test_param_accessor(self):
+        spec = latency_spec()
+        assert spec.param("frame_bytes") == 64
+        assert spec.param("absent", 7) == 7
+
+
+class TestContentHash:
+    def test_param_order_irrelevant(self):
+        a = latency_spec(params={"frame_bytes": 64, "aggregate_pps": 1.0})
+        b = latency_spec(params={"aggregate_pps": 1.0, "frame_bytes": 64})
+        assert a.content_hash() == b.content_hash()
+
+    def test_presentation_fields_excluded(self):
+        a = latency_spec(label="L1", eval_mode="shared")
+        b = latency_spec(label="row 3", eval_mode="isolated")
+        assert a.content_hash() == b.content_hash()
+
+    def test_seed_and_calibration_included(self):
+        base = latency_spec()
+        assert latency_spec(seed=1).content_hash() != base.content_hash()
+        other_cal = latency_spec(calibration_ref="0" * 16)
+        assert other_cal.content_hash() != base.content_hash()
+
+    def test_default_calibration_ref_shape(self):
+        assert DEFAULT_CALIBRATION_REF == calibration_ref(DEFAULT_CALIBRATION)
+        assert len(DEFAULT_CALIBRATION_REF) == 16
+        int(DEFAULT_CALIBRATION_REF, 16)  # hex
+
+    def test_golden_hashes_pinned(self):
+        """Regression: the content hash is part of the on-disk cache
+        format; these values must never change for existing specs."""
+        a = ScenarioSpec(
+            workload="fig5.latency",
+            deployment=DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                      num_vswitch_vms=2),
+            traffic=TrafficScenario.P2V, duration=0.1, warmup=0.02,
+            seed=42,
+            params={"frame_bytes": 64, "aggregate_pps": 10000.0},
+            calibration_ref="0123456789abcdef")
+        b = ScenarioSpec(
+            workload="fig6.iperf",
+            deployment=DeploymentSpec(level=SecurityLevel.BASELINE,
+                                      nic_ports=1),
+            traffic=TrafficScenario.V2V, seed=7,
+            params={"repetitions": 5},
+            calibration_ref="feedfacecafebeef")
+        assert a.content_hash() == (
+            "3272ae7b687dbedd9c3a9eaf65b58fe9780be8163ab0c6f139607a22208ddde1")
+        assert b.content_hash() == (
+            "4fbf53e9adb54142249eb801f02ff17470f4e7e4a053abdd0eb228e726872e48")
+
+
+class TestRegistry:
+    def test_known_workloads_resolve(self):
+        assert callable(resolve("fig5.latency"))
+        assert callable(resolve("ext.deployment-cost"))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve("fig9.nonsense")
+
+    def test_unknown_workload_in_run_scenario(self):
+        with pytest.raises(ValidationError):
+            run_scenario(resources_spec(workload="fig9.nonsense"))
+
+
+class TestRunScenario:
+    def test_calibration_mismatch_rejected(self):
+        spec = resources_spec(calibration_ref="beef" * 4)
+        with pytest.raises(ValidationError):
+            run_scenario(spec)
+
+    def test_values_and_hash(self):
+        result = run_scenario(resources_spec())
+        assert result.spec_hash == resources_spec().content_hash()
+        assert result.values["networking-cores"] == 2.0
+        again = run_scenario(resources_spec())
+        assert again.result_hash() == result.result_hash()
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        spec = resources_spec()
+        assert store.get(spec) is None
+        result = run_scenario(spec)
+        store.put(spec, result)
+        hit = store.get(spec)
+        assert hit is not None
+        assert hit.values == result.values
+        assert len(store) == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        spec = resources_spec()
+        store.put(spec, run_scenario(spec))
+        with open(store.path_for(spec), "w") as handle:
+            handle.write("{not json")
+        assert store.get(spec) is None
+
+    def test_null_store_never_hits(self):
+        store = NullStore()
+        spec = resources_spec()
+        store.put(spec, run_scenario(spec))
+        assert store.get(spec) is None
+        assert len(store) == 0
+
+
+class TestEngine:
+    def test_store_round_trip_marks_cached(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        engine = Engine(store=store)
+        first = engine.run([resources_spec()])
+        assert [r.cached for r in first] == [False]
+        second = engine.run([resources_spec()])
+        assert [r.cached for r in second] == [True]
+        assert second[0].result_hash() == first[0].result_hash()
+
+    def test_within_batch_dedup(self):
+        engine = Engine()  # no store
+        a = resources_spec(label="tput row")
+        b = resources_spec(label="rt row")
+        results = engine.run([a, b])
+        assert results[0].label == "tput row"
+        assert results[1].label == "rt row"
+        assert results[1].cached  # second is the first's computation
+        assert results[0].values == results[1].values
+
+    def test_results_in_input_order(self):
+        specs = [resources_spec(seed=s) for s in (3, 1, 2)]
+        results = Engine().run(specs)
+        assert [r.spec_hash for r in results] == \
+            [s.content_hash() for s in specs]
+
+
+class TestBackendEquivalence:
+    def test_pool_matches_sequential(self):
+        specs = [latency_spec(seed=s) for s in (0, 1)] + [resources_spec()]
+        seq = SequentialBackend().run(specs, DEFAULT_CALIBRATION)
+        pool = ProcessPoolBackend(max_workers=2).run(
+            specs, DEFAULT_CALIBRATION)
+        assert [r.result_hash() for r in seq] == \
+            [r.result_hash() for r in pool]
+        assert [r.values for r in seq] == [r.values for r in pool]
+
+    def test_pool_ships_obs_metrics(self):
+        from repro import obs
+        before = obs.REGISTRY.snapshot()
+        results = ProcessPoolBackend(max_workers=2).run(
+            [latency_spec(seed=9), latency_spec(seed=10)],
+            DEFAULT_CALIBRATION)
+        assert any(r.metrics for r in results)
+        after = obs.REGISTRY.snapshot()
+        shipped = sum(sum(r.metrics.values()) for r in results)
+        folded = sum(after.values()) - sum(before.get(k, 0.0)
+                                           for k in after)
+        assert folded == pytest.approx(shipped)
+
+
+class TestFoldMetrics:
+    def test_labeled_counter_folds(self):
+        registry = MetricsRegistry()
+        fold_metrics(registry, {
+            'cache_hits_total{cache="emc",vswitch="ovs0"}': 5.0,
+            "drops_total": 2.0,
+            "unrelated_metric": 9.0,
+            'cache_lookups_total{cache="emc",vswitch="ovs0"}': -1.0,
+        })
+        snap = registry.snapshot()
+        assert snap['cache_hits_total{cache="emc",vswitch="ovs0"}'] == 5.0
+        assert snap["drops_total"] == 2.0
+        assert "unrelated_metric" not in snap
+        assert not any(k.startswith("cache_lookups_total") for k in snap)
+
+
+class TestSweepGrid:
+    def test_compartment_axis_collapses_for_non_l2(self):
+        grid = SweepGrid(workload="fig5.resources",
+                         levels=("baseline", "l2"),
+                         compartments=(2, 4), duration=0.0)
+        specs, skipped = build_grid(grid)
+        labels = [s.label for s in specs]
+        assert labels.count("baselinex4T/kernel/shared/p2v") == 1
+        assert "l2(2)x4T/kernel/shared/p2v" in labels
+        assert "l2(4)x4T/kernel/shared/p2v" in labels
+        assert not skipped
+
+    def test_infeasible_corners_skipped_not_raised(self):
+        grid = SweepGrid(workload="fig5.resources",
+                         levels=("baseline",), datapaths=("dpdk",),
+                         modes=("shared",), duration=0.0)
+        specs, skipped = build_grid(grid)
+        assert specs == []
+        assert len(skipped) == 1
+        assert "dpdk" in skipped[0].point_id
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValidationError):
+            build_grid(SweepGrid(levels=("l7",)))
+
+    def test_per_point_seeds_fork_from_master(self):
+        specs, _ = build_grid(SweepGrid(workload="fig5.resources",
+                                        levels=("baseline", "l1"),
+                                        duration=0.0))
+        assert len({s.seed for s in specs}) == len(specs)
+        again, _ = build_grid(SweepGrid(workload="fig5.resources",
+                                        levels=("baseline", "l1"),
+                                        duration=0.0))
+        assert [s.seed for s in specs] == [s.seed for s in again]
+        other, _ = build_grid(SweepGrid(workload="fig5.resources",
+                                        levels=("baseline", "l1"),
+                                        duration=0.0, seed=1))
+        assert [s.seed for s in specs] != [s.seed for s in other]
+
+
+class TestSweepEndToEnd:
+    GRID = SweepGrid(workload="fig5.latency",
+                     levels=("baseline", "l1"), duration=0.02)
+
+    def test_sequential_and_pool_tables_identical(self):
+        from repro.scenario import sweep_table
+        specs, _ = build_grid(self.GRID)
+        seq = Engine(backend=SequentialBackend()).run(specs)
+        pool = Engine(backend=ProcessPoolBackend(max_workers=2)).run(specs)
+        assert [r.result_hash() for r in seq] == \
+            [r.result_hash() for r in pool]
+        assert sweep_table(self.GRID, specs, seq).render() == \
+            sweep_table(self.GRID, specs, pool).render()
+
+    def test_second_run_fully_cached(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        specs, _ = build_grid(self.GRID)
+        first = Engine(store=store).run(specs)
+        assert not any(r.cached for r in first)
+        second = Engine(store=store).run(specs)
+        assert all(r.cached for r in second)
+        assert [r.result_hash() for r in first] == \
+            [r.result_hash() for r in second]

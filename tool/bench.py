@@ -28,7 +28,8 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_fastpath.json")
-BENCH_TARGET = "benchmarks/test_microbench.py"
+BENCH_TARGETS = ("benchmarks/test_microbench.py",
+                 "benchmarks/test_sweep.py")
 
 #: The observability-overhead pair: the e2e run with the tracer disabled
 #: (gated against the baseline like every benchmark) and the identical
@@ -37,13 +38,20 @@ BENCH_TARGET = "benchmarks/test_microbench.py"
 OBS_DISABLED_BENCH = "test_e2e_des_packet_rate"
 OBS_ENABLED_BENCH = "test_e2e_traced_packet_rate"
 
+#: The sweep-backend pair: the sequential 8-point sweep (gated like
+#: every benchmark) and the identical sweep through the process pool
+#: (reported as a speedup factor; on a multi-core runner the pool side
+#: additionally has its own >=2x assertion inside the suite).
+SWEEP_SEQ_BENCH = "test_sweep_sequential_8pt"
+SWEEP_POOL_BENCH = "test_sweep_pool_8pt"
+
 
 def run_benchmarks(json_out: str) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (os.path.join(REPO_ROOT, "src"),
                     env.get("PYTHONPATH")) if p)
-    cmd = [sys.executable, "-m", "pytest", BENCH_TARGET, "-q",
+    cmd = [sys.executable, "-m", "pytest", *BENCH_TARGETS, "-q",
            "-p", "no:cacheprovider",
            f"--benchmark-json={json_out}"]
     print("+", " ".join(cmd))
@@ -124,12 +132,36 @@ def report_obs_overhead(current: dict) -> None:
           f"{current[OBS_DISABLED_BENCH]['min_us']:.0f}us disabled)")
 
 
+def sweep_speedup_factor(current: dict):
+    """min(sequential) / min(pool) of the 8-point sweep pair, or None
+    if either benchmark is absent from the run."""
+    seq = current.get(SWEEP_SEQ_BENCH)
+    pool = current.get(SWEEP_POOL_BENCH)
+    if not seq or not pool or not pool["min_us"]:
+        return None
+    return seq["min_us"] / pool["min_us"]
+
+
+def report_sweep_speedup(current: dict) -> None:
+    factor = sweep_speedup_factor(current)
+    if factor is None:
+        return
+    cores = os.cpu_count() or 1
+    print(f"Sweep: process-pool speedup {factor:.2f}x over sequential "
+          f"({current[SWEEP_SEQ_BENCH]['min_us'] / 1e6:.2f}s vs "
+          f"{current[SWEEP_POOL_BENCH]['min_us'] / 1e6:.2f}s for 8 "
+          f"scenarios on {cores} core(s))")
+
+
 def update_baseline(current: dict, baseline: dict) -> None:
     baseline = dict(baseline)
     baseline["benchmarks"] = current
     factor = obs_overhead_factor(current)
     if factor is not None:
         baseline["obs_overhead_factor"] = round(factor, 3)
+    speedup = sweep_speedup_factor(current)
+    if speedup is not None:
+        baseline["sweep_pool_speedup_factor"] = round(speedup, 3)
     with open(BASELINE_PATH, "w") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -158,6 +190,7 @@ def main() -> int:
     if args.update:
         update_baseline(current, baseline)
         report_obs_overhead(current)
+        report_sweep_speedup(current)
         return 0
     if not baseline.get("benchmarks"):
         print(f"No baseline at {BASELINE_PATH}; run with --update first.",
@@ -167,6 +200,7 @@ def main() -> int:
           f"(tolerance {args.tolerance:.0%}):")
     rc = gate(current, baseline, args.tolerance)
     report_obs_overhead(current)
+    report_sweep_speedup(current)
     return rc
 
 
