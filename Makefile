@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-update sweep-smoke
+.PHONY: test bench bench-update sweep-smoke chaos-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -31,3 +31,18 @@ sweep-smoke:
 	cat .sweep-smoke/second.txt
 	grep -q "0 computed" .sweep-smoke/second.txt
 	rm -rf .sweep-smoke
+
+# End-to-end smoke of the chaos layer: crash one vswitch per
+# configuration, let the watchdog + supervisor heal it, and fail if
+# any run ends unrepaired or with an accounting violation (--check).
+chaos-smoke:
+	rm -rf .chaos-smoke
+	PYTHONPATH=src $(PYTHON) -m repro chaos \
+		--duration 0.12 --check \
+		--cache-dir .chaos-smoke/cache \
+		--events-out .chaos-smoke/events.jsonl
+	test -s .chaos-smoke/events.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro chaos \
+		--duration 0.12 --check --warm-standby \
+		--cache-dir .chaos-smoke/cache
+	rm -rf .chaos-smoke

@@ -252,6 +252,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sweep_table,
         write_jsonl,
     )
+    faults = None
+    if args.faults:
+        import json
+        from repro.faults.plan import FaultPlan
+        with open(args.faults) as handle:
+            faults = FaultPlan.from_dict(json.load(handle))
     grid = SweepGrid(
         workload=args.workload,
         levels=tuple(args.levels),
@@ -264,6 +270,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         frame_bytes=args.frame_bytes,
         rate_pps=args.rate_pps,
         seed=args.seed,
+        faults=faults,
     )
     specs, skipped = build_grid(grid)
     for point in skipped:
@@ -273,7 +280,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     backend = (SequentialBackend() if args.jobs == 1
-               else ProcessPoolBackend(max_workers=args.jobs))
+               else ProcessPoolBackend(max_workers=args.jobs,
+                                       timeout=args.timeout))
     store = NullStore() if args.no_cache else ResultStore(args.cache_dir)
     engine = Engine(backend=backend, store=store)
     results = engine.run(specs)
@@ -291,6 +299,54 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             count = write_jsonl(handle, specs, results)
         print(f"wrote {count} points to {args.out}")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault campaign across security levels: blast radius, MTTR."""
+    import json
+    from repro.faults.campaign import scenarios, tabulate
+    from repro.faults.plan import FaultPlan, scripted_crash
+    from repro.scenario import (
+        Engine,
+        NullStore,
+        ProcessPoolBackend,
+        ResultStore,
+        SequentialBackend,
+    )
+    if args.plan:
+        with open(args.plan) as handle:
+            plan = FaultPlan.from_dict(json.load(handle))
+    else:
+        plan = scripted_crash(compartment=args.crash_index,
+                              at=args.duration / 3.0,
+                              heartbeat=args.heartbeat,
+                              warm_standby=args.warm_standby)
+    specs = scenarios(duration=args.duration, seed=args.seed, plan=plan)
+    backend = (SequentialBackend() if args.jobs in (None, 1)
+               else ProcessPoolBackend(max_workers=args.jobs))
+    store = NullStore() if args.no_cache else ResultStore(args.cache_dir)
+    results = Engine(backend=backend, store=store).run(specs)
+    print(tabulate(results).render())
+    repaired = sum(r.values.get("repaired", 0) for r in results)
+    violations = sum(r.values.get("violations", 0) for r in results)
+    cached = sum(1 for r in results if r.cached)
+    print(f"{len(results)} campaigns ({cached} cached): "
+          f"{repaired:.0f} repairs, {violations:.0f} invariant violations")
+    if args.events_out:
+        count = 0
+        with open(args.events_out, "w") as handle:
+            for spec, result in zip(specs, results):
+                for event in result.events:
+                    handle.write(json.dumps(
+                        {"label": spec.display_label, **event},
+                        sort_keys=True, separators=(",", ":")) + "\n")
+                    count += 1
+        print(f"wrote {count} events to {args.events_out}")
+    if args.check and (repaired == 0 or violations > 0):
+        print(f"chaos check FAILED: {repaired:.0f} repairs, "
+              f"{violations:.0f} violations", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -364,7 +420,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write one JSON line per point")
     p.add_argument("--seed", type=int, default=0,
                    help="master seed; per-point seeds fork off it")
+    p.add_argument("--faults", metavar="PLAN.json",
+                   help="fault campaign applied to every point")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-scenario wall-clock budget in pool workers")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault campaign across security levels: blast radius, MTTR")
+    p.add_argument("--duration", type=float, default=0.15,
+                   help="DES window per campaign, seconds (default: 0.15)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash-index", type=int, default=0,
+                   help="compartment to crash (default plan; default: 0)")
+    p.add_argument("--heartbeat", type=float, default=0.005,
+                   help="watchdog probe period, seconds (default: 0.005)")
+    p.add_argument("--warm-standby", action="store_true",
+                   help="fail Level-2 compartments over to pre-synced "
+                        "standbys instead of cold restarts")
+    p.add_argument("--plan", metavar="PLAN.json",
+                   help="full fault plan (overrides the default crash)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: in-process)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't write the result store")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result store directory (default: .repro-cache)")
+    p.add_argument("--events-out", metavar="EVENTS.jsonl",
+                   help="write the inject/detect/recover event log")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless every campaign repaired "
+                        "and no invariant was violated (CI smoke)")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "obs", help="run one traced deployment and dump its telemetry")

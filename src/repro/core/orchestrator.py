@@ -50,22 +50,63 @@ CONTROL_OP_LATENCY = 2.0 * MSEC
 VSWITCH_RESTART_LATENCY = 1.5
 
 
+def _fault_noop(op: str) -> None:
+    from repro import obs
+    obs.REGISTRY.counter(
+        "fault_noop_operations_total",
+        "redundant fault operations ignored", labels=("op",)
+    ).labels(op=op).inc()
+
+
 def crash_bridge(bridge) -> dict:
     """Stop a vswitch forwarding: its ports blackhole (the process/VM
     died; frames DMA'd to its VFs land in dead rings).  Returns the
-    state :func:`restore_bridge` needs."""
+    state :func:`restore_bridge` needs.
+
+    Idempotent: crashing an already-crashed bridge is a counted no-op
+    (fault schedules may overlap an ongoing outage) that returns the
+    original saved state.  Blackholed frames are tallied on
+    ``bridge.fault_blackhole_drops`` so chaos runs can close their
+    packet-conservation books."""
+    if bridge is None or not hasattr(bridge, "ports"):
+        raise ConfigurationError(f"not a crashable bridge: {bridge!r}")
+    existing = getattr(bridge, "_fault_saved", None)
+    if existing is not None:
+        _fault_noop("crash")
+        return existing
+    if not hasattr(bridge, "fault_blackhole_drops"):
+        bridge.fault_blackhole_drops = 0
     saved = {}
     for port in bridge.ports():
         saved[port.port_no] = port
-        port.pair.rx.connect(lambda frame: None)
+
+        def _blackhole(frame, _bridge=bridge) -> None:
+            _bridge.fault_blackhole_drops += 1
+
+        port.pair.rx.connect(_blackhole)
+    bridge._fault_saved = saved
     return saved
 
 
-def restore_bridge(bridge, saved: dict) -> None:
-    """Reattach a recovered vswitch to its ports."""
-    for port in saved.values():
+def restore_bridge(bridge, saved: Optional[dict] = None) -> None:
+    """Reattach a recovered vswitch to its ports.
+
+    Idempotent: restoring a healthy bridge is a counted no-op.  The
+    port map recorded by :func:`crash_bridge` on the bridge itself is
+    authoritative; the ``saved`` argument is accepted for backward
+    compatibility with callers that thread it through."""
+    if bridge is None or not hasattr(bridge, "ports"):
+        raise ConfigurationError(f"not a restorable bridge: {bridge!r}")
+    current = getattr(bridge, "_fault_saved", None)
+    if current is None:
+        current = saved  # legacy caller crashed before this change
+        if not current:
+            _fault_noop("restore")
+            return
+    for port in current.values():
         port.pair.rx.connect(
             lambda frame, p=port: bridge._ingress(p, frame))
+    bridge._fault_saved = None
 
 
 @dataclass

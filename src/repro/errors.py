@@ -47,6 +47,17 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class ScenarioTimeoutError(ReproError):
+    """A scenario exceeded the engine's per-scenario wall-clock budget.
+
+    Raised by the process-pool backend when a worker fails to return a
+    result within its configured timeout.  Distinct from a worker
+    *crash* (which the backend survives by retrying sequentially): a
+    timeout is surfaced loudly because silently re-running a scenario
+    that hangs would hang the parent too.
+    """
+
+
 class SecurityViolation(ReproError):
     """A packet or operation violated a configured security policy.
 

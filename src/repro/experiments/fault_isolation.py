@@ -4,8 +4,17 @@ The flip side of the paper's security argument is availability: the
 Baseline's single co-located vswitch is a single point of failure for
 *every* tenant's network, while an MTS compartment crash blacks out
 only its own tenants.  This experiment crashes one vswitch mid-run,
-restarts it, and reports per-tenant availability over the outage
+restores it, and reports per-tenant availability over the outage
 window.
+
+The crash rides the declarative chaos layer: the default plan is a
+scripted ``vswitch-crash`` at ``phase`` clearing at ``2*phase`` --
+exactly the crash the pre-chaos version hard-coded, so the legacy
+table is byte-identical -- but the measurement windows now come from
+the session's *observed* outage (injection and repair timestamps), and
+the watchdog's measured detection latency is reported alongside.
+Passing a different plan via the spec's ``faults`` field reuses the
+same accounting for arbitrary campaigns.
 """
 
 from __future__ import annotations
@@ -15,8 +24,9 @@ from typing import Dict, List, Sequence
 
 from repro.core.deployment import build_deployment
 from repro.core.levels import ResourceMode, SecurityLevel
-from repro.core.orchestrator import crash_bridge, restore_bridge
 from repro.core.spec import DeploymentSpec, TrafficScenario
+from repro.faults.plan import scripted_crash
+from repro.faults.session import ChaosSession
 from repro.measure.reporting import Series, Table
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.scenario.spec import ScenarioResult, ScenarioSpec
@@ -49,26 +59,27 @@ def measure_scenario(spec: ScenarioSpec,
     """Engine entry point: three equal phases -- healthy, crashed,
     recovered -- with per-tenant delivery fractions for the last two
     (``during:t<N>`` / ``after:t<N>`` keys)."""
+    from repro.faults import runtime
+
     phase = spec.duration / 3.0
     crash_index = int(spec.param("crash_index", 0))
+    claimed_plan, _ = runtime.claim()  # chaos-aware: no harness hook
+    plan = spec.faults or claimed_plan
+    if plan is None or not plan.faults:
+        # The legacy hard-coded fault: crash at phase, repair at
+        # 2*phase (scripted, so the supervisor stays out of the way).
+        plan = scripted_crash(compartment=crash_index, at=phase,
+                              duration=phase)
+
     deployment = build_deployment(spec.deployment, spec.traffic,
                                   seed=spec.seed, calibration=calibration)
     harness = TestbedHarness(deployment)
     harness.configure_tenant_flows(rate_per_flow_pps=RATE_PER_TENANT)
 
-    sim = deployment.sim
-    bridge = deployment.bridges[crash_index]
-    saved: Dict = {}
-
-    def crash() -> None:
-        saved.update(crash_bridge(bridge))
-
-    def restore() -> None:
-        restore_bridge(bridge, saved)
-
-    sim.schedule(phase, crash)
-    sim.schedule(2 * phase, restore)
+    session = ChaosSession(deployment, harness, plan, seed=spec.seed)
+    session.arm(3 * phase)
     harness.run(duration=3 * phase, warmup=0.0)
+    summary = session.finish()
 
     num_tenants = spec.deployment.num_tenants
 
@@ -80,13 +91,21 @@ def measure_scenario(spec: ScenarioSpec,
             for t in range(num_tenants)
         }
 
+    # Phase accounting from the *observed* outage: the session's first
+    # outage window (injection .. repair), not assumed timestamps.  For
+    # the default plan these are exactly phase and 2*phase.
+    windows = session.outage_windows()
+    t_down, t_up = windows[0] if windows else (phase, 2 * phase)
     # Give recovery a small settle margin inside the third phase.
-    during = fractions(phase, 2 * phase)
-    after = fractions(2 * phase + phase / 5, 3 * phase - phase / 5)
+    during = fractions(t_down, t_up)
+    after = fractions(t_up + phase / 5, 3 * phase - phase / 5)
     values: Dict[str, float] = {}
     for t in range(num_tenants):
         values[f"during:t{t}"] = during[t]
         values[f"after:t{t}"] = after[t]
+    values["detect_latency"] = summary["detect_latency"]
+    values["outage"] = t_up - t_down
+    values["violations"] = summary["violations"]
     return values
 
 

@@ -1,0 +1,43 @@
+"""Self-test workloads for the crash-tolerant pool backend.
+
+These exist so the test suite (and an operator debugging a wedged
+sweep) can make a pool worker die or hang *on purpose* and watch the
+engine survive it.  Both are harmless when run in-process: the lethal
+behavior triggers only inside a worker (``multiprocessing``'s parent
+process is set), so the sequential fallback completes normally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from typing import Dict
+
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioSpec
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def measure_crashy(spec: ScenarioSpec,
+                   calibration: Calibration = DEFAULT_CALIBRATION
+                   ) -> Dict[str, float]:
+    """Die (SIGKILL, as a real OOM kill would) when run in a pool
+    worker; succeed when run in-process."""
+    if _in_worker():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"survived": 1.0}
+
+
+def measure_sleepy(spec: ScenarioSpec,
+                   calibration: Calibration = DEFAULT_CALIBRATION
+                   ) -> Dict[str, float]:
+    """Hang (wall-clock sleep) when run in a pool worker; return
+    immediately in-process."""
+    if _in_worker():
+        time.sleep(float(spec.param("sleep", 5.0)))
+    return {"slept": 0.0}

@@ -1,0 +1,79 @@
+"""The chaos event log: one record per fault lifecycle transition.
+
+Every inject -> detect -> recover (or clear / give-up / circuit-open)
+transition lands here as a :class:`FaultEvent`.  The log is the
+determinism contract of the chaos layer: the acceptance test serializes
+it with :meth:`ChaosLog.jsonl` and asserts byte-identical output across
+the sequential and process-pool backends, so events carry only
+simulated times and plain floats -- never wall-clock stamps, object
+ids, or anything process-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+#: The lifecycle phases an event can record.
+PHASES = ("inject", "detect", "recover", "clear", "give-up", "circuit-open")
+
+
+@dataclass
+class FaultEvent:
+    """One transition in a fault's lifecycle."""
+
+    #: Simulated time of the transition.
+    t: float
+    #: One of :data:`PHASES`.
+    phase: str
+    #: ``FaultKind.value`` of the fault involved.
+    kind: str
+    #: Resolved target address ("compartment:0", "link:ingress", ...).
+    target: str
+    #: Supervisor restart attempt (0 for scripted transitions).
+    attempt: int = 0
+    #: Extra numbers: detection latency, downtime, drop counts, ...
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "phase": self.phase,
+            "kind": self.kind,
+            "target": self.target,
+            "attempt": self.attempt,
+            "detail": dict(self.detail),
+        }
+
+
+class ChaosLog:
+    """Ordered event record of one chaos session."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def record(self, t: float, phase: str, kind: str, target: str,
+               attempt: int = 0,
+               detail: Optional[Dict[str, float]] = None) -> FaultEvent:
+        event = FaultEvent(t=t, phase=phase, kind=kind, target=target,
+                           attempt=attempt, detail=dict(detail or {}))
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_phase(self, phase: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.phase == phase]
+
+    def to_dicts(self) -> List[dict]:
+        return [e.to_dict() for e in self.events]
+
+    def jsonl(self) -> str:
+        """Canonical JSON-lines serialization (sorted keys, no
+        whitespace): identical sessions produce identical bytes."""
+        return "\n".join(
+            json.dumps(d, sort_keys=True, separators=(",", ":"))
+            for d in self.to_dicts())

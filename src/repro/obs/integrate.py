@@ -71,6 +71,15 @@ def _cache_totals(deployment) -> Dict[str, float]:
     return t
 
 
+def drop_totals(deployment) -> Dict[str, float]:
+    """Cumulative per-component drop counters (the ``drop_*`` subset of
+    the harvested totals; ``filter_drops`` is excluded because each of
+    its frames is already in ``drop_filtered``).  The chaos layer diffs
+    this around a run to close its packet-conservation books."""
+    totals = _cache_totals(deployment)
+    return {k: v for k, v in totals.items() if k.startswith("drop_")}
+
+
 def harvest(deployment, registry: MetricsRegistry) -> Dict[str, float]:
     """Fold this deployment's counter growth since the last harvest into
     the registry's global cache/drop counters; returns the delta."""

@@ -33,12 +33,13 @@ from __future__ import annotations
 import os
 import re
 import time
-from concurrent.futures import ProcessPoolExecutor
-from itertools import repeat
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
-from repro.errors import ValidationError
+from repro.errors import ScenarioTimeoutError, ValidationError
+from repro.faults import runtime as faults_runtime
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.scenario.registry import resolve
 from repro.scenario.spec import (
@@ -48,13 +49,21 @@ from repro.scenario.spec import (
 )
 
 #: Counter families shipped from workers and folded into the parent
-#: registry (the obs cache/drop counters harvested per harness run).
+#: registry (the obs cache/drop counters harvested per harness run,
+#: plus the chaos layer's fault-lifecycle counters).
 SHIPPED_COUNTERS = (
     "cache_hits_total",
     "cache_lookups_total",
     "cache_evictions_total",
     "plan_invalidations_total",
     "drops_total",
+    "faults_injected_total",
+    "fault_detections_total",
+    "fault_recoveries_total",
+    "fault_restart_attempts_total",
+    "fault_giveups_total",
+    "fault_circuit_open_total",
+    "fault_noop_operations_total",
 )
 
 _KEY_RE = re.compile(r"^(?P<name>\w+)(?:\{(?P<labels>.*)\})?$")
@@ -73,7 +82,12 @@ def run_scenario(spec: ScenarioSpec,
     fn = resolve(spec.workload)
     before = obs.REGISTRY.snapshot()
     start = time.perf_counter()
-    values = fn(spec, calibration)
+    ctx = faults_runtime.activate(spec.faults, spec.seed)
+    try:
+        values = fn(spec, calibration)
+        events = faults_runtime.drain()
+    finally:
+        faults_runtime.deactivate(ctx)
     elapsed = time.perf_counter() - start
     after = obs.REGISTRY.snapshot()
     metrics = {}
@@ -92,6 +106,7 @@ def run_scenario(spec: ScenarioSpec,
         values=dict(sorted(values.items())),
         metrics=metrics,
         elapsed=elapsed,
+        events=events,
     )
 
 
@@ -130,16 +145,31 @@ def _pool_worker(spec_dict: dict, calibration: Calibration) -> dict:
 class ProcessPoolBackend:
     """Parallel execution across worker processes.
 
-    Results return in input order (``Executor.map`` semantics) and are
-    value-identical to the sequential backend's because the specs pin
-    every seed.  Worker obs metrics ship back inside the results and
-    are folded into this process's registry.
+    Results return in input order and are value-identical to the
+    sequential backend's because the specs pin every seed.  Worker obs
+    metrics ship back inside the results and are folded into this
+    process's registry.
+
+    Crash tolerance: a worker dying (OOM kill, segfault) breaks a
+    ``ProcessPoolExecutor`` and poisons every future still pending, but
+    results collected before the break are intact -- so instead of
+    aborting the sweep, the backend reruns the poisoned specs
+    sequentially in this process.  Breakdowns and retried specs are
+    counted (``scenario_pool_breaks_total`` /
+    ``scenario_pool_retries_total``) so a flaky fleet is observable.
+
+    A worker that *hangs* is different: silently rerunning it would
+    hang the parent too, so ``timeout`` (wall-clock seconds per
+    scenario result) kills the pool and raises
+    :class:`~repro.errors.ScenarioTimeoutError` instead.
     """
 
     name = "process-pool"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(self, max_workers: Optional[int] = None,
+                 timeout: Optional[float] = None) -> None:
         self.max_workers = max_workers or os.cpu_count() or 1
+        self.timeout = timeout
 
     def run(self, specs: Sequence[ScenarioSpec],
             calibration: Calibration = DEFAULT_CALIBRATION
@@ -149,13 +179,47 @@ class ProcessPoolBackend:
         workers = min(self.max_workers, len(specs))
         if workers <= 1:
             return SequentialBackend().run(specs, calibration)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            dicts = list(pool.map(_pool_worker,
-                                  [s.to_dict() for s in specs],
-                                  repeat(calibration)))
-        results = [ScenarioResult.from_dict(d) for d in dicts]
-        for result in results:
-            fold_metrics(obs.REGISTRY, result.metrics)
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        poisoned: List[int] = []
+        broke = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = [pool.submit(_pool_worker, spec.to_dict(), calibration)
+                       for spec in specs]
+            for i, future in enumerate(futures):
+                try:
+                    data = future.result(timeout=self.timeout)
+                except FuturesTimeoutError:
+                    # The worker is wedged; shutdown() would join it
+                    # forever.  Kill the whole pool, then fail loudly.
+                    for proc in list(pool._processes.values()):
+                        proc.terminate()
+                    raise ScenarioTimeoutError(
+                        f"scenario {specs[i].content_hash()[:12]} "
+                        f"({specs[i].display_label}) produced no result "
+                        f"within {self.timeout}s")
+                except BrokenExecutor:
+                    broke = True
+                    poisoned.append(i)
+                    continue
+                result = ScenarioResult.from_dict(data)
+                fold_metrics(obs.REGISTRY, result.metrics)
+                results[i] = result
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if broke:
+            obs.REGISTRY.counter(
+                "scenario_pool_breaks_total",
+                "process-pool breakdowns survived by sequential fallback",
+            ).inc()
+            retries = obs.REGISTRY.counter(
+                "scenario_pool_retries_total",
+                "scenarios rerun in-process after a pool breakdown")
+            for i in poisoned:
+                retries.inc()
+                # In-process rerun hits the parent registry directly;
+                # no metrics fold (that would double-count).
+                results[i] = run_scenario(specs[i], calibration)
         return results
 
 

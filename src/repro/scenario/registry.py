@@ -49,6 +49,10 @@ WORKLOADS: Dict[str, str] = {
         "repro.experiments.fault_isolation:measure_scenario",
     "ext.deployment-cost":
         "repro.experiments.deployment_cost:measure_scenario",
+    "ext.chaos": "repro.faults.campaign:measure_scenario",
+    # Pool-backend self-tests: lethal only inside a worker process.
+    "chaos.crashy": "repro.faults.diagnostics:measure_crashy",
+    "chaos.sleepy": "repro.faults.diagnostics:measure_sleepy",
 }
 
 _RESOLVED: Dict[str, Callable] = {}

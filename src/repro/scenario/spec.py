@@ -104,12 +104,20 @@ class ScenarioSpec:
     params: Tuple[Tuple[str, ParamValue], ...] = ()
     #: Ref of the calibration the numbers are valid against.
     calibration_ref: str = DEFAULT_CALIBRATION_REF
+    #: Optional fault campaign injected during the run.  ``None`` (the
+    #: common case) serializes to *nothing* so pre-chaos spec hashes --
+    #: and every cached result keyed by them -- stay valid.
+    faults: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         params = self.params
         if isinstance(params, Mapping):
             params = tuple(params.items())
         object.__setattr__(self, "params", tuple(sorted(params)))
+        if isinstance(self.faults, Mapping):
+            from repro.faults.plan import FaultPlan
+            object.__setattr__(self, "faults",
+                               FaultPlan.from_dict(self.faults))
         self.deployment.validate_scenario(self.traffic)
 
     # -- accessors --------------------------------------------------------
@@ -128,7 +136,7 @@ class ScenarioSpec:
     # -- (de)serialization ------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "workload": self.workload,
             "deployment": self.deployment.to_dict(),
             "traffic": self.traffic.value,
@@ -140,11 +148,15 @@ class ScenarioSpec:
             "params": dict(self.params),
             "calibration_ref": self.calibration_ref,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
         known = {"workload", "deployment", "traffic", "duration", "warmup",
-                 "seed", "eval_mode", "label", "params", "calibration_ref"}
+                 "seed", "eval_mode", "label", "params", "calibration_ref",
+                 "faults"}
         unknown = set(data) - known
         if unknown:
             raise ValidationError(
@@ -154,6 +166,9 @@ class ScenarioSpec:
         kwargs["traffic"] = TrafficScenario(kwargs["traffic"])
         if "params" in kwargs:
             kwargs["params"] = tuple(sorted(kwargs["params"].items()))
+        if kwargs.get("faults") is not None:
+            from repro.faults.plan import FaultPlan
+            kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
     # -- hashing ----------------------------------------------------------
@@ -193,6 +208,10 @@ class ScenarioResult:
     cached: bool = False
     #: Wall-clock seconds the measurement took.  Not part of the hash.
     elapsed: float = 0.0
+    #: Chaos event log (inject/detect/recover dicts) when the spec
+    #: carried a fault plan; empty otherwise.  Deterministic given the
+    #: spec, but kept out of the result hash like the other provenance.
+    events: list = field(default_factory=list)
 
     def result_hash(self) -> str:
         """Hash of the *measured content* only: identical numbers from
@@ -210,6 +229,7 @@ class ScenarioResult:
             "metrics": dict(self.metrics),
             "cached": self.cached,
             "elapsed": self.elapsed,
+            "events": [dict(e) for e in self.events],
         }
 
     @classmethod
@@ -222,4 +242,4 @@ class ScenarioResult:
         return dataclasses.replace(
             self, label=spec.display_label, traffic=spec.traffic.value,
             cached=cached, metrics=dict(self.metrics),
-            values=dict(self.values))
+            values=dict(self.values), events=[dict(e) for e in self.events])

@@ -59,6 +59,9 @@ class SweepGrid:
     rate_pps: float = 10_000.0
     nic_ports: int = 2
     seed: int = 0
+    #: Optional fault campaign applied to every point (``repro sweep
+    #: --faults plan.json``); rides on each spec, so it keys the cache.
+    faults: object = None
 
 
 @dataclass
@@ -119,6 +122,7 @@ def build_grid(grid: SweepGrid
                     "frame_bytes": grid.frame_bytes,
                     "aggregate_pps": grid.rate_pps,
                 },
+                faults=grid.faults,
             )
         except ValidationError as exc:
             skipped.append(SkippedPoint(point, str(exc)))

@@ -120,6 +120,10 @@ class TestbedHarness:
         ``warmup``.  ``cooldown`` lets in-flight frames land."""
         offered = self.lg.aggregate_rate_pps
         self.deployment.set_offered_rate_hint(offered)
+        # A fault plan on the running scenario's spec attaches here, so
+        # any harness-based workload is chaos-capable without changes.
+        from repro.faults import runtime as _chaos
+        chaos_session = _chaos.attach_active_session(self, horizon=duration)
         self.lg.start(duration)
         self.sim.run(until=self.sim.now + duration + cooldown)
         t0, t1 = warmup, duration
@@ -133,4 +137,6 @@ class TestbedHarness:
             window=(t0, t1),
         )
         _obs.on_run_complete(self, result)
+        if chaos_session is not None:
+            chaos_session.finish()
         return result

@@ -314,3 +314,49 @@ class TestSweepEndToEnd:
         assert all(r.cached for r in second)
         assert [r.result_hash() for r in first] == \
             [r.result_hash() for r in second]
+
+
+class TestPoolResilience:
+    """A dying or wedged worker must not abort a sweep silently."""
+
+    @staticmethod
+    def _diag_spec(workload, seed=0, **params):
+        return ScenarioSpec(
+            workload=workload,
+            deployment=DeploymentSpec(level=SecurityLevel.LEVEL_1),
+            traffic=TrafficScenario.P2V,
+            duration=0.0, seed=seed, params=params)
+
+    def test_worker_death_falls_back_to_sequential(self):
+        from repro import obs
+        specs = [latency_spec(seed=40),
+                 self._diag_spec("chaos.crashy"),
+                 latency_spec(seed=41)]
+        before = obs.REGISTRY.snapshot()
+        results = ProcessPoolBackend(max_workers=2).run(
+            specs, DEFAULT_CALIBRATION)
+        after = obs.REGISTRY.snapshot()
+        assert all(r is not None for r in results)
+        # the lethal spec completed in-parent, where it is harmless
+        assert results[1].values == {"survived": 1.0}
+        assert after.get("scenario_pool_breaks_total", 0.0) \
+            >= before.get("scenario_pool_breaks_total", 0.0) + 1
+        assert after.get("scenario_pool_retries_total", 0.0) \
+            >= before.get("scenario_pool_retries_total", 0.0) + 1
+        # retried results are value-identical to a sequential run
+        seq = SequentialBackend().run(specs, DEFAULT_CALIBRATION)
+        assert [r.values for r in results] == [r.values for r in seq]
+
+    def test_hanging_worker_raises_timeout(self):
+        from repro.errors import ScenarioTimeoutError
+        specs = [self._diag_spec("chaos.sleepy", seed=s, sleep=30.0)
+                 for s in (0, 1)]
+        backend = ProcessPoolBackend(max_workers=2, timeout=1.0)
+        with pytest.raises(ScenarioTimeoutError):
+            backend.run(specs, DEFAULT_CALIBRATION)
+
+    def test_single_worker_pool_degrades_to_sequential(self):
+        # workers <= 1 shortcut: even the lethal spec is safe in-parent.
+        results = ProcessPoolBackend(max_workers=1).run(
+            [self._diag_spec("chaos.crashy")], DEFAULT_CALIBRATION)
+        assert results[0].values == {"survived": 1.0}
