@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-update sweep-smoke chaos-smoke
+.PHONY: test bench bench-update sweep-bench sweep-smoke chaos-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -13,6 +13,12 @@ bench:
 # Re-record the baseline after an intentional performance change.
 bench-update:
 	$(PYTHON) tool/bench.py --update
+
+# Just the sweep/backends benchmarks: records the warm-pool speedup
+# factor into BENCH_fastpath.json and gates on it (>= 1.5x required
+# when >= 4 cores are available; recorded-only below that).
+sweep-bench:
+	$(PYTHON) tool/bench.py --targets benchmarks/test_sweep.py
 
 # End-to-end smoke of the sweep runner: a 4-point grid through the
 # process pool, written to a throwaway cache, then re-run to prove

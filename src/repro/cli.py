@@ -281,10 +281,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 1
     backend = (SequentialBackend() if args.jobs == 1
                else ProcessPoolBackend(max_workers=args.jobs,
-                                       timeout=args.timeout))
+                                       timeout=args.timeout,
+                                       chunk=args.chunk))
     store = NullStore() if args.no_cache else ResultStore(args.cache_dir)
     engine = Engine(backend=backend, store=store)
-    results = engine.run(specs)
+    try:
+        results = engine.run(specs)
+    finally:
+        if hasattr(backend, "close"):
+            backend.close()
     print(sweep_table(grid, specs, results).render())
     computed = sum(1 for r in results if not r.cached)
     cached = len(results) - computed
@@ -324,9 +329,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                               warm_standby=args.warm_standby)
     specs = scenarios(duration=args.duration, seed=args.seed, plan=plan)
     backend = (SequentialBackend() if args.jobs in (None, 1)
-               else ProcessPoolBackend(max_workers=args.jobs))
+               else ProcessPoolBackend(max_workers=args.jobs,
+                                       chunk=args.chunk))
     store = NullStore() if args.no_cache else ResultStore(args.cache_dir)
-    results = Engine(backend=backend, store=store).run(specs)
+    try:
+        results = Engine(backend=backend, store=store).run(specs)
+    finally:
+        if hasattr(backend, "close"):
+            backend.close()
     print(tabulate(results).render())
     repaired = sum(r.values.get("repaired", 0) for r in results)
     violations = sum(r.values.get("violations", 0) for r in results)
@@ -410,8 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frame-bytes", type=int, default=64)
     p.add_argument("--rate-pps", type=float, default=10_000)
     p.add_argument("--jobs", type=int, default=None,
-                   help="worker processes (default: one per core; "
+                   help="worker processes (default: one per *available* "
+                        "core, respecting cgroup/affinity limits; "
                         "1 = in-process sequential)")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="scenarios per worker batch (default: adaptive, "
+                        "~4 batches per worker)")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and don't write the result store")
     p.add_argument("--cache-dir", default=".repro-cache",
@@ -443,6 +457,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="full fault plan (overrides the default crash)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: in-process)")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="campaigns per worker batch (default: adaptive)")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and don't write the result store")
     p.add_argument("--cache-dir", default=".repro-cache",

@@ -55,7 +55,18 @@ class ScenarioTimeoutError(ReproError):
     *crash* (which the backend survives by retrying sequentially): a
     timeout is surfaced loudly because silently re-running a scenario
     that hangs would hang the parent too.
+
+    ``pending`` names the scenarios (display labels) that never
+    finished; ``completed`` counts the results that *were* collected
+    before the deadline -- with out-of-order collection a single wedged
+    worker no longer blocks the rest of the batch, so ``completed`` is
+    usually ``len(specs) - len(pending)``.
     """
+
+    def __init__(self, message: str, pending=(), completed: int = 0) -> None:
+        super().__init__(message)
+        self.pending = tuple(pending)
+        self.completed = completed
 
 
 class SecurityViolation(ReproError):

@@ -22,10 +22,11 @@ from repro.scenario.engine import (
     Engine,
     ProcessPoolBackend,
     SequentialBackend,
+    default_worker_count,
     fold_metrics,
     run_scenario,
 )
-from repro.scenario.registry import WORKLOADS, register, resolve
+from repro.scenario.registry import WORKLOADS, preload, register, resolve
 from repro.scenario.spec import (
     DEFAULT_CALIBRATION_REF,
     ScenarioResult,
@@ -45,9 +46,11 @@ __all__ = [
     "Engine",
     "ProcessPoolBackend",
     "SequentialBackend",
+    "default_worker_count",
     "fold_metrics",
     "run_scenario",
     "WORKLOADS",
+    "preload",
     "register",
     "resolve",
     "DEFAULT_CALIBRATION_REF",

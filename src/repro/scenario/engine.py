@@ -13,11 +13,14 @@ back in input order no matter how the backend schedules).  The
 
 - :class:`SequentialBackend` -- in-process, in-order; the default, and
   the reference implementation of the contract;
-- :class:`ProcessPoolBackend` -- a
-  :class:`concurrent.futures.ProcessPoolExecutor` fan-out; specs travel
-  as JSON dicts, results (plus the obs metrics harvested in the
-  worker) come back as dicts and the metric deltas are folded into the
-  parent registry.
+- :class:`ProcessPoolBackend` -- a **persistent warm-worker pool**
+  around :class:`concurrent.futures.ProcessPoolExecutor`: workers are
+  created once per backend and reused across ``run()`` calls, an
+  initializer pre-imports the simulation stack and pre-binds the
+  calibration, and specs travel in pickled batches (adaptive chunk
+  size) rather than one future per scenario.  Results come back as
+  pickled batches too; each batch's obs metric deltas are folded into
+  the parent registry once.
 
 Backend contract: given the same spec list, every backend must return
 value-identical results in the same order.  Backends introduce **no
@@ -30,10 +33,15 @@ runs bit-identical.
 
 from __future__ import annotations
 
+import math
 import os
 import re
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, List, Optional, Sequence
 
@@ -136,78 +144,220 @@ class SequentialBackend:
         return [run_scenario(spec, calibration) for spec in specs]
 
 
-def _pool_worker(spec_dict: dict, calibration: Calibration) -> dict:
-    """Top-level so the pool can import it; specs travel as dicts."""
-    spec = ScenarioSpec.from_dict(spec_dict)
-    return run_scenario(spec, calibration).to_dict()
+def default_worker_count() -> int:
+    """Cores actually available to this process: the cgroup/affinity
+    mask when the platform exposes one (CI runners routinely pin jobs
+    to a subset of the machine), else ``os.cpu_count()``."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+#: Batches submitted per worker by the adaptive chunk size: enough
+#: slack for stragglers to rebalance, few enough that dispatch cost
+#: amortizes across the batch.
+OVERSUBSCRIBE = 4
+
+#: Calibration pre-bound into each worker by the pool initializer, so
+#: batches carry only specs (the calibration would otherwise be
+#: re-pickled with every task).
+_WORKER_CALIBRATION: Optional[Calibration] = None
+
+
+def _warm_worker(calibration: Calibration, workloads: Sequence[str]) -> None:
+    """Pool initializer: runs once per worker process.  Binds the
+    calibration (priming its memoized ref) and pre-imports the
+    measurement stack for the run's workloads, so per-batch cost is
+    pure simulation."""
+    global _WORKER_CALIBRATION
+    _WORKER_CALIBRATION = calibration
+    calibration_ref(calibration)
+    from repro.scenario.registry import preload
+    preload(workloads)
+
+
+def _batch_worker(specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+    """Run one pickled spec batch against the worker's bound
+    calibration; results return as one pickled batch."""
+    calibration = _WORKER_CALIBRATION or DEFAULT_CALIBRATION
+    return [run_scenario(spec, calibration) for spec in specs]
 
 
 class ProcessPoolBackend:
-    """Parallel execution across worker processes.
+    """Parallel execution across a persistent warm worker pool.
 
     Results return in input order and are value-identical to the
     sequential backend's because the specs pin every seed.  Worker obs
     metrics ship back inside the results and are folded into this
-    process's registry.
+    process's registry once per batch.
 
-    Crash tolerance: a worker dying (OOM kill, segfault) breaks a
-    ``ProcessPoolExecutor`` and poisons every future still pending, but
-    results collected before the break are intact -- so instead of
-    aborting the sweep, the backend reruns the poisoned specs
-    sequentially in this process.  Breakdowns and retried specs are
-    counted (``scenario_pool_breaks_total`` /
+    **Worker lifecycle.**  The ``ProcessPoolExecutor`` is created
+    lazily on first use and *reused across ``run()`` calls*: process
+    spawn, interpreter start, simulation-stack imports and calibration
+    transfer are paid once per backend, not once per sweep chunk.  The
+    pool is rebuilt only when the calibration changes (workers pre-bind
+    it) or after a breakdown/timeout.  ``close()`` (or ``with``)
+    releases the workers.
+
+    **Batched dispatch.**  Specs are split into contiguous chunks --
+    adaptive size ``ceil(len(specs) / (workers * OVERSUBSCRIBE))``,
+    overridable via ``chunk`` -- and travel as pickled batches, not
+    one JSON-dict future per scenario.  Collection uses
+    ``as_completed`` under a wall-clock deadline, so a slow batch never
+    head-of-line blocks the finished ones.
+
+    Crash tolerance: a worker dying (OOM kill, segfault) breaks the
+    executor and poisons every batch still pending, but results
+    collected before the break are intact -- so instead of aborting the
+    sweep, the backend discards the broken pool and reruns the poisoned
+    specs sequentially in this process.  Breakdowns and retried specs
+    are counted (``scenario_pool_breaks_total`` /
     ``scenario_pool_retries_total``) so a flaky fleet is observable.
 
     A worker that *hangs* is different: silently rerunning it would
     hang the parent too, so ``timeout`` (wall-clock seconds per
-    scenario result) kills the pool and raises
-    :class:`~repro.errors.ScenarioTimeoutError` instead.
+    scenario result) bounds the whole collection -- the deadline is
+    ``timeout x chunk x rounds``, the worst-case serial depth per
+    worker -- kills the pool and raises
+    :class:`~repro.errors.ScenarioTimeoutError` naming the scenarios
+    that never finished (everything else was already collected).
     """
 
     name = "process-pool"
 
     def __init__(self, max_workers: Optional[int] = None,
-                 timeout: Optional[float] = None) -> None:
-        self.max_workers = max_workers or os.cpu_count() or 1
+                 timeout: Optional[float] = None,
+                 chunk: Optional[int] = None) -> None:
+        self.max_workers = max_workers or default_worker_count()
         self.timeout = timeout
+        self.chunk = chunk
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_cal_ref: Optional[str] = None
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _ensure_pool(self, calibration: Calibration,
+                     workloads: Sequence[str]) -> ProcessPoolExecutor:
+        ref = calibration_ref(calibration)
+        if self._pool is not None and self._pool_cal_ref == ref:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_warm_worker,
+            initargs=(calibration, tuple(workloads)))
+        self._pool_cal_ref = ref
+        return self._pool
+
+    def _discard_pool(self, terminate: bool = False) -> None:
+        """Drop the pool (broken, wedged, or closing); the next run
+        builds a fresh one."""
+        pool, self._pool, self._pool_cal_ref = self._pool, None, None
+        if pool is None:
+            return
+        if terminate:
+            # A wedged worker would make shutdown() join forever.
+            for proc in list(pool._processes.values()):
+                proc.terminate()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def close(self) -> None:
+        """Release the warm workers (idempotent)."""
+        self._discard_pool()
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- scheduling -------------------------------------------------------
+
+    def chunk_size(self, n: int) -> int:
+        """Specs per batch: the explicit ``chunk`` if given, else
+        adaptive from ``len(specs) / workers`` with ``OVERSUBSCRIBE``
+        batches per worker for straggler rebalancing."""
+        if self.chunk:
+            return max(1, int(self.chunk))
+        return max(1, math.ceil(n / (self.max_workers * OVERSUBSCRIBE)))
 
     def run(self, specs: Sequence[ScenarioSpec],
             calibration: Calibration = DEFAULT_CALIBRATION
             ) -> List[ScenarioResult]:
         if not specs:
             return []
-        workers = min(self.max_workers, len(specs))
-        if workers <= 1:
+        if min(self.max_workers, len(specs)) <= 1:
             return SequentialBackend().run(specs, calibration)
+        chunk = self.chunk_size(len(specs))
+        batches = [range(start, min(start + chunk, len(specs)))
+                   for start in range(0, len(specs), chunk)]
+        pool = self._ensure_pool(
+            calibration, sorted({s.workload for s in specs}))
+        obs.REGISTRY.gauge(
+            "scenario_pool_workers",
+            "worker processes of the warm scenario pool",
+        ).set(self.max_workers)
+
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
         poisoned: List[int] = []
         broke = False
-        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {}
+        for idxs in batches:
+            try:
+                future = pool.submit(
+                    _batch_worker, [specs[i] for i in idxs])
+            except BrokenExecutor:  # died mid-submission
+                broke = True
+                poisoned.extend(idxs)
+                continue
+            futures[future] = idxs
+
+        # Worst-case serial depth per worker bounds the wall clock.
+        rounds = math.ceil(len(batches) / self.max_workers)
+        budget = (None if self.timeout is None
+                  else self.timeout * chunk * rounds)
         try:
-            futures = [pool.submit(_pool_worker, spec.to_dict(), calibration)
-                       for spec in specs]
-            for i, future in enumerate(futures):
+            for future in as_completed(futures, timeout=budget):
+                idxs = futures[future]
                 try:
-                    data = future.result(timeout=self.timeout)
-                except FuturesTimeoutError:
-                    # The worker is wedged; shutdown() would join it
-                    # forever.  Kill the whole pool, then fail loudly.
-                    for proc in list(pool._processes.values()):
-                        proc.terminate()
-                    raise ScenarioTimeoutError(
-                        f"scenario {specs[i].content_hash()[:12]} "
-                        f"({specs[i].display_label}) produced no result "
-                        f"within {self.timeout}s")
+                    batch = future.result()
                 except BrokenExecutor:
                     broke = True
-                    poisoned.append(i)
+                    poisoned.extend(idxs)
                     continue
-                result = ScenarioResult.from_dict(data)
-                fold_metrics(obs.REGISTRY, result.metrics)
-                results[i] = result
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+                merged: Dict[str, float] = {}
+                for i, result in zip(idxs, batch):
+                    results[i] = result
+                    for key, delta in result.metrics.items():
+                        merged[key] = merged.get(key, 0.0) + delta
+                fold_metrics(obs.REGISTRY, merged)  # once per batch
+        except FuturesTimeoutError:
+            pending = sorted(i for f, idxs in futures.items()
+                             if not f.done() for i in idxs)
+            completed = sum(1 for r in results if r is not None)
+            self._discard_pool(terminate=True)
+            names = ", ".join(
+                f"{specs[i].content_hash()[:12]} ({specs[i].display_label})"
+                for i in pending[:4])
+            if len(pending) > 4:
+                names += f", ... ({len(pending) - 4} more)"
+            raise ScenarioTimeoutError(
+                f"{len(pending)} scenario(s) produced no result within "
+                f"the {budget:.1f}s deadline ({self.timeout}s/scenario): "
+                f"{names}; {completed} finished result(s) were collected",
+                pending=[specs[i].display_label for i in pending],
+                completed=completed)
+        except BaseException:
+            # A workload raised (or the caller interrupted): drop the
+            # still-queued batches so the warm pool drains, then
+            # propagate like the sequential backend would.
+            for future in futures:
+                future.cancel()
+            raise
+
         if broke:
+            self._discard_pool()
             obs.REGISTRY.counter(
                 "scenario_pool_breaks_total",
                 "process-pool breakdowns survived by sequential fallback",
@@ -215,7 +365,7 @@ class ProcessPoolBackend:
             retries = obs.REGISTRY.counter(
                 "scenario_pool_retries_total",
                 "scenarios rerun in-process after a pool breakdown")
-            for i in poisoned:
+            for i in sorted(poisoned):
                 retries.inc()
                 # In-process rerun hits the parent registry directly;
                 # no metrics fold (that would double-count).
@@ -234,10 +384,11 @@ class Engine:
 
     def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
         """Run ``specs``, serving store hits and deduplicating identical
-        specs within the batch; results in input order."""
+        specs within the batch; results in input order.  The store is
+        probed and filled through its batched ``get_many``/``put_many``
+        entry points -- one store round per run, not one per spec."""
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
-        pending: List[ScenarioSpec] = []
-        pending_idx: List[int] = []
+        unique: List[int] = []
         first_of: Dict[str, int] = {}
         dupes: List[tuple] = []  # (index, first-index)
 
@@ -247,18 +398,27 @@ class Engine:
                 dupes.append((i, first_of[key]))
                 continue
             first_of[key] = i
-            hit = self.store.get(spec) if self.store is not None else None
+            unique.append(i)
+
+        if self.store is not None and unique:
+            hits = self.store.get_many([specs[i] for i in unique])
+        else:
+            hits = [None] * len(unique)
+
+        pending: List[ScenarioSpec] = []
+        pending_idx: List[int] = []
+        for i, hit in zip(unique, hits):
             if hit is not None:
-                results[i] = hit.relabeled(spec, cached=True)
+                results[i] = hit.relabeled(specs[i], cached=True)
             else:
-                pending.append(spec)
+                pending.append(specs[i])
                 pending_idx.append(i)
 
         fresh = self.backend.run(pending, self.calibration)
-        for spec, i, result in zip(pending, pending_idx, fresh):
+        for i, result in zip(pending_idx, fresh):
             results[i] = result
-            if self.store is not None:
-                self.store.put(spec, result)
+        if self.store is not None and fresh:
+            self.store.put_many(zip(pending, fresh))
 
         for i, j in dupes:
             results[i] = results[j].relabeled(specs[i], cached=True)

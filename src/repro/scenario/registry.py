@@ -67,6 +67,24 @@ def register(name: str, target: str) -> None:
     _RESOLVED.pop(name, None)
 
 
+def preload(names=None) -> int:
+    """Eagerly resolve workloads (all registered ones by default).
+
+    Pool workers call this from their initializer so the simulation
+    stack -- experiment modules, the DES kernel, the perf models -- is
+    imported **once per worker process**, not lazily inside the first
+    scenario of every batch.  Unknown names are skipped (a registry
+    extension made after the pool forked resolves lazily instead).
+    Returns the number of workloads resolved.
+    """
+    count = 0
+    for name in (WORKLOADS if names is None else names):
+        if name in WORKLOADS:
+            resolve(name)
+            count += 1
+    return count
+
+
 def resolve(name: str) -> Callable:
     """Import and return the measurement function for ``name``."""
     fn = _RESOLVED.get(name)

@@ -67,8 +67,23 @@ def calibration_ref(calibration: Calibration) -> str:
     Any change to any empirical constant changes the ref, which changes
     every scenario hash built against it -- stale cached results can
     never be served against fresh constants.
+
+    The ref is memoized on the calibration instance (an attribute, not
+    a dataclass field, so it never leaks into serialization and
+    ``dataclasses.replace`` copies never inherit it): the engine
+    re-derives it once per scenario, and serializing ~40 constants per
+    run is pure overhead.  Mutating a constant on a live calibration
+    object after its ref was taken is unsupported -- build a new object
+    (ablations already do).
     """
-    return sha256_hex(canonical_json(calibration))[:16]
+    cached = getattr(calibration, "_repro_cal_ref", None)
+    if cached is None:
+        cached = sha256_hex(canonical_json(calibration))[:16]
+        try:
+            object.__setattr__(calibration, "_repro_cal_ref", cached)
+        except (AttributeError, TypeError):
+            pass  # slotted/frozen stand-ins just recompute
+    return cached
 
 
 #: The ref every spec gets unless an ablation supplies its own.
@@ -184,8 +199,20 @@ class ScenarioSpec:
         return data
 
     def content_hash(self) -> str:
-        """The stable SHA-256 identity -- also the result-cache key."""
-        return sha256_hex(canonical_json(self.content_dict()))
+        """The stable SHA-256 identity -- also the result-cache key.
+
+        Memoized on first call: the spec is frozen, so the hash can
+        never go stale, while the engine/store/result path asks for it
+        repeatedly (dedup key, cache probe, cache write, result record).
+        The cache lives in ``__dict__`` rather than a dataclass field,
+        so equality, ``repr`` and serialization are untouched -- and it
+        rides along in pickles, sparing pool workers the recompute.
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            cached = sha256_hex(canonical_json(self.content_dict()))
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
 
 @dataclass

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.scenario.spec import ScenarioResult, ScenarioSpec
 
@@ -64,6 +64,28 @@ class ResultStore:
                 os.unlink(tmp)
         return path
 
+    # -- batched probes ---------------------------------------------------
+    #
+    # The engine probes and fills the cache in batches so a sweep pays
+    # one store round per run, not one per point.  Specs memoize their
+    # content hash, so the per-spec cost here is one ``open`` -- but the
+    # batched entry points are the API contract that lets a future store
+    # (sqlite, remote) answer a whole sweep in one query.
+
+    def get_many(self, specs: Sequence[ScenarioSpec]
+                 ) -> List[Optional[ScenarioResult]]:
+        """One positional result (or ``None``) per spec."""
+        return [self.get(spec) for spec in specs]
+
+    def put_many(self, pairs: Iterable[Tuple[ScenarioSpec, ScenarioResult]]
+                 ) -> int:
+        """Store every (spec, result) pair; returns the count written."""
+        count = 0
+        for spec, result in pairs:
+            self.put(spec, result)
+            count += 1
+        return count
+
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.root)
                    if name.endswith(".json"))
@@ -80,6 +102,14 @@ class NullStore:
 
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> None:
         return None
+
+    def get_many(self, specs: Sequence[ScenarioSpec]
+                 ) -> List[Optional[ScenarioResult]]:
+        return [None] * len(specs)
+
+    def put_many(self, pairs: Iterable[Tuple[ScenarioSpec, ScenarioResult]]
+                 ) -> int:
+        return 0
 
     def __len__(self) -> int:
         return 0

@@ -316,6 +316,184 @@ class TestSweepEndToEnd:
             [r.result_hash() for r in second]
 
 
+class TestContentHashMemoization:
+    """The hash is computed once per spec, ever (the spec is frozen)."""
+
+    def _counting_hasher(self, monkeypatch):
+        import repro.scenario.spec as spec_mod
+        real = spec_mod.sha256_hex
+        calls = []
+
+        def counted(text):
+            calls.append(text)
+            return real(text)
+
+        monkeypatch.setattr(spec_mod, "sha256_hex", counted)
+        return calls
+
+    def test_repeated_hash_hits_memo(self, monkeypatch):
+        spec = latency_spec(seed=77)
+        calls = self._counting_hasher(monkeypatch)
+        first = spec.content_hash()
+        assert spec.content_hash() == first
+        assert spec.content_hash() == first
+        assert len(calls) == 1
+
+    def test_memo_survives_pickle(self):
+        import pickle
+        spec = latency_spec(seed=78)
+        digest = spec.content_hash()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.__dict__.get("_content_hash") == digest
+        assert clone.content_hash() == digest
+
+    def test_memo_does_not_leak_into_equality_or_serialization(self):
+        a, b = latency_spec(seed=79), latency_spec(seed=79)
+        a.content_hash()  # memoize one side only
+        assert a == b
+        assert "_content_hash" not in a.to_dict()
+        assert ScenarioSpec.from_dict(a.to_dict()) == a
+
+    def test_engine_hashes_each_spec_at_most_once(self, tmp_path,
+                                                  monkeypatch):
+        specs = [resources_spec(seed=1), resources_spec(seed=2),
+                 resources_spec(seed=1, label="dupe row")]
+        store = ResultStore(str(tmp_path / "cache"))
+        calls = self._counting_hasher(monkeypatch)
+        Engine(store=store).run(specs)
+        # One hash per spec *object* (the dedup key needs each), and
+        # not one more -- cache probe, cache write and result record
+        # all reuse the memo.
+        assert len(calls) == len(specs)
+
+    def test_calibration_ref_memoized(self, monkeypatch):
+        calls = self._counting_hasher(monkeypatch)
+        ref = calibration_ref(DEFAULT_CALIBRATION)
+        assert ref == DEFAULT_CALIBRATION_REF
+        assert calls == []  # primed at module import, memo answers
+
+
+class TestStoreBatched:
+    def test_get_many_put_many_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        specs = [resources_spec(seed=s) for s in (1, 2, 3)]
+        assert store.get_many(specs) == [None, None, None]
+        results = [run_scenario(s) for s in specs[:2]]
+        assert store.put_many(zip(specs[:2], results)) == 2
+        hits = store.get_many(specs)
+        assert [h.values for h in hits[:2]] == [r.values for r in results]
+        assert hits[2] is None
+
+    def test_null_store_batched(self):
+        store = NullStore()
+        specs = [resources_spec()]
+        assert store.get_many(specs) == [None]
+        assert store.put_many([(specs[0], run_scenario(specs[0]))]) == 0
+
+
+class TestWarmPoolBatching:
+    """Batched dispatch through the persistent pool must be
+    byte-identical to sequential execution -- values, metrics, events --
+    at every chunk size, chaos plans and worker crashes included."""
+
+    @staticmethod
+    def _specs(n=5, duration=0.02):
+        return [latency_spec(seed=100 + i, duration=duration,
+                             label=f"pt{i}") for i in range(n)]
+
+    def test_chunk_sizes_value_identical(self):
+        specs = self._specs()
+        seq = SequentialBackend().run(specs, DEFAULT_CALIBRATION)
+        for chunk in (1, 2, len(specs)):
+            with ProcessPoolBackend(max_workers=2, chunk=chunk) as pool:
+                got = pool.run(specs, DEFAULT_CALIBRATION)
+            assert [r.values for r in got] == [r.values for r in seq]
+            assert [r.metrics for r in got] == [r.metrics for r in seq]
+            assert [r.events for r in got] == [r.events for r in seq]
+            assert [r.result_hash() for r in got] == \
+                [r.result_hash() for r in seq]
+
+    def test_chaos_plan_identical_across_chunks(self):
+        from repro.faults.plan import scripted_crash
+        plan = scripted_crash(compartment=0, at=0.02, heartbeat=0.005)
+        specs = [latency_spec(
+            seed=200 + i, duration=0.06, label=f"chaos{i}",
+            deployment=DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                      num_vswitch_vms=2),
+            faults=plan) for i in range(3)]
+        seq = SequentialBackend().run(specs, DEFAULT_CALIBRATION)
+        assert all(r.events for r in seq)  # the plan actually fired
+        for chunk in (1, 3):
+            with ProcessPoolBackend(max_workers=2, chunk=chunk) as pool:
+                got = pool.run(specs, DEFAULT_CALIBRATION)
+            assert [r.events for r in got] == [r.events for r in seq]
+            assert [r.values for r in got] == [r.values for r in seq]
+
+    def test_mid_batch_crash_retries_poisoned_batch(self):
+        from repro import obs
+        crashy = ScenarioSpec(
+            workload="chaos.crashy",
+            deployment=DeploymentSpec(level=SecurityLevel.LEVEL_1),
+            traffic=TrafficScenario.P2V, duration=0.0, seed=5)
+        specs = self._specs(3) + [crashy]
+        before = obs.REGISTRY.snapshot()
+        with ProcessPoolBackend(max_workers=2, chunk=2) as pool:
+            results = pool.run(specs, DEFAULT_CALIBRATION)
+        after = obs.REGISTRY.snapshot()
+        assert all(r is not None for r in results)
+        assert results[3].values == {"survived": 1.0}
+        assert after.get("scenario_pool_breaks_total", 0.0) \
+            >= before.get("scenario_pool_breaks_total", 0.0) + 1
+        assert after.get("scenario_pool_retries_total", 0.0) \
+            >= before.get("scenario_pool_retries_total", 0.0) + 1
+        seq = SequentialBackend().run(specs, DEFAULT_CALIBRATION)
+        assert [r.values for r in results] == [r.values for r in seq]
+
+    def test_pool_persists_across_runs(self):
+        specs = self._specs(2)
+        with ProcessPoolBackend(max_workers=2, chunk=1) as backend:
+            first = backend.run(specs, DEFAULT_CALIBRATION)
+            warm = backend._pool
+            assert warm is not None
+            second = backend.run(specs, DEFAULT_CALIBRATION)
+            assert backend._pool is warm  # same workers, no respawn
+            assert [r.result_hash() for r in first] == \
+                [r.result_hash() for r in second]
+        assert backend._pool is None  # context exit released them
+
+    def test_pool_workers_gauge_exported(self):
+        from repro import obs
+        with ProcessPoolBackend(max_workers=2, chunk=1) as pool:
+            pool.run(self._specs(2), DEFAULT_CALIBRATION)
+        assert obs.REGISTRY.snapshot().get("scenario_pool_workers") == 2.0
+
+    def test_sleepy_mid_batch_does_not_block_collection(self):
+        """Head-of-line regression: a wedged worker mid-batch must not
+        stall collection of finished results -- the timeout error names
+        only the wedged scenario and counts everything else collected."""
+        import time as _time
+        from repro.errors import ScenarioTimeoutError
+
+        def diag(seed, sleep, label):
+            return ScenarioSpec(
+                workload="chaos.sleepy",
+                deployment=DeploymentSpec(level=SecurityLevel.LEVEL_1),
+                traffic=TrafficScenario.P2V, duration=0.0, seed=seed,
+                label=label, params={"sleep": sleep})
+
+        specs = [diag(0, 0.0, "fast0"), diag(1, 30.0, "sleepy"),
+                 diag(2, 0.0, "fast1"), diag(3, 0.0, "fast2")]
+        backend = ProcessPoolBackend(max_workers=2, timeout=1.5, chunk=1)
+        start = _time.perf_counter()
+        with pytest.raises(ScenarioTimeoutError) as excinfo:
+            backend.run(specs, DEFAULT_CALIBRATION)
+        elapsed = _time.perf_counter() - start
+        assert elapsed < 15.0  # deadline, not the 30s sleep
+        assert excinfo.value.pending == ("sleepy",)
+        assert excinfo.value.completed == 3  # the fast ones came home
+        backend.close()
+
+
 class TestPoolResilience:
     """A dying or wedged worker must not abort a sweep silently."""
 
