@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-update sweep-bench sweep-smoke chaos-smoke
+.PHONY: test bench bench-update sweep-bench sweep-smoke chaos-smoke billing-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -52,3 +52,19 @@ chaos-smoke:
 		--duration 0.12 --check --warm-standby \
 		--cache-dir .chaos-smoke/cache
 	rm -rf .chaos-smoke
+
+# End-to-end smoke of the billing pipeline: meter the noisy-neighbor
+# workload on every level (clean + compartment-crash runs), fail
+# unless every run's windowed usage reconciles exactly with the
+# core/accounting ground truth (--check).
+billing-smoke:
+	rm -rf .billing-smoke
+	mkdir -p .billing-smoke
+	PYTHONPATH=src $(PYTHON) -m repro billing \
+		--duration 0.05 --check \
+		--cache-dir .billing-smoke/cache \
+		--usage-out .billing-smoke/usage.jsonl \
+		--invoices-out .billing-smoke/invoices.jsonl
+	test -s .billing-smoke/usage.jsonl
+	test -s .billing-smoke/invoices.jsonl
+	rm -rf .billing-smoke

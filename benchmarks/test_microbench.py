@@ -262,6 +262,35 @@ def test_e2e_des_packet_rate(benchmark):
 
 
 @pytest.mark.benchmark(group="e2e")
+def test_e2e_metered_packet_rate(benchmark):
+    """The same Fig. 5 e2e run with per-tenant METERING armed -- the
+    billing tap + windowing cost.  tool/bench.py divides this
+    benchmark's min by test_e2e_des_packet_rate's for the
+    metering-enabled overhead factor (gated <= 1.6x); the metering-OFF
+    path rides the regular 20% regression gate on the des benchmark."""
+    from repro.billing.session import MeteringSession
+    from repro.core import SecurityLevel, TrafficScenario, build_deployment
+    from repro.core.spec import DeploymentSpec
+    from repro.traffic import TestbedHarness
+
+    def run():
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        h = TestbedHarness(d)
+        h.configure_tenant_flows(rate_per_flow_pps=200_000)
+        session = MeteringSession(d, h, interval=0.002)
+        session.arm(0.01)
+        result = h.run(duration=0.01)
+        summary = session.finish()
+        assert summary["reconciled"], summary["failures"]
+        assert summary["windows"] >= 5
+        return result.sent
+
+    assert benchmark(run) == 8001
+
+
+@pytest.mark.benchmark(group="e2e")
 def test_e2e_traced_packet_rate(benchmark):
     """The same Fig. 5 e2e run with the packet tracer ENABLED -- the
     recording path's cost.  tool/bench.py divides this benchmark's min

@@ -1,0 +1,74 @@
+"""Attribution mathematics: shares, splits and the misattribution score.
+
+The billing pipeline carries two answers to "who used the shared
+vswitch's CPU": the proportional-share **estimate** a cloud provider
+can actually compute from NIC hardware byte counters (what
+:class:`~repro.core.accounting.NetworkingMeter` implements, and what
+invoices are built from), and the per-packet **exact** attribution the
+simulator can additionally record because it sees every service event.
+This module quantifies the gap between them.
+
+The misattribution score is the total-variation distance between the
+two attributions viewed as distributions over tenants:
+
+    score = 0.5 * sum_t | exact_share(t) - billed_share(t) |
+
+It is 0 when the estimate matches reality exactly (e.g. per-tenant
+compartments) and approaches 1 when the bill charges entirely the
+wrong tenants -- precisely the noisy-neighbor failure mode: an
+attacker's expensive small-packet flood is billed by *bytes*, so
+byte-heavy victims subsidize the attacker's cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def normalized(weights: Mapping[int, float]) -> Dict[int, float]:
+    """Scale non-negative weights to sum to 1; empty/zero input -> {}."""
+    total = sum(weights.values())
+    if total <= 0:
+        return {}
+    return {k: v / total for k, v in weights.items()}
+
+
+def misattribution_score(exact: Mapping[int, float],
+                         billed: Mapping[int, float]) -> float:
+    """Total-variation distance between two per-tenant attributions.
+
+    Inputs are raw (un-normalized) non-negative weights, e.g. CPU
+    seconds per tenant.  Returns 0.0 when either side is empty or all
+    zero -- no work means nothing was misattributed.
+    """
+    p = normalized(exact)
+    q = normalized(billed)
+    if not p or not q:
+        return 0.0
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def proportional_split(total: float,
+                       weights: Mapping[int, float]) -> Dict[int, float]:
+    """Split ``total`` across keys proportionally to ``weights``.
+
+    All-zero weights fall back to an even split (the accounting layer's
+    behaviour for an idle shared compartment).
+    """
+    if not weights:
+        return {}
+    weight_sum = sum(weights.values())
+    if weight_sum <= 0:
+        even = total / len(weights)
+        return {k: even for k in weights}
+    return {k: total * w / weight_sum for k, w in weights.items()}
+
+
+def even_split(total: float, keys: Sequence[int]) -> Dict[int, float]:
+    """Split ``total`` evenly across ``keys`` (fault-cost socialization
+    within a compartment)."""
+    if not keys:
+        return {}
+    share = total / len(keys)
+    return {k: share for k in keys}

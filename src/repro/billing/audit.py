@@ -1,0 +1,151 @@
+"""Reconciliation auditor: metered windows vs. accounting ground truth.
+
+The windowed pipeline and :class:`~repro.core.accounting.NetworkingMeter`
+read the *same* hardware counters, so their totals must agree -- any
+gap means the metering pipeline dropped or double-counted usage.  The
+auditor asserts:
+
+- **per-tenant I/O conservation**: the sum of each tenant's windowed
+  ``io_bytes`` equals the full-run accounting delta *exactly* (integer
+  counters telescope across window boundaries);
+- **per-compartment CPU conservation**: summed billable CPU per
+  compartment matches the full-run busy-time delta (float compare --
+  FP deltas do not telescope bit-exactly);
+- **memory conservation**: same, for byte-seconds.
+
+Per-tenant CPU is deliberately *not* an invariant: the windowed
+proportional split uses per-window byte shares, the full-run split the
+whole-run share, and those legitimately differ when traffic mixes
+shift between windows.  The auditor reports that skew informationally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.billing.meter import UsageRecord
+from repro.core.accounting import TenantUsage
+
+#: Relative tolerance for float conservation checks.  Busy-time deltas
+#: accumulate one rounding error per window boundary; 1e-6 is orders
+#: of magnitude above that and far below any attribution error.
+REL_TOL = 1e-6
+ABS_TOL = 1e-12
+
+
+@dataclass
+class ReconciliationReport:
+    """Outcome of one audit: pass/fail plus the compared totals."""
+
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    #: tenant -> (metered io bytes, truth io bytes)
+    io_bytes: Dict[int, tuple] = field(default_factory=dict)
+    #: compartment -> (metered cpu seconds, truth cpu seconds)
+    cpu_seconds: Dict[int, tuple] = field(default_factory=dict)
+    #: compartment -> (metered byte-seconds, truth byte-seconds)
+    memory_byte_seconds: Dict[int, tuple] = field(default_factory=dict)
+    #: tenant -> |windowed cpu - truth cpu| (informational skew, see
+    #: module docstring).
+    tenant_cpu_skew: Dict[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "io_bytes": {t: list(v) for t, v in self.io_bytes.items()},
+            "cpu_seconds": {k: list(v) for k, v in self.cpu_seconds.items()},
+            "memory_byte_seconds": {
+                k: list(v) for k, v in self.memory_byte_seconds.items()
+            },
+            "tenant_cpu_skew": dict(self.tenant_cpu_skew),
+        }
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def reconcile(records: Sequence[UsageRecord],
+              truth: Sequence[TenantUsage],
+              spec) -> ReconciliationReport:
+    """Check windowed ``records`` against the full-run ``truth``.
+
+    ``truth`` is what ``NetworkingMeter.read()`` returned for the whole
+    metered span; ``spec`` maps tenants to compartments.  An empty run
+    (no windows, no truth usage) reconciles trivially.
+    """
+    report = ReconciliationReport(ok=True)
+
+    metered_io: Dict[int, int] = {}
+    metered_cpu_by_comp: Dict[int, float] = {}
+    metered_mem_by_comp: Dict[int, float] = {}
+    metered_cpu_by_tenant: Dict[int, float] = {}
+    for rec in records:
+        t = rec.tenant_id
+        metered_io[t] = metered_io.get(t, 0) + rec.io_bytes
+        metered_cpu_by_tenant[t] = (metered_cpu_by_tenant.get(t, 0.0)
+                                    + rec.cpu_seconds)
+        k = rec.compartment
+        metered_cpu_by_comp[k] = (metered_cpu_by_comp.get(k, 0.0)
+                                  + rec.cpu_seconds)
+        metered_mem_by_comp[k] = (metered_mem_by_comp.get(k, 0.0)
+                                  + rec.memory_byte_seconds)
+
+    truth_io: Dict[int, int] = {}
+    truth_cpu_by_comp: Dict[int, float] = {}
+    truth_mem_by_comp: Dict[int, float] = {}
+    truth_cpu_by_tenant: Dict[int, float] = {}
+    for usage in truth:
+        t = usage.tenant_id
+        truth_io[t] = truth_io.get(t, 0) + usage.io_bytes
+        truth_cpu_by_tenant[t] = (truth_cpu_by_tenant.get(t, 0.0)
+                                  + usage.vswitch_cpu_seconds)
+        if spec.level.is_mts:
+            k = spec.compartment_of_tenant(t)
+        else:
+            k = 0
+        truth_cpu_by_comp[k] = (truth_cpu_by_comp.get(k, 0.0)
+                                + usage.vswitch_cpu_seconds)
+        truth_mem_by_comp[k] = (truth_mem_by_comp.get(k, 0.0)
+                                + usage.vswitch_memory_byte_seconds)
+
+    for t in sorted(set(metered_io) | set(truth_io)):
+        got, want = metered_io.get(t, 0), truth_io.get(t, 0)
+        report.io_bytes[t] = (got, want)
+        if got != want:
+            report.ok = False
+            report.failures.append(
+                f"tenant {t}: metered io {got} B != accounting {want} B"
+            )
+
+    for k in sorted(set(metered_cpu_by_comp) | set(truth_cpu_by_comp)):
+        got = metered_cpu_by_comp.get(k, 0.0)
+        want = truth_cpu_by_comp.get(k, 0.0)
+        report.cpu_seconds[k] = (got, want)
+        if not _close(got, want):
+            report.ok = False
+            report.failures.append(
+                f"compartment {k}: metered cpu {got:.9f}s "
+                f"!= accounting {want:.9f}s"
+            )
+
+    for k in sorted(set(metered_mem_by_comp) | set(truth_mem_by_comp)):
+        got = metered_mem_by_comp.get(k, 0.0)
+        want = truth_mem_by_comp.get(k, 0.0)
+        report.memory_byte_seconds[k] = (got, want)
+        if not _close(got, want):
+            report.ok = False
+            report.failures.append(
+                f"compartment {k}: metered memory {got:.3f} B*s "
+                f"!= accounting {want:.3f} B*s"
+            )
+
+    for t in sorted(set(metered_cpu_by_tenant) | set(truth_cpu_by_tenant)):
+        report.tenant_cpu_skew[t] = abs(
+            metered_cpu_by_tenant.get(t, 0.0) - truth_cpu_by_tenant.get(t, 0.0)
+        )
+
+    return report

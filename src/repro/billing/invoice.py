@@ -1,0 +1,110 @@
+"""Invoices built from windowed usage records.
+
+Uses the same unit prices and cost formulas as
+:class:`~repro.core.accounting.PricingModel` so an invoice built from
+windowed records totals exactly what :func:`repro.core.accounting.bill`
+charges for the reconciled full-run usage -- plus the line items the
+seed biller has no data for: PCIe bandwidth and fault-recovery work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.billing.meter import UsageRecord
+from repro.core.accounting import PricingModel
+from repro.units import GIB
+
+#: Quality ranking, worst last: an invoice aggregating windows of
+#: mixed quality is only as trustworthy as its weakest window.
+_QUALITY_ORDER = ("exact", "estimated", "self-reported")
+
+
+@dataclass
+class LineItem:
+    kind: str
+    quantity: float
+    unit: str
+    cost: float
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "quantity": self.quantity,
+                "unit": self.unit, "cost": self.cost}
+
+
+@dataclass
+class TenantInvoice:
+    """Priced usage of one tenant over the metered run."""
+
+    tenant_id: int
+    items: List[LineItem] = field(default_factory=list)
+    quality: str = "exact"
+
+    @property
+    def total(self) -> float:
+        return sum(item.cost for item in self.items)
+
+    def item(self, kind: str) -> float:
+        """Cost of one line item kind (0 if absent)."""
+        return sum(i.cost for i in self.items if i.kind == kind)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "invoice",
+            "tenant": self.tenant_id,
+            "quality": self.quality,
+            "total": self.total,
+            "items": [item.to_dict() for item in self.items],
+        }
+
+
+def _worst_quality(a: str, b: str) -> str:
+    ia = _QUALITY_ORDER.index(a) if a in _QUALITY_ORDER else len(_QUALITY_ORDER)
+    ib = _QUALITY_ORDER.index(b) if b in _QUALITY_ORDER else len(_QUALITY_ORDER)
+    return a if ia >= ib else b
+
+
+def invoices_from_records(
+    records: Sequence[UsageRecord],
+    pricing: PricingModel = PricingModel(),
+) -> List[TenantInvoice]:
+    """Aggregate windowed records into one priced invoice per tenant.
+
+    CPU, memory and I/O use the exact ``PricingModel.invoice`` formulas
+    (so totals reconcile with the accounting layer's invoices); fault
+    recovery is priced as CPU time, and PCIe as traffic bytes.
+    """
+    cpu: Dict[int, float] = {}
+    mem: Dict[int, float] = {}
+    io: Dict[int, int] = {}
+    pcie: Dict[int, int] = {}
+    fault: Dict[int, float] = {}
+    quality: Dict[int, str] = {}
+    for rec in records:
+        t = rec.tenant_id
+        cpu[t] = cpu.get(t, 0.0) + rec.cpu_seconds
+        mem[t] = mem.get(t, 0.0) + rec.memory_byte_seconds
+        io[t] = io.get(t, 0) + rec.io_bytes
+        pcie[t] = pcie.get(t, 0) + rec.pcie_bytes
+        fault[t] = fault.get(t, 0.0) + rec.fault_seconds
+        quality[t] = _worst_quality(quality.get(t, "exact"), rec.quality)
+
+    invoices: List[TenantInvoice] = []
+    for t in sorted(cpu):
+        items = [
+            LineItem("vswitch_cpu", cpu[t], "s",
+                     cpu[t] / 3600.0 * pricing.per_cpu_hour),
+            LineItem("vswitch_memory", mem[t], "B*s",
+                     mem[t] / GIB / 3600.0 * pricing.per_gib_hour),
+            LineItem("nic_io", io[t], "B",
+                     io[t] / GIB * pricing.per_gib_traffic),
+            LineItem("pcie_io", pcie[t], "B",
+                     pcie[t] / GIB * pricing.per_gib_traffic),
+        ]
+        if fault[t] > 0:
+            items.append(LineItem("fault_recovery", fault[t], "s",
+                                  fault[t] / 3600.0 * pricing.per_cpu_hour))
+        invoices.append(TenantInvoice(
+            tenant_id=t, items=items, quality=quality[t]))
+    return invoices

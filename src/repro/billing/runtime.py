@@ -1,0 +1,92 @@
+"""Process-local metering context threaded from specs to harness runs.
+
+Mirrors :mod:`repro.faults.runtime`: the scenario engine activates a
+context before invoking a workload (in this process or a pool worker),
+the harness claims it when a run starts, and the engine drains the
+usage records the session published after the workload returns.  The
+indirection keeps workload functions metering-agnostic -- any workload
+that drives a :class:`~repro.traffic.harness.TestbedHarness` becomes
+billable without signature changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class _Context:
+    __slots__ = ("enabled", "interval", "seed", "claimed", "usage")
+
+    def __init__(self, enabled: bool, interval: float, seed: int) -> None:
+        self.enabled = enabled
+        self.interval = interval
+        self.seed = seed
+        self.claimed = False
+        self.usage: List[dict] = []
+
+
+_active: Optional[_Context] = None
+
+
+def activate(enabled: bool, interval: float = 0.0, seed: int = 0) -> _Context:
+    """Install a metering context for the upcoming workload invocation."""
+    global _active
+    ctx = _Context(bool(enabled), float(interval), int(seed))
+    _active = ctx
+    return ctx
+
+
+def deactivate(ctx: _Context) -> None:
+    """Tear down ``ctx`` if it is still the active context."""
+    global _active
+    if _active is ctx:
+        _active = None
+
+
+def metering_requested() -> bool:
+    return _active is not None and _active.enabled
+
+
+def claim() -> None:
+    if _active is not None:
+        _active.claimed = True
+
+
+def publish(items: List[dict]) -> None:
+    """Append usage/summary dicts for the engine to drain."""
+    if _active is not None:
+        _active.usage.extend(items)
+
+
+def drain() -> List[dict]:
+    """Return and clear the usage records published so far."""
+    if _active is None:
+        return []
+    usage = _active.usage
+    _active.usage = []
+    return usage
+
+
+def attach_active_session(harness, horizon: float, chaos=None):
+    """Arm a metering session for ``harness`` if a context wants one.
+
+    Called by ``TestbedHarness.run``.  Returns ``None`` when metering
+    is off or another harness already claimed the context (nested runs
+    meter only the outermost).  ``chaos`` is the run's ChaosSession,
+    if any, so fault recovery costs can be charged to tenants.
+    """
+    ctx = _active
+    if ctx is None or not ctx.enabled or ctx.claimed:
+        return None
+    ctx.claimed = True
+    from repro.billing.session import MeteringSession
+
+    session = MeteringSession(
+        harness.deployment,
+        harness,
+        interval=ctx.interval,
+        seed=ctx.seed,
+        chaos=chaos,
+    )
+    session.arm(horizon)
+    return session

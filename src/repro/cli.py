@@ -230,7 +230,12 @@ def cmd_obs(args: argparse.Namespace) -> int:
             count = write_spans_jsonl(tracer, args.trace_out)
             print(f"\nwrote {count} spans to {args.trace_out}")
         if args.metrics_out:
-            registry = obs.deployment_metrics(deployment)
+            # Merge the deployment gauges into the run's global registry
+            # so the snapshot also carries histogram buckets and pool
+            # gauges collected during the run, not just point-in-time
+            # deployment state.
+            registry = obs.deployment_metrics(deployment,
+                                              registry=obs.REGISTRY)
             write_prometheus(registry, args.metrics_out)
             print(f"wrote metrics snapshot to {args.metrics_out}")
     finally:
@@ -360,6 +365,139 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_billing(args: argparse.Namespace) -> int:
+    """Meter the noisy-neighbor workload across Baseline/L1/L2/L3,
+    price it, audit reconciliation, and show who pays for faults."""
+    import json
+    from repro.billing import report as billing_report
+    from repro.billing.invoice import invoices_from_records
+    from repro.billing.meter import UsageRecord
+    from repro.core.spec import (
+        DeploymentSpec,
+        ResourceMode,
+        SecurityLevel,
+        TrafficScenario,
+    )
+    from repro.experiments.noisy_neighbor import WORKLOAD, configurations
+    from repro.faults.plan import scripted_crash
+    from repro.obs.export import write_invoices_jsonl, write_usage_jsonl
+    from repro.scenario import (
+        Engine,
+        NullStore,
+        ProcessPoolBackend,
+        ResultStore,
+        ScenarioSpec,
+        SequentialBackend,
+    )
+
+    deployments = configurations()
+    # L3: per-tenant compartments on dedicated cores with a user-space
+    # (DPDK) datapath -- the paper's strongest isolation point.
+    deployments.append(DeploymentSpec(
+        level=SecurityLevel.LEVEL_2, num_vswitch_vms=4,
+        resource_mode=ResourceMode.ISOLATED, user_space=True))
+    warmup = min(0.02, args.duration / 2.0)
+    metering = (("metering", True), ("metering_interval", args.interval))
+
+    def make_specs(faults=None):
+        return [
+            ScenarioSpec(workload=WORKLOAD, deployment=d,
+                         traffic=TrafficScenario.P2V,
+                         duration=args.duration, warmup=warmup,
+                         seed=args.seed, label=d.label, params=metering,
+                         faults=faults)
+            for d in deployments
+        ]
+
+    clean_specs = make_specs()
+    # The chaos composition: crash compartment 0 mid-run and see whose
+    # bill the recovery lands on.
+    chaos_specs = make_specs(faults=scripted_crash(
+        compartment=0, at=args.duration / 3.0))
+
+    backend = (SequentialBackend() if args.jobs in (None, 1)
+               else ProcessPoolBackend(max_workers=args.jobs,
+                                       chunk=args.chunk))
+    store = NullStore() if args.no_cache else ResultStore(args.cache_dir)
+    try:
+        engine = Engine(backend=backend, store=store)
+        clean_results = engine.run(clean_specs)
+        chaos_results = engine.run(chaos_specs)
+    finally:
+        if hasattr(backend, "close"):
+            backend.close()
+
+    def split(result):
+        records = [UsageRecord.from_dict(u) for u in result.usage
+                   if u.get("kind") == "usage"]
+        summaries = [u for u in result.usage if u.get("kind") == "summary"]
+        return records, (summaries[0] if summaries else {})
+
+    invoices_by_label = {}
+    scores = {}
+    failures = []
+    all_records = []
+    all_invoices = []
+    for spec, result in zip(clean_specs, clean_results):
+        records, summary = split(result)
+        invoices = invoices_from_records(records)
+        invoices_by_label[result.label] = invoices
+        scores[result.label] = summary.get("misattribution_score", 0.0)
+        if not summary.get("reconciled", False):
+            failures.append((result.label, summary.get("failures", ["no summary"])))
+        for rec in records:
+            all_records.append({"label": result.label, **rec.to_dict()})
+        for inv in invoices:
+            all_invoices.append({"label": result.label, **inv.to_dict()})
+
+    print(billing_report.cost_table(invoices_by_label).render())
+    print()
+    print(billing_report.misattribution_table(scores).render())
+
+    payers_by_label = {}
+    for spec, result in zip(chaos_specs, chaos_results):
+        records, summary = split(result)
+        payers_by_label[result.label] = summary.get("fault_payers", {})
+        scores[f"{result.label}+fault"] = summary.get(
+            "misattribution_score", 0.0)
+        if not summary.get("reconciled", False):
+            failures.append((f"{result.label}+fault",
+                             summary.get("failures", ["no summary"])))
+        for inv in invoices_from_records(records):
+            all_invoices.append({"label": f"{result.label}+fault",
+                                 **inv.to_dict()})
+        for rec in records:
+            all_records.append({"label": f"{result.label}+fault",
+                                **rec.to_dict()})
+    print()
+    print(billing_report.fault_payer_table(
+        payers_by_label,
+        title="Who pays for the compartment-0 crash? (resync seconds "
+              "charged per tenant)").render())
+
+    cached = sum(1 for r in clean_results + chaos_results if r.cached)
+    reconciled = len(clean_results) + len(chaos_results) - len(failures)
+    print(f"\n{len(clean_results) + len(chaos_results)} metered runs "
+          f"({cached} cached): {reconciled} reconciled with accounting, "
+          f"{len(failures)} failed")
+    for label, errs in failures:
+        print(f"  {label}: {'; '.join(str(e) for e in errs[:3])}",
+              file=sys.stderr)
+
+    if args.usage_out:
+        count = write_usage_jsonl(all_records, args.usage_out)
+        print(f"wrote {count} usage records to {args.usage_out}")
+    if args.invoices_out:
+        count = write_invoices_jsonl(all_invoices, args.invoices_out)
+        print(f"wrote {count} invoices to {args.invoices_out}")
+
+    if args.check and failures:
+        print(f"billing check FAILED: {len(failures)} runs did not "
+              f"reconcile with core/accounting", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -469,6 +607,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless every campaign repaired "
                         "and no invariant was violated (CI smoke)")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "billing",
+        help="per-tenant metering, invoices, misattribution and "
+             "fault-cost attribution across Baseline/L1/L2/L3")
+    p.add_argument("--duration", type=float, default=0.06,
+                   help="DES window per deployment, seconds "
+                        "(default: 0.06; the 2 Mpps noisy-neighbor "
+                        "flood is expensive to simulate)")
+    p.add_argument("--interval", type=float, default=0.01,
+                   help="accounting window length in simulated seconds "
+                        "(default: 0.01)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: in-process)")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="scenarios per worker batch (default: adaptive)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't write the result store")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result store directory (default: .repro-cache)")
+    p.add_argument("--usage-out", metavar="USAGE.jsonl",
+                   help="write every windowed usage record")
+    p.add_argument("--invoices-out", metavar="INVOICES.jsonl",
+                   help="write every per-tenant invoice")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless every metered run "
+                        "reconciles with core/accounting (CI smoke)")
+    p.set_defaults(func=cmd_billing)
 
     p = sub.add_parser(
         "obs", help="run one traced deployment and dump its telemetry")

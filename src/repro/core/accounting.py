@@ -52,6 +52,20 @@ class TenantUsage:
     io_bytes: int
     quality: AttributionQuality
 
+    @property
+    def cpu_utilization(self) -> float:
+        """Busy fraction of the window; 0 for an empty window, never
+        NaN or a division error."""
+        if self.window_seconds <= 0:
+            return 0.0
+        return self.vswitch_cpu_seconds / self.window_seconds
+
+    @property
+    def io_bytes_per_second(self) -> float:
+        if self.window_seconds <= 0:
+            return 0.0
+        return self.io_bytes / self.window_seconds
+
 
 @dataclass
 class Invoice:
@@ -137,7 +151,12 @@ class NetworkingMeter:
         d = self.deployment
         spec = d.spec
         t0 = self._t0 if self._t0 is not None else 0.0
-        window = max(d.sim.now - t0, 1e-12)
+        window = d.sim.now - t0
+        if window <= 0:
+            # A zero-duration window has no usage by definition; the
+            # old 1e-12 floor turned any residual counter delta into
+            # absurd rates downstream.
+            return []
 
         io_delta = {
             t: self._tenant_io_bytes(t) - self._io_baseline.get(t, 0)
@@ -151,7 +170,9 @@ class NetworkingMeter:
             # own (self-reported) flow counters.
             busy = (self._compartment_busy_seconds(0)
                     - self._busy_baseline.get(0, 0.0))
-            per_tenant_cpu = busy / spec.num_tenants  # flat split, best effort
+            # Flat split, best effort; guard the degenerate no-tenant
+            # deployment instead of dividing by zero.
+            per_tenant_cpu = busy / spec.num_tenants if spec.num_tenants else 0.0
             for t in range(spec.num_tenants):
                 usages.append(TenantUsage(
                     tenant_id=t,
@@ -169,13 +190,20 @@ class NetworkingMeter:
                     - self._busy_baseline.get(k, 0.0))
             vm = d.vswitch_vms[k]
             memory_bytes = vm.memory.ram_bytes if vm.memory else 0
-            compartment_io = sum(io_delta[t] for t in tenants) or 1
+            compartment_io = sum(io_delta[t] for t in tenants)
             for t in tenants:
                 if len(tenants) == 1:
                     share = 1.0
                     quality = AttributionQuality.EXACT
-                else:
+                elif compartment_io > 0:
                     share = io_delta[t] / compartment_io
+                    quality = AttributionQuality.ESTIMATED
+                else:
+                    # No I/O this window: time-based costs (memory, any
+                    # residual busy) still accrued, so split them evenly
+                    # instead of attributing them to nobody -- otherwise
+                    # windowed sums under-count the full-run truth.
+                    share = 1.0 / len(tenants)
                     quality = AttributionQuality.ESTIMATED
                 usages.append(TenantUsage(
                     tenant_id=t,

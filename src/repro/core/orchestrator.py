@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import billing as _billing
 from repro.core.controller import CompartmentView
 from repro.core.deployment import Deployment
 from repro.core.spec import ArpMode
@@ -82,6 +83,8 @@ def crash_bridge(bridge) -> dict:
 
         def _blackhole(frame, _bridge=bridge) -> None:
             _bridge.fault_blackhole_drops += 1
+            if _billing.METER.enabled:
+                _billing.METER.fault_drop(getattr(frame, "tenant_id", None))
 
         port.pair.rx.connect(_blackhole)
     bridge._fault_saved = saved

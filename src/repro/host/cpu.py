@@ -65,6 +65,16 @@ class ComputeShare:
     def sharers(self) -> int:
         return max(1, self.core.num_consumers)
 
+    def physical_seconds(self, busy_seconds: float) -> float:
+        """Physical core-seconds behind ``busy_seconds`` of this share.
+
+        Under fair time-sharing a consumer that is busy for one second
+        of its own virtual time occupies the core for ``1/sharers``
+        physical seconds -- the quantity billing charges for, since
+        that is the hardware actually consumed.
+        """
+        return busy_seconds / self.sharers
+
 
 class CorePool:
     """The server's physical cores with reservation and pinning.

@@ -14,6 +14,7 @@ Three consumers, three formats:
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Tuple
 
 from repro.measure.reporting import Series, Table
@@ -36,6 +37,29 @@ def write_prometheus(registry: MetricsRegistry, path: str) -> None:
     """Write a Prometheus exposition-format snapshot."""
     with open(path, "w") as handle:
         handle.write(registry.prometheus_text())
+
+
+def _write_dicts_jsonl(items, path: str) -> int:
+    count = 0
+    with open(path, "w") as handle:
+        for item in items:
+            record = item.to_dict() if hasattr(item, "to_dict") else item
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def write_usage_jsonl(records, path: str) -> int:
+    """Dump usage records (``UsageRecord`` objects or their dicts) as
+    JSON-lines, one window-tenant entry per line; returns the count."""
+    return _write_dicts_jsonl(records, path)
+
+
+def write_invoices_jsonl(invoices, path: str) -> int:
+    """Dump per-tenant invoices as JSON-lines; returns the count."""
+    return _write_dicts_jsonl(invoices, path)
 
 
 def _tenant_label(tenant: Optional[int]) -> str:

@@ -46,6 +46,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.billing import runtime as billing_runtime
 from repro.errors import ScenarioTimeoutError, ValidationError
 from repro.faults import runtime as faults_runtime
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
@@ -72,6 +73,8 @@ SHIPPED_COUNTERS = (
     "fault_giveups_total",
     "fault_circuit_open_total",
     "fault_noop_operations_total",
+    # All billing_* families (cpu/io/pcie/passes/drops/windows).
+    "billing_",
 )
 
 _KEY_RE = re.compile(r"^(?P<name>\w+)(?:\{(?P<labels>.*)\})?$")
@@ -91,11 +94,18 @@ def run_scenario(spec: ScenarioSpec,
     before = obs.REGISTRY.snapshot()
     start = time.perf_counter()
     ctx = faults_runtime.activate(spec.faults, spec.seed)
+    bctx = billing_runtime.activate(
+        bool(spec.param("metering", False)),
+        interval=float(spec.param("metering_interval", 0.0) or 0.0),
+        seed=spec.seed,
+    )
     try:
         values = fn(spec, calibration)
         events = faults_runtime.drain()
+        usage = billing_runtime.drain()
     finally:
         faults_runtime.deactivate(ctx)
+        billing_runtime.deactivate(bctx)
     elapsed = time.perf_counter() - start
     after = obs.REGISTRY.snapshot()
     metrics = {}
@@ -115,6 +125,7 @@ def run_scenario(spec: ScenarioSpec,
         metrics=metrics,
         elapsed=elapsed,
         events=events,
+        usage=usage,
     )
 
 
@@ -287,6 +298,13 @@ class ProcessPoolBackend:
             ) -> List[ScenarioResult]:
         if not specs:
             return []
+        # Export the configured width even when the run degenerates to
+        # sequential (1 worker / 1 spec): dashboards on single-core
+        # containers otherwise never see the gauge at all.
+        obs.REGISTRY.gauge(
+            "scenario_pool_workers",
+            "worker processes of the warm scenario pool",
+        ).set(self.max_workers)
         if min(self.max_workers, len(specs)) <= 1:
             return SequentialBackend().run(specs, calibration)
         chunk = self.chunk_size(len(specs))
@@ -294,10 +312,6 @@ class ProcessPoolBackend:
                    for start in range(0, len(specs), chunk)]
         pool = self._ensure_pool(
             calibration, sorted({s.workload for s in specs}))
-        obs.REGISTRY.gauge(
-            "scenario_pool_workers",
-            "worker processes of the warm scenario pool",
-        ).set(self.max_workers)
 
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
         poisoned: List[int] = []

@@ -239,6 +239,11 @@ class ScenarioResult:
     #: carried a fault plan; empty otherwise.  Deterministic given the
     #: spec, but kept out of the result hash like the other provenance.
     events: list = field(default_factory=list)
+    #: Windowed usage records + billing summary dicts when the spec
+    #: asked for metering (``("metering", True)`` param); empty
+    #: otherwise.  Same treatment as ``events``: travels through
+    #: workers and the result store, stays out of the result hash.
+    usage: list = field(default_factory=list)
 
     def result_hash(self) -> str:
         """Hash of the *measured content* only: identical numbers from
@@ -257,6 +262,7 @@ class ScenarioResult:
             "cached": self.cached,
             "elapsed": self.elapsed,
             "events": [dict(e) for e in self.events],
+            "usage": [dict(u) for u in self.usage],
         }
 
     @classmethod
@@ -269,4 +275,5 @@ class ScenarioResult:
         return dataclasses.replace(
             self, label=spec.display_label, traffic=spec.traffic.value,
             cached=cached, metrics=dict(self.metrics),
-            values=dict(self.values), events=[dict(e) for e in self.events])
+            values=dict(self.values), events=[dict(e) for e in self.events],
+            usage=[dict(u) for u in self.usage])

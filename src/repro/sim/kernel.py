@@ -11,6 +11,54 @@ from repro.errors import SimulationError
 from repro.sim.events import Event
 
 
+class RecurringEvent:
+    """Handle for a :meth:`Simulator.every` timer.
+
+    Owns the currently pending :class:`Event` and reschedules itself
+    after each firing; ``cancel()`` stops the chain.  The callback runs
+    *before* the next occurrence is scheduled, so a callback may cancel
+    its own timer.
+    """
+
+    __slots__ = ("_sim", "_interval", "_callback", "_args", "_until",
+                 "_event", "cancelled")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 callback: Callable[..., Any], args: tuple,
+                 until: Optional[float]) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._until = until
+        self._event: Optional[Event] = None
+        self.cancelled = False
+        self._schedule()
+
+    def _schedule(self) -> None:
+        next_t = self._sim.now + self._interval
+        # The epsilon absorbs float accumulation so a timer whose
+        # horizon is an exact multiple of the interval still fires at
+        # the horizon itself.
+        if self._until is not None and next_t > self._until + 1e-15:
+            self._event = None
+            return
+        self._event = self._sim.schedule(next_t, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self._callback(*self._args)
+        if not self.cancelled:
+            self._schedule()
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+
 class Simulator:
     """Runs callbacks in virtual-time order.
 
@@ -61,6 +109,19 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule(self._now + delay, callback, *args)
+
+    def every(self, interval: float, callback: Callable[..., Any], *args: Any,
+              until: Optional[float] = None) -> RecurringEvent:
+        """Schedule ``callback(*args)`` every ``interval`` seconds.
+
+        The first firing is at ``now + interval``.  With ``until`` the
+        timer stops once the next occurrence would pass that horizon
+        (an occurrence landing exactly on it still fires).  Returns a
+        :class:`RecurringEvent` whose ``cancel()`` stops the chain.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval: {interval}")
+        return RecurringEvent(self, interval, callback, args, until)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the heap drains, ``until`` passes, or

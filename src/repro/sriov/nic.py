@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import billing as _billing
 from repro import obs as _obs
 from repro.errors import ConfigurationError, VFExhaustedError
 from repro.net.addresses import MacAddress
@@ -179,12 +180,16 @@ class NicPort:
             self.drops.unconfigured_vf += 1
             _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
                                    "unconfigured")
+            if _billing.METER.enabled:
+                _billing.METER.drop(frame.tenant_id, "nic_unconfigured")
             return
         if not SpoofCheck.permits(vf, frame):
             vf.stats.spoof_drops += 1
             self.drops.spoof += 1
             _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
                                    "spoof_drop")
+            if _billing.METER.enabled:
+                _billing.METER.drop(frame.tenant_id, "nic_spoof")
             return
         bucket = self._buckets.get(vf.name)
         if bucket is not None and not bucket.allow(self.nic.sim.now):
@@ -192,19 +197,25 @@ class NicPort:
             self.drops.rate_limited += 1
             _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
                                    "rate_limited")
+            if _billing.METER.enabled:
+                _billing.METER.drop(frame.tenant_id, "nic_rate_limited")
             return
         if self.nic.filters.evaluate(vf, frame) == FilterAction.DROP:
             vf.stats.filter_drops += 1
             self.drops.filtered += 1
             _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame,
                                    "filter_drop")
+            if _billing.METER.enabled:
+                _billing.METER.drop(frame.tenant_id, "nic_filtered")
             return
         _obs.TRACER.nic_filter(f"nic.p{self.index}", vf.name, frame, "pass")
         frame.stamp(f"nic.p{self.index}.{vf.name}.in")
         domain = self.veb.domain_of(vf)
         # VM -> NIC DMA has already been paid conceptually by the VM's
         # transmit; we charge the crossing once here (ingress direction).
-        delay = self.nic.pcie.transfer_time(frame.wire_size()) + VEB_LATENCY
+        delay = (self.nic.pcie.transfer_time(frame.wire_size(),
+                                             tenant=frame.tenant_id)
+                 + VEB_LATENCY)
         frame.charge("nic", delay)
         self.nic.sim.call_later(delay, self._switch, vf.name, domain, frame)
 
@@ -222,6 +233,8 @@ class NicPort:
             _obs.TRACER.drop(f"nic.p{self.index}", frame,
                              "no_destination" if decision.reason != "hairpin"
                              else "hairpin")
+            if _billing.METER.enabled:
+                _billing.METER.drop(frame.tenant_id, "nic_no_destination")
             return
         self.frames_switched += 1
         for dest in decision.destinations:
@@ -252,7 +265,8 @@ class NicPort:
         func.stats.rx_frames += 1
         func.stats.rx_bytes += frame.wire_size()
         frame.stamp(f"nic.p{self.index}.{func.name}.out")
-        delay = self.nic.pcie.transfer_time(frame.wire_size())
+        delay = self.nic.pcie.transfer_time(frame.wire_size(),
+                                            tenant=frame.tenant_id)
         frame.charge("nic", delay)
         self.nic.sim.call_later(delay, func.port.rx.receive, frame)
 

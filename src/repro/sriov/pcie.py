@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Optional
 
+from repro import billing as _billing
 from repro.units import GBPS, USEC
 
 
@@ -67,11 +69,18 @@ class PcieBus:
         """
         return self.gen.per_lane_bps * self.lanes * USABLE_FRACTION
 
-    def transfer_time(self, size_bytes: int) -> float:
-        """DMA one frame across the bus: latency + serialization."""
+    def transfer_time(self, size_bytes: int,
+                      tenant: Optional[int] = None) -> float:
+        """DMA one frame across the bus: latency + serialization.
+
+        ``tenant`` attributes the crossing to a tenant when metering is
+        on; timing is unaffected.
+        """
         if size_bytes < 0:
             raise ValueError(f"negative transfer size: {size_bytes}")
         self.bytes_transferred += size_bytes
+        if _billing.METER.enabled and tenant is not None:
+            _billing.METER.pcie(tenant, size_bytes)
         return DMA_LATENCY + size_bytes * 8.0 / self.effective_bandwidth_bps()
 
     def capacity_pps(self, frame_bytes: int) -> float:

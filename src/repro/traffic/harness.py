@@ -124,6 +124,11 @@ class TestbedHarness:
         # any harness-based workload is chaos-capable without changes.
         from repro.faults import runtime as _chaos
         chaos_session = _chaos.attach_active_session(self, horizon=duration)
+        # Likewise for metering: a spec that asked for billing gets a
+        # session that windows usage while this run executes.
+        from repro.billing import runtime as _metering
+        meter_session = _metering.attach_active_session(
+            self, horizon=duration, chaos=chaos_session)
         self.lg.start(duration)
         self.sim.run(until=self.sim.now + duration + cooldown)
         t0, t1 = warmup, duration
@@ -139,4 +144,6 @@ class TestbedHarness:
         _obs.on_run_complete(self, result)
         if chaos_session is not None:
             chaos_session.finish()
+        if meter_session is not None:
+            meter_session.finish()
         return result

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import billing as _billing
 from repro import obs as _obs
 from repro.errors import ConfigurationError
 from repro.host.cpu import ComputeShare
@@ -236,6 +237,9 @@ class OvsBridge:
             plan = self._pipeline(port, frame, cache_key=key)
         if plan.dropped:
             _obs.TRACER.drop(self.name, frame, plan.drop_reason or "consumed")
+            if _billing.METER.enabled:
+                _billing.METER.drop(frame.tenant_id,
+                                    plan.drop_reason or "consumed")
             return
         self.passes += 1
         if not self._stations:
@@ -408,6 +412,14 @@ class OvsBridge:
 
     def _execute(self, plan: _ForwardPlan) -> None:
         """Apply mutations and transmit on the egress port(s)."""
+        meter = _billing.METER
+        if meter.enabled:
+            # Exact per-packet CPU attribution: the station spent the
+            # plan's calibrated service time on this tenant's frame.
+            # Functional mode (no stations) never costs service time.
+            service = getattr(plan, "_service_time", None)
+            if service is not None:
+                meter.cpu(plan.frame.tenant_id, service)
         if self.sim is not None and hasattr(plan, "_t_dispatch"):
             # This pass took wait + queue + service; anything beyond the
             # known wait and service components is rx-ring queueing.

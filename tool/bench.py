@@ -51,6 +51,17 @@ SWEEP_POOL_BENCH = "test_sweep_pool_8pt"
 SWEEP_GATE_MIN = 1.5
 SWEEP_GATE_CORES = 4
 
+#: The metering pair: the plain e2e run (the tap exists but is
+#: disabled) and the identical run with a MeteringSession armed.
+METERING_ON_BENCH = "test_e2e_metered_packet_rate"
+#: Metering ON may cost at most this much over the plain run.
+METERING_ON_GATE = 1.6
+#: Metering OFF (the guarded no-op tap on every hot-path site) may
+#: cost at most this much over the *recorded baseline* of the plain
+#: run -- a tighter screw than the general 20% regression tolerance,
+#: because the disabled tap is pure overhead for everyone.
+METERING_OFF_GATE = 1.1
+
 
 def available_cores() -> int:
     """Cores usable by this process (affinity/cgroup mask when the
@@ -202,6 +213,69 @@ def gate_sweep_speedup(current: dict) -> int:
     return 0
 
 
+def metering_overhead_factor(current: dict):
+    """min(metered) / min(plain) of the e2e pair, or None if either
+    benchmark is absent from the run."""
+    plain = current.get(OBS_DISABLED_BENCH)
+    metered = current.get(METERING_ON_BENCH)
+    if not plain or not metered or not plain["min_us"]:
+        return None
+    return metered["min_us"] / plain["min_us"]
+
+
+def report_metering_overhead(current: dict) -> None:
+    factor = metering_overhead_factor(current)
+    if factor is None:
+        return
+    print(f"Billing: metering-enabled e2e overhead {factor:.2f}x "
+          f"({current[METERING_ON_BENCH]['min_us']:.0f}us metered vs "
+          f"{current[OBS_DISABLED_BENCH]['min_us']:.0f}us plain)")
+
+
+def record_metering_overhead(current: dict) -> None:
+    """Persist the metering-enabled factor into the baseline on every
+    run, like the sweep speedup factor."""
+    factor = metering_overhead_factor(current)
+    if factor is None or not os.path.exists(BASELINE_PATH):
+        return
+    baseline = load_baseline()
+    baseline["metering_overhead_factor"] = round(factor, 3)
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def gate_metering(current: dict, baseline: dict,
+                  check_off: bool = True) -> int:
+    """Gate both sides of the metering cost: the armed session's
+    overhead against the plain run, and the disabled tap's drag
+    against the recorded baseline."""
+    rc = 0
+    factor = metering_overhead_factor(current)
+    if factor is not None:
+        if factor > METERING_ON_GATE:
+            print(f"Metering ON gate FAILED: {factor:.2f}x > "
+                  f"{METERING_ON_GATE}x over the plain e2e run")
+            rc = 1
+        else:
+            print(f"Metering ON gate OK: {factor:.2f}x <= "
+                  f"{METERING_ON_GATE}x")
+    if check_off:
+        plain = current.get(OBS_DISABLED_BENCH)
+        base = baseline.get("benchmarks", {}).get(OBS_DISABLED_BENCH)
+        if plain and base and base.get("min_us"):
+            off = plain["min_us"] / base["min_us"]
+            if off > METERING_OFF_GATE:
+                print(f"Metering OFF gate FAILED: plain e2e at "
+                      f"{off:.2f}x baseline > {METERING_OFF_GATE}x "
+                      "(the disabled tap is dragging the fast path)")
+                rc = 1
+            else:
+                print(f"Metering OFF gate OK: plain e2e at {off:.2f}x "
+                      f"baseline <= {METERING_OFF_GATE}x")
+    return rc
+
+
 def update_baseline(current: dict, baseline: dict) -> None:
     baseline = dict(baseline)
     baseline["benchmarks"] = current
@@ -211,6 +285,9 @@ def update_baseline(current: dict, baseline: dict) -> None:
     speedup = sweep_speedup_factor(current)
     if speedup is not None:
         baseline["sweep_pool_speedup_factor"] = round(speedup, 3)
+    metering = metering_overhead_factor(current)
+    if metering is not None:
+        baseline["metering_overhead_factor"] = round(metering, 3)
     with open(BASELINE_PATH, "w") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -243,8 +320,12 @@ def main() -> int:
     if args.update:
         update_baseline(current, baseline)
         report_obs_overhead(current)
+        report_metering_overhead(current)
         report_sweep_speedup(current)
-        return gate_sweep_speedup(current)
+        rc = gate_sweep_speedup(current)
+        # The off-side compares against the baseline this run just
+        # rewrote, so only the on-side factor is meaningful here.
+        return max(rc, gate_metering(current, baseline, check_off=False))
     if not baseline.get("benchmarks"):
         print(f"No baseline at {BASELINE_PATH}; run with --update first.",
               file=sys.stderr)
@@ -253,9 +334,12 @@ def main() -> int:
           f"(tolerance {args.tolerance:.0%}):")
     rc = gate(current, baseline, args.tolerance, partial=partial)
     report_obs_overhead(current)
+    report_metering_overhead(current)
     report_sweep_speedup(current)
     rc = max(rc, gate_sweep_speedup(current))
+    rc = max(rc, gate_metering(current, baseline))
     record_sweep_speedup(current)
+    record_metering_overhead(current)
     return rc
 
 
