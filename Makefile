@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-update sweep-bench sweep-smoke chaos-smoke billing-smoke
+.PHONY: test bench bench-update sweep-bench sweep-smoke chaos-smoke billing-smoke fabric-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -52,6 +52,15 @@ chaos-smoke:
 		--duration 0.12 --check --warm-standby \
 		--cache-dir .chaos-smoke/cache
 	rm -rf .chaos-smoke
+
+# End-to-end smoke of the fabric engine: place a small fleet, run the
+# flows under study through the hybrid (fluid background + per-packet
+# foreground) AND through the pure-DES oracle, and fail unless the two
+# agree within the pinned 5% bound (--validate --check).
+fabric-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fabric \
+		--servers 4 --tenants 16 --study-flows 1 \
+		--duration 0.1 --validate --check
 
 # End-to-end smoke of the billing pipeline: meter the noisy-neighbor
 # workload on every level (clean + compartment-crash runs), fail

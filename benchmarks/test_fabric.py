@@ -1,0 +1,67 @@
+"""Fabric-engine benchmarks: the hybrid against its pure-DES oracle.
+
+The pair runs the same 8-server / 32-tenant fabric scenario twice --
+once with the background as fluid demand and only the study flows as
+packets, once with every stream as packets.  ``tool/bench.py`` turns
+the pair into ``fabric_hybrid_speedup_factor`` (recorded into
+``BENCH_fastpath.json`` on every run) and fails the run when the
+hybrid stops paying at least 5x, which is the whole reason it exists.
+
+Both sides assert the same delivered aggregate (within the pinned 5%
+agreement bound), so the speedup is never bought with drift.
+"""
+
+import pytest
+
+from repro.core import DeploymentSpec, SecurityLevel
+from repro.fabric.hybrid import FabricDeployment
+from repro.fabric.topology import FabricTopology
+from repro.fabric.workload import pick_probe_flows, synth_reqs
+
+DURATION = 0.1
+WARMUP = 0.025
+
+_EXPECTED_AGG = []
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """One placed fabric for the whole module: construction (placement
+    + calibration template) is shared setup, not part of either side's
+    measured time."""
+    spec = DeploymentSpec(level=SecurityLevel.LEVEL_2, num_tenants=4,
+                          num_vswitch_vms=2, nic_ports=1)
+    topology = FabricTopology(num_servers=8, servers_per_rack=16)
+    reqs = synth_reqs(32, seed=0)
+    flows = pick_probe_flows(reqs, 2, rate_pps=20_000.0)
+    return FabricDeployment(spec, topology, reqs, flows,
+                            placement="greedy")
+
+
+def _check(result) -> float:
+    agg = result.aggregate_delivered_pps
+    assert agg > 0
+    if not _EXPECTED_AGG:
+        _EXPECTED_AGG.append(agg)
+    assert agg == pytest.approx(_EXPECTED_AGG[0], rel=0.05)
+    return agg
+
+
+@pytest.mark.benchmark(group="fabric")
+def test_fabric_hybrid_8s32t(benchmark, deployment):
+    """Fluid background + per-packet study flows (the numerator's
+    denominator: the fast side of the speedup factor)."""
+    result = benchmark.pedantic(
+        lambda: deployment.run_hybrid(duration=DURATION, warmup=WARMUP),
+        rounds=2, iterations=1)
+    _check(result)
+
+
+@pytest.mark.benchmark(group="fabric")
+def test_fabric_pure_des_8s32t(benchmark, deployment):
+    """Every tenant instantiated, every background edge as packets
+    (the oracle, and the speedup baseline)."""
+    result = benchmark.pedantic(
+        lambda: deployment.run_pure_des(duration=DURATION, warmup=WARMUP),
+        rounds=2, iterations=1)
+    _check(result)

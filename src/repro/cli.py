@@ -276,6 +276,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rate_pps=args.rate_pps,
         seed=args.seed,
         faults=faults,
+        servers=tuple(args.servers),
+        placements=tuple(args.placements),
     )
     specs, skipped = build_grid(grid)
     for point in skipped:
@@ -309,6 +311,119 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             count = write_jsonl(handle, specs, results)
         print(f"wrote {count} points to {args.out}")
+    return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    """Place a tenant mix on a fabric and run the hybrid simulation."""
+    import time
+    from repro import obs
+    from repro.errors import ValidationError
+    from repro.fabric import (FabricDeployment, FabricTopology, POLICIES,
+                              place, placement_cost)
+    from repro.fabric.workload import (pick_probe_flows, pick_study_flows,
+                                       synth_reqs)
+    from repro.measure.reporting import Series, Table
+    from repro.units import GBPS
+
+    level = _LEVELS[args.level]
+    vms = args.vms if args.vms is not None else (
+        2 if level is SecurityLevel.LEVEL_2 else 1)
+    spec = DeploymentSpec(level=level, num_tenants=max(4, 2 * vms),
+                          num_vswitch_vms=vms, nic_ports=1)
+    topology = FabricTopology(
+        num_servers=args.servers,
+        servers_per_rack=args.servers_per_rack,
+        server_link_bps=args.link_gbps * GBPS,
+        tor_uplink_bps=args.tor_uplink_gbps * GBPS)
+    reqs = synth_reqs(args.tenants, args.seed,
+                      demand_pps=args.demand_pps,
+                      frame_bytes=args.frame_bytes,
+                      zone_size=args.zone_size)
+    if args.study_mode == "probes":
+        flows = pick_probe_flows(reqs, args.study_flows, args.demand_pps)
+    else:
+        flows = pick_study_flows(reqs, args.study_flows)
+
+    compartments = max(1, spec.num_compartments)
+    table = Table(title=f"placement of {args.tenants} tenants on "
+                        f"{args.servers} servers "
+                        f"({topology.num_racks} racks)",
+                  fmt=lambda v: f"{v:.4g}")
+    for policy in sorted(POLICIES):
+        try:
+            candidate = place(
+                reqs, topology, policy=policy,
+                compartments_per_server=compartments,
+                tenants_per_compartment=args.tenants_per_compartment)
+        except ValidationError as exc:
+            print(f"[skip] {policy}: {exc}", file=sys.stderr)
+            continue
+        cost = placement_cost(reqs, candidate, topology)
+        series = Series(label=policy + (" *" if policy == args.placement
+                                        else ""))
+        series.add("hop_cost", cost.hop_cost)
+        series.add("inter_server_pps", cost.inter_server_pps)
+        series.add("max_link_util", cost.max_link_utilization)
+        series.add("servers_used", len(candidate.servers_used()))
+        table.add_series(series)
+    print(table.render())
+
+    deployment = FabricDeployment(
+        spec, topology, reqs, flows, placement=args.placement,
+        tenants_per_compartment=args.tenants_per_compartment,
+        seed=args.seed)
+    warmup = args.duration / 4.0
+    start = time.perf_counter()
+    hybrid = deployment.run_hybrid(duration=args.duration, warmup=warmup)
+    hybrid_wall = time.perf_counter() - start
+    fabric_delta = obs.harvest_fabric(deployment.last_cloud.switches,
+                                      obs.REGISTRY)
+
+    flow_table = Table(title=f"{len(flows)} flows under study "
+                             f"({args.study_mode}; hybrid DES over "
+                             f"{hybrid.des_servers} of {args.servers} "
+                             f"servers)",
+                       fmt=lambda v: f"{v:.4g}")
+    for flow in flows:
+        series = Series(label=flow.name)
+        series.add("offered_pps", flow.rate_pps)
+        series.add("delivered_pps", hybrid.delivered_pps[flow.name])
+        series.add("fluid_pps", hybrid.predicted_pps.get(flow.name, 0.0))
+        flow_table.add_series(series)
+    print()
+    print(flow_table.render())
+
+    print()
+    print("hottest pools (background + study, fluid):")
+    for name, utilization in hybrid.bottlenecks(top=5):
+        print(f"  {name}: {utilization:.1%}")
+    print(f"fluid vs DES on study aggregate: "
+          f"{hybrid.fluid_vs_des_error:.2%} "
+          f"({hybrid.des_events} DES events, {hybrid_wall:.2f} s wall)")
+    forwarded = fabric_delta.get("forwarded", 0.0)
+    floods = fabric_delta.get("floods", 0.0)
+    if forwarded or floods:
+        print(f"fabric: {forwarded:.0f} forwarded, {floods:.0f} flooded")
+
+    error = hybrid.fluid_vs_des_error
+    if args.validate:
+        start = time.perf_counter()
+        pure = deployment.run_pure_des(duration=args.duration,
+                                       warmup=warmup)
+        pure_wall = time.perf_counter() - start
+        aggregate = pure.aggregate_delivered_pps
+        error = (abs(hybrid.aggregate_delivered_pps - aggregate)
+                 / aggregate if aggregate else 0.0)
+        speedup = pure_wall / max(hybrid_wall, 1e-9)
+        print(f"pure DES oracle: {aggregate:.0f} pps aggregate, "
+              f"{pure.des_events} events, {pure_wall:.2f} s wall")
+        print(f"hybrid vs pure DES: {error:.2%} on aggregate study pps, "
+              f"{speedup:.1f}x wall-clock speedup")
+    if args.check and error > args.tolerance:
+        print(f"fabric check FAILED: {error:.2%} disagreement exceeds "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -576,7 +691,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault campaign applied to every point")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-scenario wall-clock budget in pool workers")
+    p.add_argument("--servers", nargs="+", type=int, default=[],
+                   help="fabric fleet sizes to grid over "
+                        "(fabric.* workloads)")
+    p.add_argument("--placements", nargs="+", default=[],
+                   choices=["striping", "greedy", "local"],
+                   help="placement policies to grid over "
+                        "(fabric.* workloads)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "fabric",
+        help="place a tenant mix on a multi-rack fabric and run the "
+             "hybrid DES+fluid simulation over the flows under study")
+    p.add_argument("--servers", type=int, default=16)
+    p.add_argument("--servers-per-rack", type=int, default=16)
+    p.add_argument("--tenants", type=int, default=64,
+                   help="total tenants across the fabric (default: 64)")
+    p.add_argument("--level", choices=["l1", "l2"], default="l2")
+    p.add_argument("--vms", type=int, default=None,
+                   help="vswitch compartments per server (default: 2)")
+    p.add_argument("--placement", default="greedy",
+                   choices=["striping", "greedy", "local"])
+    p.add_argument("--study-flows", type=int, default=2,
+                   help="flows simulated per-packet (default: 2)")
+    p.add_argument("--study-mode", choices=["pairs", "probes"],
+                   default="probes",
+                   help="study the heaviest tenant pairs, or cross-group "
+                        "probe flows that exercise the fabric "
+                        "(default: probes)")
+    p.add_argument("--duration", type=float, default=0.2,
+                   help="DES window, simulated seconds (default: 0.2)")
+    p.add_argument("--frame-bytes", type=int, default=512)
+    p.add_argument("--demand-pps", type=float, default=20_000,
+                   help="base background demand per tenant group")
+    p.add_argument("--zone-size", type=int, default=8,
+                   help="tenants per security zone in the synthetic mix "
+                        "(default: 8, the per-compartment cap)")
+    p.add_argument("--link-gbps", type=float, default=10.0,
+                   help="server access-link bandwidth (default: 10)")
+    p.add_argument("--tor-uplink-gbps", type=float, default=40.0)
+    p.add_argument("--tenants-per-compartment", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--validate", action="store_true",
+                   help="also run the pure-DES oracle and report the "
+                        "hybrid's disagreement and speedup")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero when the fluid/DES disagreement "
+                        "exceeds --tolerance (CI smoke)")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="allowed relative disagreement (default: 0.05)")
+    p.set_defaults(func=cmd_fabric)
 
     p = sub.add_parser(
         "chaos",

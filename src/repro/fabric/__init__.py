@@ -1,0 +1,33 @@
+"""Fabric-scale simulation: topology, secure placement, hybrid DES+fluid.
+
+The tenant-count ceiling of per-packet simulation is the event rate:
+every background packet costs events whether anyone is studying it or
+not.  This package removes the ceiling by splitting a fabric run into
+a **fluid** background (the calibrated max-min solver over per-server
+and fabric-link capacity pools) and a **per-packet** foreground (a
+subset ``MultiServerCloud`` over just the servers the flows under
+study touch, capacity-clamped to the background's residuals), plus the
+placement optimizer that decides which servers host which tenants
+under security constraints.
+"""
+
+from repro.fabric.hybrid import FabricDeployment, HybridResult, StudyFlow
+from repro.fabric.placement import (POLICIES, Placement, PlacementError,
+                                    TenantReq, link_loads, place,
+                                    placement_cost, validate_placement)
+from repro.fabric.topology import FabricTopology
+
+__all__ = [
+    "FabricDeployment",
+    "FabricTopology",
+    "HybridResult",
+    "POLICIES",
+    "Placement",
+    "PlacementError",
+    "StudyFlow",
+    "TenantReq",
+    "link_loads",
+    "place",
+    "placement_cost",
+    "validate_placement",
+]

@@ -1,0 +1,251 @@
+"""The ``fabric.*`` workload family: fabric runs as cacheable scenarios.
+
+Two registry entries wrap the fabric package for the scenario engine
+(``repro run`` / ``repro sweep``), so fabric-scale questions -- how
+does placement policy change hop cost as the fleet grows, how well
+does the hybrid track pure DES -- get the engine's caching, pooling
+and JSONL plumbing for free:
+
+- ``fabric.placement``: analytic only.  Synthesizes the tenant mix,
+  runs the requested placement policy plus the uniform-striping
+  baseline, and reports the objective terms (no DES, so points are
+  cheap enough for wide grids);
+- ``fabric.hybrid``: places the mix, then runs the hybrid engine
+  (``mode=hybrid``, the default) or the pure-DES oracle (``mode=des``)
+  over the flows under study and reports delivered vs predicted pps
+  and the fluid bottlenecks.
+
+Both read their shape from ``spec.params``:
+
+``servers`` (default 8), ``servers_per_rack`` (16), ``link_gbps``
+(10), ``tor_uplink_gbps`` (40), ``tenants`` (total across the fabric;
+default ``deployment.num_tenants`` per server), ``zone_size`` (8),
+``placement`` ("greedy"), ``study_flows`` (2), ``study_mode``
+("pairs" | "probes"), ``study_pps``, ``mode`` ("hybrid" | "des"),
+``demand_pps`` (20000 base), ``frame_bytes`` (512),
+``tenants_per_compartment`` (8).
+
+The tenant mix is deterministic in ``spec.seed``: tenants form
+**contiguous security zones** of ``zone_size`` (default 8, matching
+the per-compartment cap so zones pack compartments tightly even at
+full fleet occupancy).  Inside each zone, tenants cluster into small
+communicating stars (a heavy head, light members); each zone head
+additionally talks to the head of a *distant* partner zone
+(``i <-> i + zones/2``).  Block striping keeps whole zones local when
+blocks align but scatters every partner edge across half the fabric
+-- exactly the traffic the placement optimizer reunites by parking
+partner zones in the two compartments of one server.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro import obs
+from repro.errors import ValidationError
+from repro.fabric.hybrid import FabricDeployment, StudyFlow
+from repro.fabric.placement import (TenantReq, place, placement_cost)
+from repro.fabric.topology import FabricTopology
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.rng import RngStreams
+from repro.units import GBPS
+
+
+#: Communication-cluster sizes inside one zone, cycled.
+_CLUSTER_SIZES = (2, 3, 3)
+
+
+def synth_reqs(num_tenants: int, seed: int, demand_pps: float = 20_000.0,
+               frame_bytes: int = 512,
+               zone_size: int = 8) -> List[TenantReq]:
+    """The deterministic tenant mix: contiguous zones (= placement
+    groups) of ``zone_size``, communicating stars inside each zone,
+    and a heavy edge between the heads of distant partner zones."""
+    if num_tenants < 2:
+        raise ValidationError("a fabric mix needs at least two tenants")
+    if zone_size < 2:
+        raise ValidationError("zones need at least two tenants")
+    rng = RngStreams(seed).stream("fabric.demands")
+    num_zones = math.ceil(num_tenants / zone_size)
+    half = num_zones // 2
+    # Distant partner-zone edges: zone i's head sends to the head of
+    # zone i + half, so striping scatters them across half the fabric.
+    cross_peer_of = {z: (z + half) * zone_size
+                     for z in range(half) if z + half < num_zones}
+    reqs: List[TenantReq] = []
+    for z in range(num_zones):
+        members = list(range(z * zone_size,
+                             min((z + 1) * zone_size, num_tenants)))
+        cursor, cluster = 0, 0
+        while cursor < len(members):
+            size = min(_CLUSTER_SIZES[cluster % len(_CLUSTER_SIZES)],
+                       len(members) - cursor)
+            head, rest = members[cursor], tuple(
+                members[cursor + 1:cursor + size])
+            peers = rest
+            if cursor == 0 and z in cross_peer_of:
+                peers = rest + (cross_peer_of[z],)
+            heavy = demand_pps * (0.5 + 3.0 * rng.random())
+            reqs.append(TenantReq(
+                head, demand_pps=heavy if peers else 0.0,
+                frame_bytes=frame_bytes, group=z, peers=peers))
+            for member in rest:
+                light = demand_pps * 0.1 * (0.5 + rng.random())
+                reqs.append(TenantReq(member, demand_pps=light,
+                                      frame_bytes=frame_bytes, group=z,
+                                      peers=(head,)))
+            cursor += size
+            cluster += 1
+    return reqs
+
+
+def pick_study_flows(reqs: Sequence[TenantReq],
+                     count: int) -> List[StudyFlow]:
+    """The ``count`` heaviest peer edges, promoted to per-packet study."""
+    edges = sorted(
+        ((req.demand_to(peer), req.tenant_id, peer)
+         for req in reqs for peer in req.peers if req.demand_to(peer) > 0),
+        key=lambda e: (-e[0], e[1], e[2]))
+    return [StudyFlow(src=src, dst=dst, rate_pps=pps,
+                      frame_bytes=next(r.frame_bytes for r in reqs
+                                       if r.tenant_id == src))
+            for pps, src, dst in edges[:count]]
+
+
+def pick_probe_flows(reqs: Sequence[TenantReq], count: int,
+                     rate_pps: float) -> List[StudyFlow]:
+    """``count`` probe flows between the heaviest tenants of *distinct*
+    groups.  Distinct groups land on distinct servers under any
+    anti-concentrating placement, so probes exercise the fabric links
+    -- the right study shape for measuring fabric behavior rather than
+    a single pair's datapath."""
+    heads = sorted(
+        (r for r in reqs if r.peers),
+        key=lambda r: (-r.demand_pps, r.tenant_id))
+    by_group: Dict[int, TenantReq] = {}
+    for req in heads:
+        by_group.setdefault(req.group, req)
+    ranked = sorted(by_group.values(),
+                    key=lambda r: (-r.demand_pps, r.tenant_id))
+    flows: List[StudyFlow] = []
+    for i in range(count):
+        if 2 * i + 1 >= len(ranked):
+            break
+        src, dst = ranked[2 * i], ranked[2 * i + 1]
+        flows.append(StudyFlow(src=src.tenant_id, dst=dst.tenant_id,
+                               rate_pps=rate_pps,
+                               frame_bytes=src.frame_bytes))
+    if not flows:
+        raise ValidationError(
+            "not enough distinct groups for probe study flows")
+    return flows
+
+
+def _fabric_shape(spec: ScenarioSpec):
+    num_servers = int(spec.param("servers", 8))
+    topology = FabricTopology(
+        num_servers=num_servers,
+        servers_per_rack=int(spec.param("servers_per_rack", 16)),
+        server_link_bps=float(spec.param("link_gbps", 10.0)) * GBPS,
+        tor_uplink_bps=float(spec.param("tor_uplink_gbps", 40.0)) * GBPS)
+    tenants = int(spec.param(
+        "tenants", spec.deployment.num_tenants * num_servers))
+    reqs = synth_reqs(tenants, spec.seed,
+                      demand_pps=float(spec.param("demand_pps", 20_000.0)),
+                      frame_bytes=int(spec.param("frame_bytes", 512)),
+                      zone_size=int(spec.param("zone_size", 8)))
+    return topology, reqs
+
+
+def _placement_values(reqs, placement, topology,
+                      policy: str, compartments: int,
+                      tenants_per_compartment: int) -> Dict[str, float]:
+    cost = placement_cost(reqs, placement, topology)
+    values = {
+        "hop_cost": cost.hop_cost,
+        "inter_server_pps": cost.inter_server_pps,
+        "max_link_utilization": cost.max_link_utilization,
+        "servers_used": float(len(placement.servers_used())),
+    }
+    if policy != "striping":
+        baseline = place(reqs, topology, policy="striping",
+                         compartments_per_server=compartments,
+                         tenants_per_compartment=tenants_per_compartment)
+        values["striping_hop_cost"] = placement_cost(
+            reqs, baseline, topology).hop_cost
+    else:
+        values["striping_hop_cost"] = cost.hop_cost
+    return values
+
+
+def measure_placement(spec: ScenarioSpec,
+                      calibration: Calibration = DEFAULT_CALIBRATION
+                      ) -> Dict[str, float]:
+    """Engine entry point for ``fabric.placement``: objective terms of
+    the requested policy vs the uniform-striping baseline."""
+    topology, reqs = _fabric_shape(spec)
+    policy = str(spec.param("placement", "greedy"))
+    compartments = max(1, spec.deployment.num_compartments)
+    per_compartment = int(spec.param("tenants_per_compartment", 8))
+    placement = place(reqs, topology, policy=policy,
+                      compartments_per_server=compartments,
+                      tenants_per_compartment=per_compartment)
+    return _placement_values(reqs, placement, topology, policy,
+                             compartments, per_compartment)
+
+
+def measure_scenario(spec: ScenarioSpec,
+                     calibration: Calibration = DEFAULT_CALIBRATION
+                     ) -> Dict[str, float]:
+    """Engine entry point for ``fabric.hybrid``: place the mix, run the
+    flows under study (hybrid by default, pure DES on ``mode=des``)."""
+    topology, reqs = _fabric_shape(spec)
+    study_mode = str(spec.param("study_mode", "pairs"))
+    count = int(spec.param("study_flows", 2))
+    if study_mode == "probes":
+        flows = pick_probe_flows(
+            reqs, count, float(spec.param("study_pps",
+                                          spec.param("demand_pps",
+                                                     20_000.0))))
+    elif study_mode == "pairs":
+        flows = pick_study_flows(reqs, count)
+    else:
+        raise ValidationError(f"unknown study_mode {study_mode!r} "
+                              "(expected 'pairs' or 'probes')")
+    policy = str(spec.param("placement", "greedy"))
+    per_compartment = int(spec.param("tenants_per_compartment", 8))
+    deployment = FabricDeployment(
+        spec.deployment, topology, reqs, flows,
+        placement=policy, calibration=calibration,
+        tenants_per_compartment=per_compartment, seed=spec.seed)
+
+    duration = spec.duration or 0.2
+    warmup = spec.warmup or duration / 4.0
+    mode = str(spec.param("mode", "hybrid"))
+    if mode == "des":
+        result = deployment.run_pure_des(duration=duration, warmup=warmup)
+    elif mode == "hybrid":
+        result = deployment.run_hybrid(duration=duration, warmup=warmup)
+    else:
+        raise ValidationError(f"unknown fabric mode {mode!r} "
+                              "(expected 'hybrid' or 'des')")
+    obs.harvest_fabric(deployment.last_cloud.switches, obs.REGISTRY)
+    for server_deployment in deployment.last_cloud.deployments:
+        obs.harvest(server_deployment, obs.REGISTRY)
+
+    values = _placement_values(
+        reqs, deployment.placement, topology, policy,
+        max(1, spec.deployment.num_compartments), per_compartment)
+    values.update({
+        "fg_delivered_pps": result.aggregate_delivered_pps,
+        "fluid_predicted_pps": result.aggregate_predicted_pps,
+        "fluid_vs_des_err": result.fluid_vs_des_error,
+        "bg_aggregate_pps": result.background.aggregate_pps,
+        "bottleneck_utilization": max(
+            result.fluid.utilization.values(), default=0.0),
+        "des_events": float(result.des_events),
+        "des_servers": float(result.des_servers),
+    })
+    return values

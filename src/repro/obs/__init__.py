@@ -113,6 +113,8 @@ def on_run_complete(harness, result) -> None:
 
 # Re-exported integration helpers (the documented public surface).
 harvest = _integrate.harvest
+harvest_fabric = _integrate.harvest_fabric
+fabric_gauges = _integrate.fabric_gauges
 cache_efficacy_line = _integrate.cache_efficacy_line
 deployment_metrics = _integrate.deployment_metrics
 
@@ -135,6 +137,8 @@ __all__ = [
     "on_deployment_built",
     "on_run_complete",
     "harvest",
+    "harvest_fabric",
+    "fabric_gauges",
     "cache_efficacy_line",
     "deployment_metrics",
 ]

@@ -127,6 +127,67 @@ def harvest(deployment, registry: MetricsRegistry) -> Dict[str, float]:
     return delta
 
 
+def harvest_fabric(switches, registry: MetricsRegistry) -> Dict[str, float]:
+    """Fold fabric-switch counter growth since the last harvest into
+    global fabric counters (the delta idiom of :func:`harvest`, applied
+    to :meth:`FabricSwitch.counters`); returns the summed delta."""
+    floods = registry.counter("fabric_floods_total",
+                              "fabric frames flooded", labels=("switch",))
+    forwarded = registry.counter("fabric_forwarded_total",
+                                 "fabric frames unicast-forwarded",
+                                 labels=("switch",))
+    port_tx = registry.counter("fabric_port_tx_total",
+                               "frames transmitted per fabric port",
+                               labels=("switch", "port"))
+    port_drops = registry.counter("fabric_port_tx_drops_total",
+                                  "frames dropped at linkless fabric ports",
+                                  labels=("switch", "port"))
+    summed: Dict[str, float] = {}
+    for switch in switches:
+        totals = switch.counters()
+        prev = getattr(switch, "_obs_harvested", None) or {}
+        delta = {k: v - prev.get(k, 0) for k, v in totals.items()}
+        switch._obs_harvested = totals
+        for key, value in delta.items():
+            summed[key] = summed.get(key, 0.0) + value
+            if not value:
+                continue
+            if key == "floods":
+                floods.labels(switch=switch.name).inc(value)
+            elif key == "forwarded":
+                forwarded.labels(switch=switch.name).inc(value)
+            elif key.endswith(".tx"):
+                port_tx.labels(switch=switch.name,
+                               port=key.removesuffix(".tx")).inc(value)
+            elif key.endswith(".tx_drops"):
+                port_drops.labels(
+                    switch=switch.name,
+                    port=key.removesuffix(".tx_drops")).inc(value)
+    return summed
+
+
+def fabric_gauges(switches, registry: MetricsRegistry) -> MetricsRegistry:
+    """One-shot per-port gauges of the fabric switches (the ``repro
+    obs``-style detailed pull, like :func:`deployment_metrics`)."""
+    rx = registry.gauge("fabric_port_rx", "frames received per fabric port",
+                        labels=("switch", "port"))
+    tx = registry.gauge("fabric_port_tx", "frames sent per fabric port",
+                        labels=("switch", "port"))
+    drops = registry.gauge("fabric_port_tx_drops",
+                           "frames dropped at linkless fabric ports",
+                           labels=("switch", "port"))
+    for switch in switches:
+        for key, value in switch.counters().items():
+            port, _, kind = key.partition(".")
+            if kind == "rx":
+                rx.labels(switch=switch.name, port=port).set(value)
+            elif kind == "tx":
+                tx.labels(switch=switch.name, port=port).set(value)
+            elif kind == "tx_drops":
+                drops.labels(switch=switch.name, port=port).set(value)
+    return registry
+
+
 def _get(snapshot: Dict[str, float], name: str, **labels) -> float:
     pairs = ",".join(f'{k}="{v}"' for k, v in labels.items())
     key = f"{name}{{{pairs}}}" if pairs else name

@@ -15,6 +15,19 @@ For the paper's symmetric scenarios (4 identical tenant flows) this
 reduces to ``rate = min_r capacity_r / sum_f demand_{f,r}``, but the
 general algorithm also handles asymmetric Level-2 splits (e.g. 3+1
 tenants across two vswitch VMs) and flows capped at their offered rate.
+
+Fabric scale rides on two additions:
+
+- the fill loop keeps *incremental* per-resource demand sums (updated
+  when flows freeze) instead of rescanning every active flow per
+  resource per round, so thousands of background-tenant flows over
+  hundreds of fabric-link pools solve in linear-ish time;
+- :class:`SolveResult` records every pool's capacity, so callers can
+  ask for **residual capacity** -- what is left of a link or a
+  compartment's cycles after background load -- and
+  :func:`residual_resources` / :func:`solve_with_background` turn a
+  background traffic matrix into the capacity pools a foreground DES
+  (the hybrid simulation's flows under study) should run against.
 """
 
 from __future__ import annotations
@@ -88,6 +101,9 @@ class SolveResult:
     rates_pps: Dict[str, float]
     bottleneck_of: Dict[str, str]
     utilization: Dict[str, float]
+    #: Resource name -> configured capacity (absent for pre-existing
+    #: serialized results; populated by every fresh solve).
+    capacity_of: Dict[str, float] = field(default_factory=dict)
 
     @property
     def aggregate_pps(self) -> float:
@@ -95,6 +111,28 @@ class SolveResult:
 
     def rate_of(self, flow_name: str) -> float:
         return self.rates_pps[flow_name]
+
+    # -- residual-capacity queries (the hybrid DES/fluid split) ----------
+
+    def used_of(self, resource_name: str) -> float:
+        """Units/second the solved rates consume on one pool."""
+        capacity = self.capacity_of[resource_name]
+        return self.utilization.get(resource_name, 0.0) * capacity
+
+    def residual_of(self, resource_name: str) -> float:
+        """Capacity left on one pool after the solved flows."""
+        return self.capacity_of[resource_name] - self.used_of(resource_name)
+
+    def residuals(self) -> Dict[str, float]:
+        """Residual capacity of every pool the solve touched."""
+        return {name: self.residual_of(name) for name in self.capacity_of}
+
+    def residual_fraction(self, resource_name: str) -> float:
+        """Residual as a fraction of configured capacity (1.0 = idle)."""
+        capacity = self.capacity_of[resource_name]
+        if capacity <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.utilization.get(resource_name, 0.0))
 
 
 def solve(paths: Sequence[FlowPath]) -> SolveResult:
@@ -121,10 +159,33 @@ def solve(paths: Sequence[FlowPath]) -> SolveResult:
             seen.add(demand.resource.name)
             resources.append(demand.resource)
 
+    # Per-flow demand totals and the incrementally maintained per-pool
+    # demand sums: a resource rescans nothing per round, it just loses a
+    # flow's contribution when that flow freezes.  At fabric scale (a
+    # thousand background flows over hundreds of link pools) this is the
+    # difference between linear-ish and quadratic-ish fill loops.
+    demand_of: Dict[str, Dict[str, float]] = {}
+    for path in paths:
+        totals: Dict[str, float] = {}
+        for demand in path.demands:
+            totals[demand.resource.name] = (
+                totals.get(demand.resource.name, 0.0)
+                + demand.units_per_packet)
+        demand_of[path.name] = totals
+    users_of: Dict[str, set] = {r.name: set() for r in resources}
+    demand_sum: Dict[str, float] = {r.name: 0.0 for r in resources}
+    for path in paths:
+        for rname, units in demand_of[path.name].items():
+            if units > 0:
+                users_of[rname].add(path.name)
+                demand_sum[rname] += path.weight * units
+
+    initial_sum = dict(demand_sum)
     rates: Dict[str, float] = {p.name: 0.0 for p in paths}
     frozen: Dict[str, str] = {}
     active = {p.name: p for p in paths}
     remaining = {r.name: r.capacity for r in resources}
+    unsaturated = [r.name for r in resources]
 
     while active:
         # How far can the common fill *level* rise (each flow's rate is
@@ -132,15 +193,13 @@ def solve(paths: Sequence[FlowPath]) -> SolveResult:
         # offered load?
         best_increment = math.inf
         limiting: Optional[str] = None
-        for resource in resources:
-            demand_sum = sum(p.weight * p.demand_on(resource)
-                             for p in active.values())
-            if demand_sum <= 0:
+        for rname in unsaturated:
+            if demand_sum[rname] <= 0:
                 continue
-            increment = remaining[resource.name] / demand_sum
+            increment = remaining[rname] / demand_sum[rname]
             if increment < best_increment:
                 best_increment = increment
-                limiting = resource.name
+                limiting = rname
         for path in active.values():
             headroom = (path.offered_pps - rates[path.name]) / path.weight
             if headroom < best_increment:
@@ -156,30 +215,30 @@ def solve(paths: Sequence[FlowPath]) -> SolveResult:
         # Apply the level increment.
         for path in active.values():
             rates[path.name] += path.weight * best_increment
-            for demand in path.demands:
-                remaining[demand.resource.name] -= (
-                    demand.units_per_packet * path.weight * best_increment
-                )
-        for rname in remaining:
+        for rname in unsaturated:
+            remaining[rname] -= demand_sum[rname] * best_increment
             if remaining[rname] < 0 and remaining[rname] > -1e-6:
                 remaining[rname] = 0.0
 
         # Freeze flows at saturated resources / offered caps.
         newly_frozen = []
+        if limiting is not None:
+            for name in users_of[limiting]:
+                if name in active:
+                    newly_frozen.append((name, limiting))
         for name, path in active.items():
-            if limiting is not None and path.demand_on(
-                next(r for r in resources if r.name == limiting)
-            ) > 0:
-                newly_frozen.append((name, limiting))
-            elif rates[name] >= path.offered_pps - 1e-9:
+            if rates[name] >= path.offered_pps - 1e-9:
                 newly_frozen.append((name, "offered-load"))
         # Saturation of *any* zero-remaining resource also freezes users.
-        for rname, left in remaining.items():
-            if left <= 1e-9:
-                resource = next(r for r in resources if r.name == rname)
-                for name, path in active.items():
-                    if path.demand_on(resource) > 0:
+        still_open = []
+        for rname in unsaturated:
+            if remaining[rname] <= 1e-9 and demand_sum[rname] > 0:
+                for name in users_of[rname]:
+                    if name in active:
                         newly_frozen.append((name, rname))
+            else:
+                still_open.append(rname)
+        unsaturated = still_open
         if not newly_frozen:
             # Numerical corner: freeze everything at the limiting cap.
             for name in list(active):
@@ -187,10 +246,89 @@ def solve(paths: Sequence[FlowPath]) -> SolveResult:
         for name, why in newly_frozen:
             if name in active:
                 frozen[name] = why
-                del active[name]
+                path = active.pop(name)
+                for rname, units in demand_of[name].items():
+                    demand_sum[rname] -= path.weight * units
+                    users_of[rname].discard(name)
+                    # Exact zero once the pool's last user freezes:
+                    # subtraction residue would otherwise read as a
+                    # near-infinite fill increment next round.
+                    if not users_of[rname]:
+                        demand_sum[rname] = 0.0
+                    elif demand_sum[rname] < 1e-9 * initial_sum[rname]:
+                        # Catastrophic cancellation: the running
+                        # difference is float residue, not the surviving
+                        # users' true demand (which may be far smaller).
+                        # Re-sum exactly over the remaining users.
+                        demand_sum[rname] = sum(
+                            active[u].weight * demand_of[u][rname]
+                            for u in users_of[rname])
 
     utilization = {}
+    capacity_of = {}
+    used_on: Dict[str, float] = {r.name: 0.0 for r in resources}
+    for path in paths:
+        for rname, units in demand_of[path.name].items():
+            used_on[rname] += units * rates[path.name]
     for resource in resources:
-        used = sum(p.demand_on(resource) * rates[p.name] for p in paths)
-        utilization[resource.name] = min(1.0, used / resource.capacity)
-    return SolveResult(rates_pps=rates, bottleneck_of=frozen, utilization=utilization)
+        utilization[resource.name] = min(
+            1.0, used_on[resource.name] / resource.capacity)
+        capacity_of[resource.name] = resource.capacity
+    return SolveResult(rates_pps=rates, bottleneck_of=frozen,
+                       utilization=utilization, capacity_of=capacity_of)
+
+
+#: Residual pools never drop below this fraction of their configured
+#: capacity: a fully saturated background still leaves the foreground a
+#: sliver (the DES needs positive link bandwidths / CPU shares, and a
+#: real scheduler never hands one class literally everything).
+RESIDUAL_FLOOR_FRACTION = 0.01
+
+
+def residual_resources(
+    background: Sequence[FlowPath],
+    floor_fraction: float = RESIDUAL_FLOOR_FRACTION,
+) -> Dict[str, Resource]:
+    """Solve the background and return each pool at its *residual* size.
+
+    This is the fluid half of the hybrid simulation: every background
+    tenant's traffic enters as a :class:`FlowPath`, the solver fills the
+    shared pools, and the returned :class:`Resource` objects -- same
+    names, reduced capacities -- are what the foreground (per-packet
+    DES) flows under study should be capacity-limited by.
+    """
+    if not 0 < floor_fraction <= 1:
+        raise ValueError("floor_fraction must be in (0, 1]")
+    result = solve(background)
+    residual: Dict[str, Resource] = {}
+    for name, capacity in result.capacity_of.items():
+        left = max(result.residual_of(name), floor_fraction * capacity)
+        residual[name] = Resource(name, left)
+    return residual
+
+
+def solve_with_background(
+    foreground: Sequence[FlowPath],
+    background: Sequence[FlowPath],
+) -> SolveResult:
+    """Max-min rates of the *foreground* flows with the background
+    present: one joint progressive fill (the correct max-min semantics
+    -- background flows freeze at their offered caps like any other),
+    with the result filtered down to the foreground flows.  Utilization
+    and capacities keep the full picture so bottleneck/residual queries
+    still see the background's share.
+    """
+    fg_names = {p.name for p in foreground}
+    overlap = fg_names & {p.name for p in background}
+    if overlap:
+        raise ValueError(
+            f"flows in both foreground and background: {sorted(overlap)}")
+    joint = solve(list(foreground) + list(background))
+    return SolveResult(
+        rates_pps={n: r for n, r in joint.rates_pps.items()
+                   if n in fg_names},
+        bottleneck_of={n: b for n, b in joint.bottleneck_of.items()
+                       if n in fg_names},
+        utilization=joint.utilization,
+        capacity_of=joint.capacity_of,
+    )

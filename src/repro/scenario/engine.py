@@ -75,6 +75,8 @@ SHIPPED_COUNTERS = (
     "fault_noop_operations_total",
     # All billing_* families (cpu/io/pcie/passes/drops/windows).
     "billing_",
+    # Fabric-switch flood/forward/per-port counters (fabric workloads).
+    "fabric_",
 )
 
 _KEY_RE = re.compile(r"^(?P<name>\w+)(?:\{(?P<labels>.*)\})?$")

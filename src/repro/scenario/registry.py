@@ -50,6 +50,8 @@ WORKLOADS: Dict[str, str] = {
     "ext.deployment-cost":
         "repro.experiments.deployment_cost:measure_scenario",
     "ext.chaos": "repro.faults.campaign:measure_scenario",
+    "fabric.placement": "repro.fabric.workload:measure_placement",
+    "fabric.hybrid": "repro.fabric.workload:measure_scenario",
     # Pool-backend self-tests: lethal only inside a worker process.
     "chaos.crashy": "repro.faults.diagnostics:measure_crashy",
     "chaos.sleepy": "repro.faults.diagnostics:measure_sleepy",

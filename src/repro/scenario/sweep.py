@@ -59,6 +59,11 @@ class SweepGrid:
     rate_pps: float = 10_000.0
     nic_ports: int = 2
     seed: int = 0
+    #: Fabric axes (``fabric.*`` workloads): fleet sizes and placement
+    #: policies to grid over.  Empty tuples (the default) add nothing
+    #: to the point params, so pre-fabric spec hashes are unchanged.
+    servers: Tuple[int, ...] = ()
+    placements: Tuple[str, ...] = ()
     #: Optional fault campaign applied to every point (``repro sweep
     #: --faults plan.json``); rides on each spec, so it keys the cache.
     faults: object = None
@@ -85,9 +90,12 @@ def build_grid(grid: SweepGrid
     specs: List[ScenarioSpec] = []
     skipped: List[SkippedPoint] = []
     seen = set()
-    for level, vms, tenants, datapath, mode, traffic in product(
+    is_fabric = grid.workload.startswith("fabric.")
+    for (level, vms, tenants, datapath, mode, traffic, servers,
+         placement) in product(
             grid.levels, grid.compartments, grid.tenants, grid.datapaths,
-            grid.modes, grid.traffic):
+            grid.modes, grid.traffic, grid.servers or (0,),
+            grid.placements or ("",)):
         if level not in LEVELS:
             raise ValidationError(f"unknown level {level!r}")
         if mode not in MODES:
@@ -97,9 +105,17 @@ def build_grid(grid: SweepGrid
         effective_vms = vms if level == "l2" else 1
         point = _point_id(level, effective_vms, tenants, datapath, mode,
                           traffic)
+        if servers:
+            point += f"/s{servers}"
+        if placement:
+            point += f"/{placement}"
         if point in seen:  # compartment axis collapsed for non-L2
             continue
         seen.add(point)
+        if is_fabric and level == "baseline":
+            skipped.append(SkippedPoint(
+                point, "fabric workloads need an MTS level (l1/l2)"))
+            continue
         try:
             deployment = DeploymentSpec(
                 level=LEVELS[level],
@@ -107,7 +123,9 @@ def build_grid(grid: SweepGrid
                 num_vswitch_vms=effective_vms,
                 resource_mode=MODES[mode],
                 user_space=(datapath == "dpdk"),
-                nic_ports=grid.nic_ports,
+                # The multi-server dataplane bonds each server to the
+                # fabric through one physical port.
+                nic_ports=1 if is_fabric else grid.nic_ports,
             )
             spec = ScenarioSpec(
                 workload=grid.workload,
@@ -118,10 +136,12 @@ def build_grid(grid: SweepGrid
                 seed=streams.fork(f"sweep:{point}").seed,
                 label=point,
                 eval_mode=mode,
-                params={
-                    "frame_bytes": grid.frame_bytes,
-                    "aggregate_pps": grid.rate_pps,
-                },
+                params=dict(
+                    {"frame_bytes": grid.frame_bytes,
+                     "aggregate_pps": grid.rate_pps},
+                    **({"servers": servers} if servers else {}),
+                    **({"placement": placement} if placement else {}),
+                ),
                 faults=grid.faults,
             )
         except ValidationError as exc:

@@ -86,3 +86,74 @@ class TestLatencyAgreement:
         result = h.run(duration=0.1, warmup=0.02)
         measured = sum(result.latencies) / len(result.latencies)
         assert measured == pytest.approx(analytic, rel=0.25)
+
+
+class TestHybridFabricAgreement:
+    """The hybrid fabric engine against its own pure-DES oracle.
+
+    Asymmetric, weight-skewed flows share one server's fabric uplink:
+    a heavy background stream loads the link, then two study flows
+    with 3:1 offered rates ride what remains.  The fluid solver hands
+    the foreground DES residual capacities; the pure-DES oracle runs
+    every stream as packets on the full link.  Their study-flow
+    aggregates must agree within the pinned 5% bound.
+    """
+
+    def _deployment(self):
+        from repro.core import DeploymentSpec
+        from repro.fabric.hybrid import FabricDeployment, StudyFlow
+        from repro.fabric.placement import Placement, TenantReq
+        from repro.fabric.topology import FabricTopology
+        from repro.units import GBPS
+
+        # 0.5 Gbps access links: at 512B frames (+20B wire overhead)
+        # one uplink carries ~117k pps, so the flows below load it to
+        # ~90% -- the link, not the CPU, is the shared bottleneck.
+        topo = FabricTopology(num_servers=4, servers_per_rack=16,
+                              server_link_bps=0.5 * GBPS)
+        link_pps = 0.5 * GBPS / ((512 + 20) * 8)
+        reqs = [
+            # background: t0 -> t4 consumes ~40% of uplink.s0
+            TenantReq(0, demand_pps=0.40 * link_pps, frame_bytes=512,
+                      group=0, peers=(4,)),
+            # study endpoints (zero fluid demand of their own)
+            TenantReq(1, frame_bytes=512, group=0),
+            TenantReq(2, frame_bytes=512, group=0),
+            TenantReq(3, frame_bytes=512, group=1),
+            TenantReq(4, frame_bytes=512, group=1),
+            TenantReq(5, frame_bytes=512, group=2),
+        ]
+        placement = Placement({0: (0, 0), 1: (0, 0), 2: (0, 0),
+                               3: (1, 0), 4: (1, 0), 5: (2, 0)})
+        # 3:1 weighted study flows, both leaving server 0
+        flows = [
+            StudyFlow(src=1, dst=3, rate_pps=0.375 * link_pps,
+                      frame_bytes=512),
+            StudyFlow(src=2, dst=5, rate_pps=0.125 * link_pps,
+                      frame_bytes=512),
+        ]
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2, num_tenants=4,
+                              num_vswitch_vms=2, nic_ports=1)
+        return FabricDeployment(spec, topo, reqs, flows,
+                                placement=placement)
+
+    def test_shared_link_is_loaded(self):
+        deployment = self._deployment()
+        fluid = deployment.solve_fluid()
+        assert fluid.utilization["uplink.s0"] > 0.8
+
+    def test_hybrid_within_5pct_of_pure_des(self):
+        deployment = self._deployment()
+        hybrid = deployment.run_hybrid(duration=0.1, warmup=0.025)
+        oracle = deployment.run_pure_des(duration=0.1, warmup=0.025)
+        assert oracle.aggregate_delivered_pps > 0
+        rel = abs(hybrid.aggregate_delivered_pps
+                  - oracle.aggregate_delivered_pps) \
+            / oracle.aggregate_delivered_pps
+        assert rel <= 0.05
+        # the asymmetry must survive both engines: the heavy study
+        # flow delivers ~3x the light one
+        for result in (hybrid, oracle):
+            heavy = result.delivered_pps["fg.t1-t3"]
+            light = result.delivered_pps["fg.t2-t5"]
+            assert heavy == pytest.approx(3 * light, rel=0.1)

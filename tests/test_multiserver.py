@@ -90,6 +90,24 @@ class TestCloudConstruction:
         for tenant in c.tenants.values():
             assert tenant.compartment_inout_mac in c.fabric._static
 
+    def test_inter_server_rules_collapsed_per_compartment(self):
+        """One dst-ip rule per (compartment, remote tenant): the old
+        per-(gateway-port, remote) programming installed a copy for
+        every local tenant, multiplying the table by the compartment's
+        occupancy for no behavioral gain."""
+        c = cloud()
+        # 2 servers x 2 compartments x 4 remote tenants
+        assert c.inter_server_rules == 16
+        per_port_shape = 2 * 2 * 4 * 4  # x4 local gateway ports
+        assert c.inter_server_rules < per_port_shape
+
+    def test_rules_scale_with_servers_not_occupancy(self):
+        small = cloud(servers=2)
+        big = cloud(servers=3)
+        # each server learns (servers-1) x 4 remotes per compartment
+        assert small.inter_server_rules == 2 * 2 * 4
+        assert big.inter_server_rules == 3 * 2 * 8
+
     def test_baseline_rejected(self):
         spec = DeploymentSpec(level=SecurityLevel.BASELINE, nic_ports=1)
         with pytest.raises(ConfigurationError):

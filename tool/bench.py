@@ -29,7 +29,8 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_fastpath.json")
 BENCH_TARGETS = ("benchmarks/test_microbench.py",
-                 "benchmarks/test_sweep.py")
+                 "benchmarks/test_sweep.py",
+                 "benchmarks/test_fabric.py")
 
 #: The observability-overhead pair: the e2e run with the tracer disabled
 #: (gated against the baseline like every benchmark) and the identical
@@ -50,6 +51,18 @@ SWEEP_POOL_BENCH = "test_sweep_pool_8pt"
 #: run fails; on smaller runners the factor is recorded but not gated.
 SWEEP_GATE_MIN = 1.5
 SWEEP_GATE_CORES = 4
+
+#: The fabric pair: the same 8-server scenario through the hybrid
+#: (fluid background, per-packet study flows) and through the pure-DES
+#: oracle.  Their ratio is the hybrid's speedup factor -- re-recorded
+#: into the baseline on every run and gated below.
+FABRIC_HYBRID_BENCH = "test_fabric_hybrid_8s32t"
+FABRIC_DES_BENCH = "test_fabric_pure_des_8s32t"
+
+#: Minimum pure-DES-vs-hybrid speedup.  The hybrid exists to make
+#: fabric-scale runs affordable; below 5x it is not earning its
+#: modeling complexity and the run fails.
+FABRIC_GATE_MIN = 5.0
 
 #: The metering pair: the plain e2e run (the tap exists but is
 #: disabled) and the identical run with a MeteringSession armed.
@@ -213,6 +226,51 @@ def gate_sweep_speedup(current: dict) -> int:
     return 0
 
 
+def fabric_speedup_factor(current: dict):
+    """min(pure DES) / min(hybrid) of the fabric pair, or None if
+    either benchmark is absent from the run."""
+    des = current.get(FABRIC_DES_BENCH)
+    hybrid = current.get(FABRIC_HYBRID_BENCH)
+    if not des or not hybrid or not hybrid["min_us"]:
+        return None
+    return des["min_us"] / hybrid["min_us"]
+
+
+def report_fabric_speedup(current: dict) -> None:
+    factor = fabric_speedup_factor(current)
+    if factor is None:
+        return
+    print(f"Fabric: hybrid speedup {factor:.2f}x over pure DES "
+          f"({current[FABRIC_DES_BENCH]['min_us'] / 1e6:.2f}s oracle vs "
+          f"{current[FABRIC_HYBRID_BENCH]['min_us'] / 1e6:.2f}s hybrid)")
+
+
+def record_fabric_speedup(current: dict) -> None:
+    """Persist the hybrid speedup factor into the baseline file on
+    every run, like the sweep and metering factors."""
+    factor = fabric_speedup_factor(current)
+    if factor is None or not os.path.exists(BASELINE_PATH):
+        return
+    baseline = load_baseline()
+    baseline["fabric_hybrid_speedup_factor"] = round(factor, 3)
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def gate_fabric_speedup(current: dict) -> int:
+    """Fail the run when the hybrid stops paying for itself."""
+    factor = fabric_speedup_factor(current)
+    if factor is None:
+        return 0
+    if factor < FABRIC_GATE_MIN:
+        print(f"Fabric speedup gate FAILED: {factor:.2f}x < "
+              f"{FABRIC_GATE_MIN}x over pure DES")
+        return 1
+    print(f"Fabric speedup gate OK: {factor:.2f}x >= {FABRIC_GATE_MIN}x")
+    return 0
+
+
 def metering_overhead_factor(current: dict):
     """min(metered) / min(plain) of the e2e pair, or None if either
     benchmark is absent from the run."""
@@ -285,6 +343,9 @@ def update_baseline(current: dict, baseline: dict) -> None:
     speedup = sweep_speedup_factor(current)
     if speedup is not None:
         baseline["sweep_pool_speedup_factor"] = round(speedup, 3)
+    fabric = fabric_speedup_factor(current)
+    if fabric is not None:
+        baseline["fabric_hybrid_speedup_factor"] = round(fabric, 3)
     metering = metering_overhead_factor(current)
     if metering is not None:
         baseline["metering_overhead_factor"] = round(metering, 3)
@@ -322,7 +383,9 @@ def main() -> int:
         report_obs_overhead(current)
         report_metering_overhead(current)
         report_sweep_speedup(current)
+        report_fabric_speedup(current)
         rc = gate_sweep_speedup(current)
+        rc = max(rc, gate_fabric_speedup(current))
         # The off-side compares against the baseline this run just
         # rewrote, so only the on-side factor is meaningful here.
         return max(rc, gate_metering(current, baseline, check_off=False))
@@ -336,10 +399,13 @@ def main() -> int:
     report_obs_overhead(current)
     report_metering_overhead(current)
     report_sweep_speedup(current)
+    report_fabric_speedup(current)
     rc = max(rc, gate_sweep_speedup(current))
+    rc = max(rc, gate_fabric_speedup(current))
     rc = max(rc, gate_metering(current, baseline))
     record_sweep_speedup(current)
     record_metering_overhead(current)
+    record_fabric_speedup(current)
     return rc
 
 
