@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-update sweep-bench sweep-smoke chaos-smoke billing-smoke fabric-smoke
+.PHONY: test bench bench-update bench-micro profile sweep-bench sweep-smoke chaos-smoke billing-smoke fabric-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -13,6 +13,24 @@ bench:
 # Re-record the baseline after an intentional performance change.
 bench-update:
 	$(PYTHON) tool/bench.py --update
+
+# Just the hot-loop micro-benchmarks (flow-table, VEB, frame copy,
+# megaflow): a fast early-failing regression gate for the lookup and
+# batching primitives, before the full suite runs.
+bench-micro:
+	$(PYTHON) tool/bench.py --targets \
+		benchmarks/test_microbench.py::test_flow_table_lookup_rate \
+		benchmarks/test_microbench.py::test_flow_table_emc_hit_rate \
+		benchmarks/test_microbench.py::test_veb_forwarding_rate \
+		benchmarks/test_microbench.py::test_frame_copy_rate \
+		benchmarks/test_microbench.py::test_megaflow_hit_rate
+
+# cProfile the Fig. 5 e2e scenario: top-20 cumulative for the batched
+# fast path and the per-frame oracle (the before/after tables in
+# EXPERIMENTS.md come from exactly these two commands).
+profile:
+	$(PYTHON) tool/profile.py
+	$(PYTHON) tool/profile.py --oracle
 
 # Just the sweep/backends benchmarks: records the warm-pool speedup
 # factor into BENCH_fastpath.json and gates on it (>= 1.5x required

@@ -36,13 +36,14 @@ class NullMeter:
 
     enabled = False
 
-    def cpu(self, tenant: Optional[int], seconds: float) -> None:
+    def cpu(self, tenant: Optional[int], seconds: float,
+            n: int = 1) -> None:
         pass
 
     def pcie(self, tenant: Optional[int], nbytes: int) -> None:
         pass
 
-    def drop(self, tenant: Optional[int], reason: str) -> None:
+    def drop(self, tenant: Optional[int], reason: str, n: int = 1) -> None:
         pass
 
     def fault_drop(self, tenant: Optional[int]) -> None:
@@ -77,18 +78,21 @@ class TenantMeter:
     def _key(tenant: Optional[int]) -> int:
         return UNATTRIBUTED if tenant is None else tenant
 
-    def cpu(self, tenant: Optional[int], seconds: float) -> None:
+    def cpu(self, tenant: Optional[int], seconds: float,
+            n: int = 1) -> None:
+        """Record ``seconds`` of service time across ``n`` passes (the
+        batched tap accumulates a whole bucket in one call)."""
         t = UNATTRIBUTED if tenant is None else tenant
         self.cpu_seconds[t] = self.cpu_seconds.get(t, 0.0) + seconds
-        self.passes[t] = self.passes.get(t, 0) + 1
+        self.passes[t] = self.passes.get(t, 0) + n
 
     def pcie(self, tenant: Optional[int], nbytes: int) -> None:
         t = UNATTRIBUTED if tenant is None else tenant
         self.pcie_bytes[t] = self.pcie_bytes.get(t, 0) + nbytes
 
-    def drop(self, tenant: Optional[int], reason: str) -> None:
+    def drop(self, tenant: Optional[int], reason: str, n: int = 1) -> None:
         key = (UNATTRIBUTED if tenant is None else tenant, reason)
-        self.drops[key] = self.drops.get(key, 0) + 1
+        self.drops[key] = self.drops.get(key, 0) + n
 
     def fault_drop(self, tenant: Optional[int]) -> None:
         t = UNATTRIBUTED if tenant is None else tenant

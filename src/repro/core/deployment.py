@@ -51,6 +51,12 @@ from repro.vswitch.megaflow import (
 )
 from repro.vswitch.ovs import OvsBridge
 
+_INF = float("inf")
+
+#: Negative route-cache entry: fusing was tried and is impossible for
+#: this plan until the next config-epoch bump.
+_NO_FUSE = object()
+
 
 @dataclass
 class Deployment:
@@ -134,6 +140,331 @@ class Deployment:
         for bridge in self.bridges:
             if bridge.model is not None:
                 bridge.model.offered_rate_hint_pps = pps
+
+    # -- batched fast path ----------------------------------------------------
+
+    def supports_batched_fastpath(self) -> bool:
+        """Whether the mediation chain can run struct-of-arrays batches.
+
+        Only timed bridges (``set_compute`` done) gain anything; the
+        per-member fallback in :meth:`~repro.net.interfaces.Port.receive_batch`
+        keeps unconverted hops exact, so any deployment *could* run
+        batched -- but without stations the bridge would fall back
+        per-frame anyway, so report capability honestly.
+        """
+        return any(bridge.model is not None and bridge.compute_shares
+                   for bridge in self.bridges)
+
+    def enable_batched_fastpath(self) -> None:
+        """Swap every timed bridge onto :class:`BatchFairStation` cores.
+
+        Each bridge gets a *margin resolver*: per forwarding plan, a
+        lower bound on the transit time from bridge egress to the next
+        timestamp-sensitive point in the chain (see
+        :meth:`_plan_flush_margin`).  Fabric-bound plans resolve to
+        ``inf`` -- their sub-batches flush once per burst -- which is
+        what makes the batched path pay at saturation.
+        """
+        self._margin_cache = {}
+        self._route_cache = {}
+        self._margin_epoch = None
+        # Fused routes assume the chain's wiring is stable for the run;
+        # a pending fault plan (bridge crashes/restarts) breaks that, so
+        # such runs keep the margin-flush path everywhere.
+        from repro.faults import runtime as _chaos
+        self._allow_fused = not _chaos.chaos_pending()
+        # Bridge egress pair -> (nic port, VF) so the resolver can walk
+        # the same VEB the flushed frames will traverse.
+        pair_vf: Dict[int, tuple] = {}
+        nic = self.server.nic
+        for table in (self.inout_vf, self.gw_vf, self.tenant_vf):
+            for (_, port_index), vf in table.items():
+                pair_vf[id(vf.port)] = (nic.port(port_index), vf)
+        self._pair_vf = pair_vf
+        timed = [bridge for bridge in self.bridges
+                 if bridge.model is not None and bridge.compute_shares]
+        self._bridge_pair_ids = {
+            id(port.pair) for bridge in timed for port in bridge.ports()}
+        self._bridge_port_by_pair = {
+            id(port.pair): (bridge, port)
+            for bridge in timed for port in bridge.ports()}
+        # Tenant-forwarder rx pair -> (app, port index): route discovery
+        # follows the chain through the adapted l2fwd analytically.
+        l2fwd_by_pair: Dict[int, tuple] = {}
+        for vm in self.tenant_vms:
+            if vm is None:
+                continue
+            app = vm.apps.get("l2fwd")
+            if app is None:
+                continue
+            for index, pair in app._ports.items():
+                l2fwd_by_pair[id(pair)] = (app, index)
+        self._l2fwd_by_pair = l2fwd_by_pair
+        for bridge in timed:
+            bridge.set_batch_stations(
+                margin_fn=lambda plan, b=bridge:
+                    self._resolve_plan(b, plan))
+
+    def drain_batches(self) -> None:
+        """Flush sub-batches still held by batch stations.
+
+        Scheduled by the harness once traffic has stopped (mid-cooldown)
+        so unbounded-margin groups whose bursts never completed -- tail
+        members still pending when the generator stopped -- reach the
+        sink before the simulation ends.
+        """
+        for bridge in self.bridges:
+            for station in bridge._stations:
+                drain = getattr(station, "drain", None)
+                if drain is not None:
+                    drain()
+
+    def _plan_flush_margin(self, bridge: OvsBridge, plan) -> float:
+        """Flush-lateness bound for one forwarding plan (see
+        :class:`~repro.sim.resources.BatchFairStation`).
+
+        Walks each egress VF's VEB decision for the plan's (already
+        rewritten) exemplar header and takes the minimum transit floor
+        over every reachable admission point:
+
+        - fabric uplink: the remaining chain (wire occupancy, taps,
+          sink) is analytic in member timestamps -- no bound (``inf``);
+        - another mediation-bridge VF, or any receiver without a batch
+          handler (whose fallback schedules per-member events at their
+          timestamps): two PCIe DMAs + the VEB hop;
+        - a batched tenant app that may forward back into the chain:
+          four DMAs + two VEB hops (its re-entry into the NIC is the
+          earliest following admission point);
+        - a rate-limited egress VF: 0 -- the policer is stateful in
+          per-frame arrival times, so flush at every finish wake.
+
+        Results are memoized per (bridge, header, egress set) and
+        revalidated against the VEB/policer config epochs.
+        """
+        from repro.sriov.nic import VEB_LATENCY
+        from repro.sriov.pcie import DMA_LATENCY
+        from repro.sriov.switch import UPLINK, VebSwitch
+        self._check_epochs()
+        frame = plan.frame
+        key = (id(bridge), plan.in_port, frame.src_mac, frame.dst_mac,
+               frame.vlan, tuple(plan.out_ports))
+        cached = self._margin_cache.get(key)
+        if cached is not None:
+            return cached
+        bridge_hop = 2 * DMA_LATENCY + VEB_LATENCY
+        tenant_hop = 4 * DMA_LATENCY + 2 * VEB_LATENCY
+        margin = float("inf")
+        for port_no in plan.out_ports:
+            port = bridge._ports.get(port_no)
+            if port is None:
+                continue
+            entry = self._pair_vf.get(id(port.pair))
+            if entry is None:
+                # Egress we cannot classify (e.g. a vhost path): no
+                # slack assumed, flush at every wake.
+                margin = 0.0
+                break
+            nic_port, vf = entry
+            if nic_port._buckets.get(vf.name) is not None:
+                margin = 0.0
+                break
+            dests = nic_port.veb.peek_destinations(
+                vf.name, VebSwitch.domain_of(vf), frame)
+            for dest in dests:
+                if dest == UPLINK:
+                    continue
+                func = nic_port._functions.get(dest)
+                if func is None:
+                    continue
+                if (id(func.port) in self._bridge_pair_ids
+                        or func.port.rx._batch_handler is None
+                        or nic_port._buckets.get(dest) is not None):
+                    margin = min(margin, bridge_hop)
+                else:
+                    margin = min(margin, tenant_hop)
+        self._margin_cache[key] = margin
+        return margin
+
+    def _check_epochs(self) -> None:
+        """Invalidate cached margins/routes when NIC config changed."""
+        nic = self.server.nic
+        epoch = (tuple((p.veb.epoch, p.policer_epoch) for p in nic.ports),
+                 nic.filters.epoch)
+        if epoch != self._margin_epoch:
+            self._margin_cache.clear()
+            self._route_cache.clear()
+            self._margin_epoch = epoch
+
+    def _resolve_plan(self, bridge: OvsBridge, plan):
+        """Margin resolver with route fusing (the bridge's margin_fn).
+
+        Returns either a flush-lateness bound (float, see
+        :meth:`_plan_flush_margin`) or a
+        :class:`~repro.vswitch.ovs._FusedRoute` when the plan's egress
+        leads deterministically to another batch station: the bridge
+        then pre-registers members downstream on commit instead of
+        margin-flushing tiny sub-batches through the physical chain.
+        """
+        margin = self._plan_flush_margin(bridge, plan)
+        if margin == _INF or not self._allow_fused:
+            return margin
+        frame = plan.frame
+        key = (id(bridge), plan.in_port, frame.src_mac, frame.dst_mac,
+               frame.vlan, tuple(plan.out_ports))
+        route = self._route_cache.get(key)
+        if route is not None:
+            if route is _NO_FUSE:
+                return margin
+            bridge2 = route.bridge
+            if (bridge2._plan_cache.get(route.template_key)
+                    is route.template
+                    and len(bridge2._ports) == route.num_ports
+                    and (route.flow_key is None
+                         or route.flow_key in bridge2.cache._entries)
+                    and (route.app is None
+                         or route.app.epoch == route.app_epoch)):
+                return route
+            del self._route_cache[key]
+        route, retryable = self._discover_route(bridge, plan)
+        if route is not None:
+            self._route_cache[key] = route
+            return route
+        if not retryable:
+            # A cold downstream template/flow cache warms up within the
+            # flow's first bursts; every other failure is config-stable
+            # until an epoch bump, so the negative result is cacheable.
+            self._route_cache[key] = _NO_FUSE
+        return margin
+
+    def _discover_route(self, bridge: OvsBridge, plan):
+        """Walk a plan's egress chain; build a fused route if it is
+        deterministic all the way to the next batch station.
+
+        Requirements, checked leg by leg (NIC VF ingress -> VEB -> PCIe
+        -> receiver, with at most one jittered tenant forwarder):
+        single egress; every hop batch-capable; no policer buckets; NIC
+        filters/spoof-check pass; VEB decision is a single non-uplink
+        function; the terminal bridge holds a warm, non-dropping,
+        single-egress plan template (and megaflow entry) for the
+        arriving header, and that template's own egress resolves to an
+        unbounded margin (fabric-bound -- so the downstream station is
+        the *last* timestamp-sensitive point).  Returns
+        ``(route | None, retryable)``.
+        """
+        from repro.sim.hashjit import HashJitter
+        from repro.sriov.filters import FilterAction, SpoofCheck
+        from repro.sriov.nic import VEB_LATENCY
+        from repro.sriov.pcie import DMA_LATENCY
+        from repro.sriov.switch import UPLINK, VebSwitch
+        from repro.vswitch.megaflow import emc_signature, flow_signature
+        from repro.vswitch.ovs import _APPLY, _ForwardPlan, _FusedRoute
+        if len(plan.out_ports) != 1:
+            return None, False
+        out_port = bridge._ports.get(plan.out_ports[0])
+        if out_port is None:
+            return None, False
+        nic = self.server.nic
+        filters = nic.filters
+        bw = nic.pcie.effective_bandwidth_bps()
+        frame = plan.frame.replica()
+        delay = 0.0
+        app = None
+        pair = out_port.pair
+        target = None
+        for _hop in range(4):
+            if pair._tx_batch is None:
+                return None, False
+            entry = self._pair_vf.get(id(pair))
+            if entry is None:
+                return None, False
+            nic_port, vf = entry
+            if vf.mac is None or not SpoofCheck.permits(vf, frame):
+                return None, False
+            if nic_port._buckets.get(vf.name) is not None:
+                return None, False
+            if filters.peek(vf, frame) is not FilterAction.ALLOW:
+                return None, False
+            delay += (DMA_LATENCY + frame.wire_size() * 8.0 / bw
+                      + VEB_LATENCY)
+            dests = nic_port.veb.peek_destinations(
+                vf.name, VebSwitch.domain_of(vf), frame)
+            if len(dests) != 1 or dests[0] == UPLINK:
+                return None, False
+            func = nic_port._functions.get(dests[0])
+            if func is None or func.port.rx._batch_handler is None:
+                return None, False
+            if frame.vlan is not None:
+                frame.pop_vlan()
+            delay += DMA_LATENCY + frame.wire_size() * 8.0 / bw
+            target = self._bridge_port_by_pair.get(id(func.port))
+            if target is not None:
+                break
+            linfo = self._l2fwd_by_pair.get(id(func.port))
+            if linfo is None or app is not None:
+                return None, False
+            app, in_index = linfo
+            route_l2 = app._routes.get(in_index)
+            if route_l2 is None:
+                return None, False
+            from repro.vswitch.l2fwd import L2FWD_CYCLES
+            delay += L2FWD_CYCLES / app.freq_hz
+            frame.dst_mac = route_l2.new_dst_mac
+            if route_l2.new_src_mac is not None:
+                frame.src_mac = route_l2.new_src_mac
+            pair = app._ports[route_l2.out_index]
+        if target is None:
+            return None, False
+        bridge2, port2 = target
+        if not bridge2._batch_mode or not bridge2._stations:
+            return None, False
+        key2 = emc_signature(frame, port2.port_no)
+        template = bridge2._plan_cache.get(key2)
+        if template is None:
+            return None, True  # warms up with the flow's first bursts
+        if template.dropped or len(template.out_ports) != 1:
+            return None, False
+        frame3 = frame.replica()
+        for op, action, _rule in template.steps:
+            if op == _APPLY:
+                action.apply(frame3)
+        flow_key = None
+        if bridge2.cache is not None:
+            # The microflow lookup happens post-replay, so the entry is
+            # keyed on the pass's *output* header.
+            flow_key = flow_signature(frame3, port2.port_no)
+            if flow_key not in bridge2.cache._entries:
+                return None, True
+        plan2 = _ForwardPlan(frame=frame3, in_port=port2.port_no,
+                             out_ports=list(template.out_ports),
+                             rewrites=template.rewrites)
+        if self._plan_flush_margin(bridge2, plan2) != _INF:
+            return None, False
+        index2 = frame.flow_id % len(bridge2._stations)
+        route = _FusedRoute()
+        route.delay_const = delay
+        route.drain_interval = app.drain_interval if app is not None else 0.0
+        route.drain_unit = app._jitter.unit if app is not None else None
+        route.drain_site = HashJitter.SITE_L2FWD_DRAIN
+        route.app = app
+        route.app_epoch = app.epoch if app is not None else 0
+        route.bridge = bridge2
+        route.in_port_no = port2.port_no
+        route.template = template
+        route.template_key = key2
+        route.flow_key = flow_key
+        route.out_ports = list(template.out_ports)
+        route.model = bridge2.model
+        route.share = bridge2._shares[index2]
+        route.num_queues = len(bridge2._stations)
+        route.num_ports = len(bridge2._ports)
+        route.jitter = bridge2._jitter
+        route.key_or = port2.port_no & 63
+        route.station = bridge2._stations[index2]
+        route.cycles = bridge2.model.pass_cycles(
+            port2.port_class,
+            bridge2._ports[template.out_ports[0]].port_class,
+            template.rewrites, num_ports=len(bridge2._ports))
+        return route, False
 
     def resource_report(self) -> ResourceReport:
         return measure_resources(self.server, self.spec.label)

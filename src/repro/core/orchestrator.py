@@ -78,16 +78,30 @@ def crash_bridge(bridge) -> dict:
     if not hasattr(bridge, "fault_blackhole_drops"):
         bridge.fault_blackhole_drops = 0
     saved = {}
+    saved_batch = {}
     for port in bridge.ports():
         saved[port.port_no] = port
+        saved_batch[port.port_no] = port.pair.rx._batch_handler
 
         def _blackhole(frame, _bridge=bridge) -> None:
             _bridge.fault_blackhole_drops += 1
             if _billing.METER.enabled:
                 _billing.METER.fault_drop(getattr(frame, "tenant_id", None))
 
+        def _blackhole_batch(batch, _bridge=bridge) -> None:
+            n = len(batch)
+            _bridge.fault_blackhole_drops += n
+            if _billing.METER.enabled:
+                tenant = getattr(batch.frame, "tenant_id", None)
+                for _ in range(n):
+                    _billing.METER.fault_drop(tenant)
+
         port.pair.rx.connect(_blackhole)
+        # The batched fast path delivers through the batch handler when
+        # one is connected; a dead ring swallows those frames too.
+        port.pair.rx.connect_batch(_blackhole_batch)
     bridge._fault_saved = saved
+    bridge._fault_saved_batch = saved_batch
     return saved
 
 
@@ -106,10 +120,13 @@ def restore_bridge(bridge, saved: Optional[dict] = None) -> None:
         if not current:
             _fault_noop("restore")
             return
+    saved_batch = getattr(bridge, "_fault_saved_batch", None) or {}
     for port in current.values():
         port.pair.rx.connect(
             lambda frame, p=port: bridge._ingress(p, frame))
+        port.pair.rx._batch_handler = saved_batch.get(port.port_no)
     bridge._fault_saved = None
+    bridge._fault_saved_batch = None
 
 
 @dataclass

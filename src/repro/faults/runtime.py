@@ -66,6 +66,15 @@ def active_plan():
     return _active.plan
 
 
+def chaos_pending() -> bool:
+    """Whether the in-flight scenario carries faults at all -- claimed
+    or not.  Fast-path route fusing keys off this: fused routes assume
+    the mediation chain's wiring is stable for the run, which a fault
+    plan (bridge crashes, restarts) violates."""
+    return (_active is not None and _active.plan is not None
+            and bool(_active.plan.faults))
+
+
 def claim() -> Tuple[Optional[object], Optional[int]]:
     """Take ownership of the context (chaos-aware workloads): the
     harness hook will no longer auto-attach.  Returns ``(plan, seed)``,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.net.packet import Frame
+from repro.net.packet import Frame, FrameBatch
 
 
 class Port:
@@ -18,12 +18,17 @@ class Port:
     def __init__(self, name: str, handler: Optional[Callable[[Frame], None]] = None):
         self.name = name
         self._handler = handler
+        self._batch_handler: Optional[Callable[[FrameBatch], None]] = None
         self.rx_frames = 0
         self.rx_bytes = 0
 
     def connect(self, handler: Callable[[Frame], None]) -> None:
         """Attach (or replace) the receive handler."""
         self._handler = handler
+
+    def connect_batch(self, handler: Callable[[FrameBatch], None]) -> None:
+        """Attach a batch receive handler (batched fast path)."""
+        self._batch_handler = handler
 
     @property
     def connected(self) -> bool:
@@ -35,6 +40,25 @@ class Port:
         self.rx_bytes += frame.wire_size()
         if self._handler is not None:
             self._handler(frame)
+
+    def receive_batch(self, batch: FrameBatch, sim) -> None:
+        """Deliver a batch into this port.
+
+        Consumers without a batch handler get the exact per-frame
+        behaviour back: each member materializes and is delivered by
+        its own event at its own timestamp (the batch contract
+        guarantees ``sim.now <= batch.ts[0]``), so unconverted
+        components never see batches at all.
+        """
+        handler = self._batch_handler
+        if handler is not None:
+            n = len(batch)
+            self.rx_frames += n
+            self.rx_bytes += batch.frame.wire_size() * n
+            handler(batch)
+            return
+        for i, t in enumerate(batch.ts):
+            sim.schedule(t, self.receive, batch.frame_at(i))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Port {self.name} rx={self.rx_frames}>"
@@ -66,11 +90,16 @@ class PortPair:
         self.name = name
         self.rx = Port(f"{name}.rx")
         self._tx: Optional[Callable[[Frame], None]] = None
+        self._tx_batch: Optional[Callable[[FrameBatch], None]] = None
         self.tx_frames = 0
         self.tx_bytes = 0
 
     def attach_tx(self, handler: Callable[[Frame], None]) -> None:
         self._tx = handler
+
+    def attach_tx_batch(self, handler: Callable[[FrameBatch], None]) -> None:
+        """Attach a batch transmit handler (batched fast path)."""
+        self._tx_batch = handler
 
     def transmit(self, frame: Frame) -> None:
         """Send a frame out of this attachment point."""
@@ -79,3 +108,20 @@ class PortPair:
         if self._tx is None:
             raise RuntimeError(f"port pair {self.name} has no tx attached")
         self._tx(frame)
+
+    def transmit_batch(self, batch: FrameBatch, sim) -> None:
+        """Send a batch out of this attachment point.
+
+        Falls back to one per-member event at each member's timestamp
+        when no batch handler is attached (see
+        :meth:`Port.receive_batch` for the contract).
+        """
+        handler = self._tx_batch
+        if handler is not None:
+            n = len(batch)
+            self.tx_frames += n
+            self.tx_bytes += batch.frame.wire_size() * n
+            handler(batch)
+            return
+        for i, t in enumerate(batch.ts):
+            sim.schedule(t, self.transmit, batch.frame_at(i))

@@ -19,6 +19,25 @@ from repro.net.addresses import IPv4Address, MacAddress
 
 _frame_ids = itertools.count()
 
+
+def next_frame_id() -> int:
+    """Allocate the next frame id from the shared counter."""
+    return next(_frame_ids)
+
+
+def reset_frame_ids() -> None:
+    """Restart frame-id allocation at zero.
+
+    Called at the start of every harnessed run so frame ids are a pure
+    function of the run itself, not of how many frames earlier runs in
+    the same process happened to create.  Per-frame jitter draws are
+    keyed by frame id, so this is what keeps runs bit-identical across
+    the sequential and process-pool sweep backends.
+    """
+    global _frame_ids
+    _frame_ids = itertools.count()
+
+
 #: 802.1Q tag size added on the wire when a frame is tagged.
 VLAN_TAG_BYTES = 4
 
@@ -39,7 +58,7 @@ class IpProto(IntEnum):
     UDP = 17
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One Ethernet frame in flight.
 
@@ -133,6 +152,34 @@ class Frame:
             tenant_id=self.tenant_id,
         )
 
+    def replica(self) -> "Frame":
+        """Copy that *keeps* the frame id (fresh trace/timings).
+
+        Used by the batched fast path when a batch forks: every
+        sub-batch needs its own mutable exemplar header, but members
+        keep their identity.  Unlike :meth:`copy` this must not draw
+        from the frame-id counter -- the oracle path never forks, and
+        the two paths have to allocate ids identically.
+        """
+        return Frame(
+            src_mac=self.src_mac,
+            dst_mac=self.dst_mac,
+            ethertype=self.ethertype,
+            vlan=self.vlan,
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            proto=self.proto,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            tunnel_id=self.tunnel_id,
+            decap_vni=self.decap_vni,
+            size_bytes=self.size_bytes,
+            created_at=self.created_at,
+            flow_id=self.flow_id,
+            tenant_id=self.tenant_id,
+            frame_id=self.frame_id,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         vlan = f" vlan={self.vlan}" if self.vlan is not None else ""
         ips = ""
@@ -142,3 +189,101 @@ class Frame:
             f"<Frame #{self.frame_id} {self.src_mac}->{self.dst_mac}{vlan}"
             f"{ips} {self.size_bytes}B>"
         )
+
+
+class FrameBatch:
+    """A burst of same-flow frames in struct-of-arrays form.
+
+    One mutable *exemplar* :class:`Frame` carries the headers every
+    member shares (same flow => same headers; VLAN pushes/pops and MAC
+    rewrites apply to the exemplar once instead of N times), plus
+    parallel arrays for the only things that differ per member:
+
+    - ``frame_ids`` -- member identities (latency pairing, jitter keys),
+    - ``ts`` -- where each member *is* in time: mutated in place as the
+      batch advances through analytic hops,
+    - ``created_at`` -- original emission times (immutable).
+
+    ``ts`` is kept sorted ascending; hops with per-member jitter re-sort
+    via :meth:`advance_per_member`.  The batch contract throughout the
+    chain: an event handling a batch fires at a time <= ``ts[0]``.
+
+    ``fused_sink``, when set, marks the batch as an *accounting replay*:
+    its members' downstream admissions were already registered
+    analytically by a fused route, and the receiving bridge must replay
+    counters/metering for the traversal and hand the headers to the sink
+    instead of dispatching again.
+    """
+
+    __slots__ = ("frame", "frame_ids", "ts", "created_at", "fused_sink")
+
+    def __init__(self, frame: Frame, frame_ids: List[int], ts: List[float],
+                 created_at: Optional[List[float]] = None) -> None:
+        self.frame = frame
+        self.frame_ids = frame_ids
+        self.ts = ts
+        self.created_at = created_at if created_at is not None else list(ts)
+        self.fused_sink = None
+
+    def __len__(self) -> int:
+        return len(self.frame_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FrameBatch n={len(self.frame_ids)} {self.frame!r} "
+                f"ts[0]={self.ts[0] if self.ts else None}>")
+
+    def advance(self, delay: float) -> None:
+        """Move every member forward by the same analytic ``delay``."""
+        ts = self.ts
+        for i in range(len(ts)):
+            ts[i] += delay
+
+    def advance_per_member(self, delays: List[float]) -> None:
+        """Per-member delays (jittered hops): advance and re-sort."""
+        ts = self.ts
+        for i, d in enumerate(delays):
+            ts[i] += d
+        if any(ts[i] > ts[i + 1] for i in range(len(ts) - 1)):
+            order = sorted(range(len(ts)), key=ts.__getitem__)
+            self.ts = [ts[i] for i in order]
+            self.frame_ids = [self.frame_ids[i] for i in order]
+            self.created_at = [self.created_at[i] for i in order]
+
+    def fork(self, indices: List[int]) -> "FrameBatch":
+        """Sub-batch of ``indices`` with its own exemplar header."""
+        return FrameBatch(
+            self.frame.replica(),
+            [self.frame_ids[i] for i in indices],
+            [self.ts[i] for i in indices],
+            [self.created_at[i] for i in indices],
+        )
+
+    def fanout_copies(self, m: int) -> List["FrameBatch"]:
+        """``m`` batch copies with *fresh* member ids (fan-out).
+
+        Ids are allocated frame-major -- member 0's ``m`` copies first,
+        then member 1's, and so on -- because that is the order the
+        per-frame path's ``Frame.copy()`` loop draws them in (each frame
+        copies for every extra egress before the next frame arrives).
+        Keeping the draw order identical keeps the shared id counter in
+        lockstep, so copies carry oracle-identical ids too.
+        """
+        n = len(self.frame_ids)
+        ids: List[List[int]] = [[0] * n for _ in range(m)]
+        for i in range(n):
+            for j in range(m):
+                ids[j][i] = next(_frame_ids)
+        out = []
+        for j in range(m):
+            clone = self.frame.replica()
+            clone.frame_id = ids[j][0]
+            out.append(FrameBatch(clone, ids[j], list(self.ts),
+                                  list(self.created_at)))
+        return out
+
+    def frame_at(self, i: int) -> Frame:
+        """Materialize member ``i`` as a standalone :class:`Frame`."""
+        clone = self.frame.replica()
+        clone.frame_id = self.frame_ids[i]
+        clone.created_at = self.created_at[i]
+        return clone

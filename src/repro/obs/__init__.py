@@ -66,7 +66,7 @@ def enable_tracing(sim=None, capacity: int = 1_000_000) -> PacketTracer:
     Returns the tracer (also reachable as ``repro.obs.TRACER``)."""
     global TRACER
     tracer = PacketTracer(clock=(lambda: sim.now) if sim is not None else None,
-                          capacity=capacity)
+                          capacity=capacity, sim=sim)
     TRACER = tracer
     if sim is not None:
         REGISTRY.set_clock(lambda: sim.now)
@@ -95,7 +95,7 @@ def on_deployment_built(deployment) -> None:
     sim = deployment.sim
     REGISTRY.set_clock(lambda: sim.now)
     if TRACER.enabled:
-        TRACER.set_clock(lambda: sim.now)
+        TRACER.bind_sim(sim)
 
 
 def on_run_complete(harness, result) -> None:

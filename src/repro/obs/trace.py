@@ -99,8 +99,29 @@ class NullTracer:
     run_complete = staticmethod(_noop)
 
 
+#: Raw-record tags: which hook produced a pending record (the
+#: materializer switches on these to build the final :class:`Span`).
+_T_ENQUEUE = 0
+_T_LINK_TX = 1
+_T_FLOW = 2
+_T_BRIDGE_RX = 3
+_T_BRIDGE_TX = 4
+_T_VEB = 5
+_T_NIC_FILTER = 6
+_T_VHOST = 7
+_T_DROP = 8
+
+
 class PacketTracer:
-    """Recording tracer: appends one :class:`Span` per hook invocation.
+    """Recording tracer: one :class:`Span` per hook invocation.
+
+    Recording is two-phase to keep the hot-path hook cost near an
+    append: each hook pushes one raw argument tuple (values frozen at
+    record time where the source object mutates later, deferred
+    otherwise) onto ``_raw``, and :class:`Span` objects -- allocation,
+    sequence numbers, attrs dicts -- are materialized lazily on the
+    first query through :attr:`spans`.  Materialization preserves
+    append order, so sequence numbers are identical to eager recording.
 
     ``capacity`` bounds memory on long runs; once reached, further spans
     are counted in ``spans_dropped`` but not stored (the trace stays a
@@ -110,10 +131,18 @@ class PacketTracer:
     enabled = True
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
-                 capacity: int = 1_000_000) -> None:
+                 capacity: int = 1_000_000, sim=None) -> None:
         self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        #: When bound to a Simulator, hooks read ``sim._now`` directly:
+        #: one attribute load instead of a closure call plus a property
+        #: descriptor per span.
+        self._sim = sim
         self.capacity = capacity
-        self.spans: List[Span] = []
+        self._raw: List[tuple] = []
+        self._spans: List[Span] = []
+        #: Total records accepted (raw + materialized): the capacity
+        #: check is one int compare instead of two len() calls.
+        self._count = 0
         self.spans_dropped = 0
         self._seq = 0
         #: Kernel progress samples: (sim_now, events_fired, heap_depth,
@@ -122,18 +151,80 @@ class PacketTracer:
 
     def set_clock(self, clock: Callable[[], float]) -> None:
         self._clock = clock
+        self._sim = None
+
+    def bind_sim(self, sim) -> None:
+        """Bind the hot-path clock to ``sim`` (see ``_sim`` above)."""
+        self._sim = sim
+        self._clock = lambda: sim.now
 
     # -- recording core ----------------------------------------------------
 
-    def _record(self, trace_id: int, component: str, kind: str,
-                start: float, end: float, outcome: str,
-                tenant: Optional[int], attrs: Optional[dict]) -> None:
-        if len(self.spans) >= self.capacity:
-            self.spans_dropped += 1
-            return
-        self._seq += 1
-        self.spans.append(Span(trace_id, self._seq, component, kind,
-                               start, end, outcome, tenant, attrs))
+    @property
+    def spans(self) -> List[Span]:
+        """Recorded spans, materializing any pending raw records."""
+        if self._raw:
+            self._materialize()
+        return self._spans
+
+    def _materialize(self) -> None:
+        spans = self._spans
+        seq = self._seq
+        append = spans.append
+        for rec in self._raw:
+            tag = rec[0]
+            seq += 1
+            if tag == _T_FLOW:
+                _, fid, name, now, rule, source, in_port, tenant = rec
+                attrs = {"source": source, "in_port": in_port}
+                if rule is None:
+                    outcome = "miss"
+                else:
+                    outcome = "hit"
+                    attrs["cookie"] = rule.cookie
+                    attrs["priority"] = rule.priority
+                append(Span(fid, seq, name, "flowtable.lookup", now, now,
+                            outcome, tenant, attrs))
+            elif tag == _T_LINK_TX:
+                _, fid, name, t_start, t_done, t_arrival, tenant, wire = rec
+                append(Span(fid, seq, name, "link.tx", t_start, t_arrival,
+                            "sent", tenant,
+                            {"bytes": wire,
+                             "serialization": t_done - t_start}))
+            elif tag == _T_ENQUEUE:
+                _, fid, name, t_submit, t_start, tenant = rec
+                append(Span(fid, seq, name, "link.enqueue", t_submit,
+                            t_start, "queued", tenant, None))
+            elif tag == _T_BRIDGE_RX:
+                _, fid, name, now, cached, port_no, tenant = rec
+                append(Span(fid, seq, name, "vswitch.rx", now, now,
+                            "plan_cache_hit" if cached else "pipeline",
+                            tenant, {"in_port": port_no}))
+            elif tag == _T_BRIDGE_TX:
+                _, fid, name, start, now, port_no, tenant = rec
+                append(Span(fid, seq, name, "vswitch.tx", start, now,
+                            "forwarded", tenant, {"out_port": port_no}))
+            elif tag == _T_VEB:
+                _, fid, name, now, ingress, vlan, decision, tenant = rec
+                append(Span(fid, seq, name, "veb.forward", now, now,
+                            decision.reason, tenant,
+                            {"ingress": ingress, "vlan": vlan,
+                             "destinations": list(decision.destinations),
+                             "flooded": decision.flooded}))
+            elif tag == _T_NIC_FILTER:
+                _, fid, name, now, vf_name, verdict, tenant = rec
+                append(Span(fid, seq, name, "nic.filter", now, now,
+                            verdict, tenant, {"vf": vf_name}))
+            elif tag == _T_VHOST:
+                _, fid, name, now, direction, latency, tenant = rec
+                append(Span(fid, seq, name, "vhost.crossing", now,
+                            now + latency, direction, tenant, None))
+            else:  # _T_DROP
+                _, fid, name, now, reason, tenant = rec
+                append(Span(fid, seq, name, "drop", now, now,
+                            reason, tenant, None))
+        self._seq = seq
+        self._raw = []
 
     # -- hooks (called from the instrumented hot paths) --------------------
 
@@ -148,72 +239,110 @@ class PacketTracer:
         """A frame was handed to a link: an enqueue span (head-of-line
         wait) when it had to queue, then the transmit span (serialization
         + propagation)."""
+        cap = self.capacity
         if t_start > t_submit:
-            self._record(frame.frame_id, name, "link.enqueue",
-                         t_submit, t_start, "queued", frame.tenant_id, None)
-        self._record(frame.frame_id, name, "link.tx", t_start, t_arrival,
-                     "sent", frame.tenant_id,
-                     {"bytes": frame.wire_size(),
-                      "serialization": t_done - t_start})
+            if self._count < cap:
+                self._count += 1
+                self._raw.append((_T_ENQUEUE, frame.frame_id, name,
+                                  t_submit, t_start, frame.tenant_id))
+            else:
+                self.spans_dropped += 1
+        if self._count < cap:
+            self._count += 1
+            # wire_size() depends on headers that mutate down the chain,
+            # so it is frozen here rather than deferred.
+            self._raw.append((_T_LINK_TX, frame.frame_id, name, t_start,
+                              t_done, t_arrival, frame.tenant_id,
+                              frame.wire_size()))
+        else:
+            self.spans_dropped += 1
 
     def flow_lookup(self, table_name: str, frame, in_port: int,
                     rule, source: str) -> None:
         """One flow-table lookup; ``source`` names the layer that
         answered: ``emc``, ``tss`` (tuple-space search), ``linear``, or
         ``plan`` (replayed from the bridge's pass-plan cache)."""
-        now = self._clock()
-        outcome = "miss" if rule is None else "hit"
-        attrs = {"source": source, "in_port": in_port}
-        if rule is not None:
-            attrs["cookie"] = rule.cookie
-            attrs["priority"] = rule.priority
-        self._record(frame.frame_id, table_name, "flowtable.lookup",
-                     now, now, outcome, frame.tenant_id, attrs)
+        if self._count < self.capacity:
+            self._count += 1
+            sim = self._sim
+            self._raw.append((_T_FLOW, frame.frame_id, table_name,
+                              sim._now if sim is not None else self._clock(),
+                              rule, source, in_port, frame.tenant_id))
+        else:
+            self.spans_dropped += 1
 
     def bridge_rx(self, bridge_name: str, frame, port_no: int,
                   plan_cached: bool) -> None:
-        now = self._clock()
-        self._record(frame.frame_id, bridge_name, "vswitch.rx", now, now,
-                     "plan_cache_hit" if plan_cached else "pipeline",
-                     frame.tenant_id, {"in_port": port_no})
+        if self._count < self.capacity:
+            self._count += 1
+            sim = self._sim
+            self._raw.append((_T_BRIDGE_RX, frame.frame_id, bridge_name,
+                              sim._now if sim is not None else self._clock(),
+                              plan_cached, port_no, frame.tenant_id))
+        else:
+            self.spans_dropped += 1
 
     def bridge_tx(self, bridge_name: str, frame, port_no: int,
                   t_rx: Optional[float] = None) -> None:
-        now = self._clock()
-        start = now if t_rx is None else t_rx
-        self._record(frame.frame_id, bridge_name, "vswitch.tx", start, now,
-                     "forwarded", frame.tenant_id, {"out_port": port_no})
+        if self._count < self.capacity:
+            self._count += 1
+            sim = self._sim
+            now = sim._now if sim is not None else self._clock()
+            start = now if t_rx is None else t_rx
+            self._raw.append((_T_BRIDGE_TX, frame.frame_id, bridge_name,
+                              start, now, port_no, frame.tenant_id))
+        else:
+            self.spans_dropped += 1
 
     def veb_forward(self, veb_name: str, frame, ingress: str, vlan: int,
                     decision) -> None:
-        """The NIC's embedded switch decided egress for a frame."""
-        now = self._clock()
-        self._record(frame.frame_id, veb_name, "veb.forward", now, now,
-                     decision.reason, frame.tenant_id,
-                     {"ingress": ingress, "vlan": vlan,
-                      "destinations": list(decision.destinations),
-                      "flooded": decision.flooded})
+        """The NIC's embedded switch decided egress for a frame.
+        ``decision`` is immutable after return, so its fields are read
+        lazily at materialization."""
+        if self._count < self.capacity:
+            self._count += 1
+            sim = self._sim
+            self._raw.append((_T_VEB, frame.frame_id, veb_name,
+                              sim._now if sim is not None else self._clock(),
+                              ingress, vlan, decision, frame.tenant_id))
+        else:
+            self.spans_dropped += 1
 
     def nic_filter(self, nic_port: str, vf_name: str, frame,
                    verdict: str) -> None:
         """Ingress security chain verdict on a VF transmit (``pass``,
         ``spoof_drop``, ``filter_drop``, ``rate_limited``,
         ``unconfigured``)."""
-        now = self._clock()
-        self._record(frame.frame_id, nic_port, "nic.filter", now, now,
-                     verdict, frame.tenant_id, {"vf": vf_name})
+        if self._count < self.capacity:
+            self._count += 1
+            sim = self._sim
+            self._raw.append((_T_NIC_FILTER, frame.frame_id, nic_port,
+                              sim._now if sim is not None else self._clock(),
+                              vf_name, verdict, frame.tenant_id))
+        else:
+            self.spans_dropped += 1
 
     def vhost(self, name: str, frame, direction: str,
               latency: float) -> None:
-        now = self._clock()
-        self._record(frame.frame_id, name, "vhost.crossing", now,
-                     now + latency, direction, frame.tenant_id, None)
+        if self._count < self.capacity:
+            self._count += 1
+            sim = self._sim
+            self._raw.append((_T_VHOST, frame.frame_id, name,
+                              sim._now if sim is not None else self._clock(),
+                              direction, latency, frame.tenant_id))
+        else:
+            self.spans_dropped += 1
 
     def drop(self, component: str, frame, reason: str) -> None:
         """A frame left the chain: where and why."""
-        now = self._clock()
-        self._record(frame.frame_id, component, "drop", now, now,
-                     reason, frame.tenant_id, None)
+        if self._count < self.capacity:
+            self._count += 1
+            sim = self._sim
+            self._raw.append((_T_DROP, frame.frame_id, component,
+                              sim._now if sim is not None else self._clock(),
+                              reason, frame.tenant_id))
+        else:
+            self.spans_dropped += 1
 
     def run_complete(self, harness, result) -> None:
         """Hook point for end-of-run reporting (see repro.obs.enable)."""
@@ -222,7 +351,7 @@ class PacketTracer:
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.spans)
+        return self._count
 
     def trace_ids(self) -> List[int]:
         seen: Dict[int, None] = {}
@@ -258,7 +387,9 @@ class PacketTracer:
                          for s in self.spans)
 
     def clear(self) -> None:
-        self.spans.clear()
+        self._raw.clear()
+        self._spans.clear()
+        self._count = 0
         self.kernel_samples.clear()
         self.spans_dropped = 0
 

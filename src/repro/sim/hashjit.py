@@ -1,0 +1,84 @@
+"""Deterministic per-frame jitter: hash-based uniform draws.
+
+The timed dataplane adds small random waits at several hops (softirq
+wakeup variance, scheduler jitter, DPDK drain waits, the l2fwd drain
+interval).  Historically these were drawn from a shared
+``random.Random`` stream, which makes every draw depend on global
+*draw order* -- fine for a strictly per-frame simulation, fatal for the
+batched fast path, where a whole burst's waits are computed in one
+event and the per-frame event interleaving (hence draw order) no longer
+exists.
+
+:class:`HashJitter` replaces the stream with a keyed hash: every draw
+is a pure function of ``(component seed, frame id, site)``.  The oracle
+per-frame path and the batched path therefore compute *identical* waits
+for the same frame at the same hop, which is what makes their delivery
+and drop behaviour byte-comparable.  The component seed is itself drawn
+from the component's seeded RNG stream at construction, so runs remain
+reproducible end to end and distinct components stay decorrelated.
+
+The mixer is splitmix64 -- cheap (a handful of multiplies and shifts)
+and statistically solid for this purpose.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+_MASK = (1 << 64) - 1
+#: 1/2^53: converts the top 53 bits of the mix to a float in [0, 1).
+_INV = 1.0 / (1 << 53)
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: avalanche a 64-bit value."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+class HashJitter:
+    """Keyed uniform draws: ``unit(key, site)`` is a pure function.
+
+    ``key`` is typically a frame id and ``site`` a small per-draw-site
+    constant, so one frame can take several independent draws at one
+    hop (e.g. fixed wait + scheduler wait) without correlation.
+    """
+
+    __slots__ = ("seed",)
+
+    #: Draw-site constants (one per jitter site in the mediation chain).
+    SITE_FIXED_WAIT = 1
+    SITE_SCHED_WAIT = 2
+    SITE_DRAIN_WAIT = 3
+    SITE_DRAIN_ANOMALY = 4
+    SITE_L2FWD_DRAIN = 5
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed & _MASK
+
+    @classmethod
+    def from_name(cls, name: str) -> "HashJitter":
+        """Derive a component jitter source from its (stable) name.
+
+        Keying by name rather than by an RNG draw gives *common random
+        numbers* across configurations: the same-named hop in two
+        compared setups (e.g. Baseline vs MTS L1) applies the same
+        jitter to the same frame, so systematic model differences are
+        not drowned by differently-realized noise.  It is also immune
+        to component construction order, which keeps sequential and
+        process-pool sweep backends bit-identical.
+        """
+        return cls(mix64(zlib.crc32(name.encode("utf-8"))))
+
+    def unit(self, key: int, site: int) -> float:
+        """A uniform float in [0, 1) for ``(key, site)``."""
+        x = (self.seed + 0x9E3779B97F4A7C15 * ((key << 8) ^ site)) & _MASK
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+        return ((x ^ (x >> 31)) >> 11) * _INV
+
+    def uniform(self, key: int, site: int, lo: float, hi: float) -> float:
+        """A uniform float in [lo, hi) for ``(key, site)``."""
+        return lo + (hi - lo) * self.unit(key, site)

@@ -93,21 +93,38 @@ class FilterChain:
         # everything WildcardFilter.matches can see -- so the chain walk
         # is memoized per that key and flushed on install/remove.
         self._memo: dict = {}
+        #: Bumped whenever the rule set changes; cached route decisions
+        #: elsewhere key their validity on it.
+        self.epoch = 0
 
     def install(self, flt: WildcardFilter) -> None:
         self._filters.append(flt)
         self._filters.sort(key=lambda f: -f.priority)
         self._memo.clear()
+        self.epoch += 1
 
     def remove(self, name: str) -> int:
         """Remove all filters with the given name; returns the count."""
         before = len(self._filters)
         self._filters = [f for f in self._filters if f.name != name]
         self._memo.clear()
+        self.epoch += 1
         return before - len(self._filters)
 
     def __len__(self) -> int:
         return len(self._filters)
+
+    def peek(self, vf: VirtualFunction, frame: Frame) -> FilterAction:
+        """Side-effect-free verdict preview (no counters, no memo writes).
+
+        Route discovery asks "would this frame pass?" without simulating
+        an actual ingress; the real evaluation still happens (in batched
+        form) when traffic flows.
+        """
+        for flt in self._filters:
+            if flt.matches(vf, frame):
+                return flt.action
+        return self.default
 
     def evaluate(self, vf: VirtualFunction, frame: Frame) -> FilterAction:
         """First matching filter decides; otherwise the default applies."""
@@ -127,4 +144,31 @@ class FilterChain:
             self._memo[key] = action
         if action == FilterAction.DROP:
             self.drops += 1
+        return action
+
+    def evaluate_batch(self, vf: VirtualFunction, frame: Frame,
+                       n: int) -> FilterAction:
+        """One verdict for ``n`` identical-header frames.
+
+        Counter bumps replicate ``n`` sequential :meth:`evaluate` calls
+        exactly: on a memo miss the first frame walks the chain and the
+        remaining ``n - 1`` hit the memo.
+        """
+        self.evaluations += n
+        key = (vf.name, vf.vlan, frame.src_mac, frame.dst_mac)
+        action = self._memo.get(key)
+        if action is not None:
+            self.memo_hits += n
+        else:
+            action = self.default
+            for flt in self._filters:
+                if flt.matches(vf, frame):
+                    action = flt.action
+                    break
+            if len(self._memo) >= self.MEMO_CAPACITY:
+                self._memo.pop(next(iter(self._memo)))
+            self._memo[key] = action
+            self.memo_hits += n - 1
+        if action == FilterAction.DROP:
+            self.drops += n
         return action

@@ -83,6 +83,21 @@ class PcieBus:
             _billing.METER.pcie(tenant, size_bytes)
         return DMA_LATENCY + size_bytes * 8.0 / self.effective_bandwidth_bps()
 
+    def transfer_time_batch(self, size_bytes: int, tenant: Optional[int],
+                            n: int) -> float:
+        """Batched :meth:`transfer_time`: ``n`` same-size crossings.
+
+        Each member pays the same DMA + serialization delay (returned
+        once); byte accounting and metering cover all ``n``.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        total = size_bytes * n
+        self.bytes_transferred += total
+        if _billing.METER.enabled and tenant is not None:
+            _billing.METER.pcie(tenant, total)
+        return DMA_LATENCY + size_bytes * 8.0 / self.effective_bandwidth_bps()
+
     def capacity_pps(self, frame_bytes: int) -> float:
         """Frames/s the bus sustains at a given frame size (per direction)."""
         return self.effective_bandwidth_bps() / (frame_bytes * 8.0)

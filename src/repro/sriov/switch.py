@@ -82,6 +82,11 @@ class VebSwitch:
         #   (destinations, flooded, reason, lookup/flood/unknown deltas)
         self._decisions: Dict[Tuple, Tuple] = {}
         self.decision_cache_hits = 0
+        #: Bumped whenever forwarding *content* changes (attach/detach,
+        #: a learn that installs or re-homes an entry).  Lets callers
+        #: cache derived facts -- e.g. the batched fast path's flush
+        #: margins -- and revalidate with one int compare.
+        self.epoch = 0
 
     # -- membership & static entries ------------------------------------
 
@@ -99,6 +104,7 @@ class VebSwitch:
         if vf.mac is not None:
             self._table[(domain, vf.mac)] = MacEntry(dest=vf.name, static=True)
         self._decisions.clear()
+        self.epoch += 1
 
     def detach(self, vf: VirtualFunction) -> None:
         """Remove a function from its domain (before re-configuring it)."""
@@ -111,6 +117,7 @@ class VebSwitch:
         for key in stale:
             del self._table[key]
         self._decisions.clear()
+        self.epoch += 1
 
     def members(self, vlan: int) -> List[str]:
         return list(self._members.get(vlan, []))
@@ -130,6 +137,7 @@ class VebSwitch:
             return True
         self._table[key] = MacEntry(dest=dest, static=False, last_seen=now)
         self._decisions.clear()
+        self.epoch += 1
         return True
 
     def lookup(self, vlan: int, mac: MacAddress) -> Optional[MacEntry]:
@@ -173,6 +181,69 @@ class VebSwitch:
             self.unknown_unicasts - before[2])
         _obs.TRACER.veb_forward(self.name, frame, ingress, vlan, decision)
         return decision
+
+    def forward_batch(self, ingress: str, vlan: int, frame: Frame,
+                      now: float, n: int) -> ForwardingDecision:
+        """One decision for ``n`` identical-header frames.
+
+        Counters replicate ``n`` sequential :meth:`forward` calls: the
+        uncached walk's deltas equal the cached deltas it installs, so
+        totals scale by ``n`` either way; only ``decision_cache_hits``
+        distinguishes the first (miss) frame.  ``now`` should be the
+        *last* member's timestamp -- it only feeds ``last_seen`` aging.
+        """
+        self.forwards += n
+        key = (ingress, vlan, frame.src_mac, frame.dst_mac)
+        cached = self._decisions.get(key)
+        if cached is not None:
+            dests, flooded, reason, d_lookups, d_floods, d_unknown = cached
+            self.decision_cache_hits += n
+            self.lookups += d_lookups * n
+            self.floods += d_floods * n
+            self.unknown_unicasts += d_unknown * n
+            entry = self._table.get((vlan, frame.src_mac))
+            if entry is not None and not entry.static:
+                entry.last_seen = now
+            return ForwardingDecision(destinations=list(dests),
+                                      flooded=flooded, reason=reason)
+        before = (self.lookups, self.floods, self.unknown_unicasts)
+        decision = self._forward_uncached(ingress, vlan, frame, now)
+        deltas = (self.lookups - before[0], self.floods - before[1],
+                  self.unknown_unicasts - before[2])
+        if len(self._decisions) >= DECISION_CACHE_CAPACITY:
+            self._decisions.pop(next(iter(self._decisions)))
+        self._decisions[key] = (
+            tuple(decision.destinations), decision.flooded, decision.reason,
+            *deltas)
+        rest = n - 1
+        if rest:
+            self.decision_cache_hits += rest
+            self.lookups += deltas[0] * rest
+            self.floods += deltas[1] * rest
+            self.unknown_unicasts += deltas[2] * rest
+        return decision
+
+    def peek_destinations(self, ingress: str, vlan: int,
+                          frame: Frame) -> List[str]:
+        """Side-effect-free preview of :meth:`forward`'s destinations.
+
+        No learning, no counters, no cache insert -- used by the batched
+        fast path to bound how far a flushed sub-batch travels before
+        the next timestamped admission point.  May differ from the next
+        real ``forward`` only in that the source is not yet learned
+        (which can only *narrow* a later decision, never widen it).
+        """
+        if frame.dst_mac.is_multicast:
+            dests = [m for m in self._members.get(vlan, []) if m != ingress]
+            if ingress != UPLINK:
+                dests.append(UPLINK)
+            return dests
+        entry = self._table.get((vlan, frame.dst_mac))
+        if entry is not None:
+            return [] if entry.dest == ingress else [entry.dest]
+        if ingress == UPLINK:
+            return [m for m in self._members.get(vlan, []) if m != ingress]
+        return [UPLINK]
 
     def _forward_uncached(self, ingress: str, vlan: int, frame: Frame,
                           now: float = 0.0) -> ForwardingDecision:

@@ -17,8 +17,10 @@ from repro.core.deployment import Deployment
 from repro.measure.stats import SummaryStats, summarize
 from repro.net.addresses import MacAddress
 from repro.net.link import Link, OpticalTap
+from repro.net import packet
 from repro.net.packet import IpProto
-from repro.traffic.generator import FlowConfig, LoadGenerator
+from repro.traffic.generator import (BATCHED_BURST, DEFAULT_BURST,
+                                     FlowConfig, LoadGenerator)
 from repro.traffic.sink import LatencyMonitor, Sink
 from repro.units import GBPS
 
@@ -50,8 +52,17 @@ class TestbedHarness:
     __test__ = False  # not a pytest test class, despite the name
 
     def __init__(self, deployment: Deployment,
-                 link_bandwidth_bps: float = 10 * GBPS) -> None:
+                 link_bandwidth_bps: float = 10 * GBPS,
+                 batch: bool = False) -> None:
+        # Frame ids restart per harnessed run: per-frame jitter draws
+        # are keyed by them, and runs must not depend on how many
+        # frames earlier runs in this process created.
+        packet.reset_frame_ids()
         self.deployment = deployment
+        #: Requested struct-of-arrays fast path.  Resolved at
+        #: :meth:`run` -- tracing, cache-busting flows or an untimed
+        #: deployment silently fall back to the per-frame oracle path.
+        self.batch = batch
         self.sim = deployment.sim
         self.ingress_tap = OpticalTap("tap.lg-dut")
         self.egress_tap = OpticalTap("tap.dut-sink")
@@ -120,9 +131,30 @@ class TestbedHarness:
         ``warmup``.  ``cooldown`` lets in-flight frames land."""
         offered = self.lg.aggregate_rate_pps
         self.deployment.set_offered_rate_hint(offered)
+        # A pending fault plan forces the per-frame oracle path: fault
+        # and heal instants land at arbitrary sim times, and a batch
+        # whose members straddle one would deliver or drop as a unit
+        # where the oracle splits it at the instant.
+        from repro.faults import runtime as _chaos
+        if (self.batch and not _obs.TRACER.enabled
+                and not _chaos.chaos_pending()
+                and self.lg.supports_batching()
+                and self.deployment.supports_batched_fastpath()):
+            self.deployment.enable_batched_fastpath()
+            self.lg.batch = True
+            # Wider bursts amortize per-batch work; timestamps are
+            # analytic per frame, so results are burst-invariant.  A
+            # caller-customized burst (tests pinning batch shapes) is
+            # left alone.
+            if self.lg.burst == DEFAULT_BURST:
+                self.lg.burst = BATCHED_BURST
+            # Unbounded-margin groups hold until their burst completes;
+            # bursts cut short by the end of traffic need a sweep while
+            # the simulation is still running.
+            self.sim.call_later(duration + cooldown * 0.5,
+                                self.deployment.drain_batches)
         # A fault plan on the running scenario's spec attaches here, so
         # any harness-based workload is chaos-capable without changes.
-        from repro.faults import runtime as _chaos
         chaos_session = _chaos.attach_active_session(self, horizon=duration)
         # Likewise for metering: a spec that asked for billing gets a
         # session that windows usage while this run executes.

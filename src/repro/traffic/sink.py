@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.net.interfaces import Port
 from repro.net.link import OpticalTap
-from repro.net.packet import Frame
+from repro.net.packet import Frame, FrameBatch
 
 
 class Sink:
@@ -26,6 +26,7 @@ class Sink:
     def __init__(self, name: str = "sink") -> None:
         self.name = name
         self.port = Port(f"{name}.rx", self._on_frame)
+        self.port.connect_batch(self._on_batch)
         self.total = 0
         self.per_flow: Dict[int, int] = defaultdict(int)
         #: (timestamp-less) arrival log is not kept; windowed counting is
@@ -34,6 +35,10 @@ class Sink:
     def _on_frame(self, frame: Frame) -> None:
         self.total += 1
         self.per_flow[frame.flow_id] += 1
+
+    def _on_batch(self, batch: FrameBatch) -> None:
+        self.total += len(batch)
+        self.per_flow[batch.frame.flow_id] += len(batch)
 
 
 @dataclass
@@ -57,6 +62,8 @@ class LatencyMonitor:
         self.unmatched_egress = 0
         ingress_tap.observe(self._on_ingress)
         egress_tap.observe(self._on_egress)
+        ingress_tap.observe_batch(self._on_ingress_batch)
+        egress_tap.observe_batch(self._on_egress_batch)
 
     def _on_ingress(self, frame: Frame, now: float) -> None:
         self._pending[frame.frame_id] = (frame.flow_id, now)
@@ -69,6 +76,27 @@ class LatencyMonitor:
             return
         flow_id, t_in = entry
         self.samples.append(LatencySample(flow_id=flow_id, t_in=t_in, t_out=now))
+
+    def _on_ingress_batch(self, batch: FrameBatch, starts: List[float]) -> None:
+        flow_id = batch.frame.flow_id
+        pending = self._pending
+        for i, fid in enumerate(batch.frame_ids):
+            pending[fid] = (flow_id, starts[i])
+
+    def _on_egress_batch(self, batch: FrameBatch, starts: List[float]) -> None:
+        egress = self.egress_times
+        samples = self.samples
+        pending = self._pending
+        flow_id = batch.frame.flow_id
+        for i, fid in enumerate(batch.frame_ids):
+            now = starts[i]
+            egress.append((now, flow_id))
+            entry = pending.pop(fid, None)
+            if entry is None:
+                self.unmatched_egress += 1
+            else:
+                samples.append(LatencySample(flow_id=entry[0], t_in=entry[1],
+                                             t_out=now))
 
     # -- windowed reductions ------------------------------------------------
 

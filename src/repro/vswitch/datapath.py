@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Optional
 
+from repro.sim.hashjit import HashJitter
 from repro.units import USEC
 
 
@@ -135,12 +136,40 @@ class DatapathModel:
         effective_hz: float,
         sharers: int,
         num_queues: int,
-        rng: random.Random,
+        rng: Optional[random.Random] = None,
+        jitter: Optional[HashJitter] = None,
+        key: int = 0,
     ) -> DatapathTiming:
         """Latency of one pass on a core share with ``sharers`` tenants
-        of the core and the datapath spread over ``num_queues`` queues."""
+        of the core and the datapath spread over ``num_queues`` queues.
+
+        Variance comes either from ``rng`` (draw-order dependent, the
+        historical behaviour) or from ``jitter`` keyed by ``key`` (the
+        frame id): a pure per-frame function, identical no matter how
+        passes are interleaved, which is what lets the batched fast
+        path reproduce the per-frame oracle bit for bit.
+        """
         service = cycles / effective_hz
         timing = DatapathTiming(service=service)
+        if jitter is not None:
+            if self.mode == DatapathMode.KERNEL:
+                timing.fixed_wait = self.costs.fixed_latency * (
+                    1.0 + 0.25 * jitter.unit(key, HashJitter.SITE_FIXED_WAIT)
+                )
+            else:
+                timing.drain_wait = self.costs.drain_jitter * jitter.unit(
+                    key, HashJitter.SITE_DRAIN_WAIT)
+                anomaly = self._anomaly_scale(num_queues)
+                if anomaly:
+                    timing.drain_wait += anomaly * (
+                        0.6 + 0.8 * jitter.unit(
+                            key, HashJitter.SITE_DRAIN_ANOMALY))
+            if sharers > 1:
+                timing.sched_wait = (
+                    (sharers - 1) * self.costs.sched_slice
+                    * jitter.unit(key, HashJitter.SITE_SCHED_WAIT))
+            return timing
+        assert rng is not None
         if self.mode == DatapathMode.KERNEL:
             # Interrupt + softirq wakeup, with its natural variance
             # (mean 1.125x the nominal figure).
@@ -149,18 +178,75 @@ class DatapathModel:
             )
         else:
             timing.drain_wait = rng.uniform(0.0, self.costs.drain_jitter)
-            timing.drain_wait += self._drain_anomaly(num_queues, rng)
+            anomaly = self._anomaly_scale(num_queues)
+            if anomaly:
+                timing.drain_wait += rng.uniform(0.6, 1.4) * anomaly
         if sharers > 1:
             # While K compartments time-share a core, a pass may find the
             # core scheduled elsewhere for up to (K-1) timeslices.
             timing.sched_wait = rng.uniform(0.0, (sharers - 1) * self.costs.sched_slice)
         return timing
 
-    def _drain_anomaly(self, num_queues: int, rng: random.Random) -> float:
-        """The ~1 ms Baseline multi-queue effect at low per-queue rates."""
+    def timing_batch(
+        self,
+        first_cycles: float,
+        cycles: float,
+        effective_hz: float,
+        sharers: int,
+        num_queues: int,
+        jitter: HashJitter,
+        keys: "list[int]",
+        key_shift_or: int,
+    ) -> "tuple[list[float], list[float]]":
+        """Vectorized :meth:`timing` for a same-flow burst.
+
+        Returns parallel ``(service, wait)`` lists where ``wait`` is the
+        summed fixed/sched/drain latency.  Draw-for-draw identical to
+        per-member :meth:`timing` calls with ``key=(k << 6) | mask``
+        (``key_shift_or`` packs the ingress-port mask) -- the jitter is
+        a pure function of the key, so batching changes nothing.  The
+        first member may carry extra cycles (megaflow miss walk).
+        """
+        n = len(keys)
+        svc = [cycles / effective_hz] * n
+        if first_cycles != cycles:
+            svc[0] = first_cycles / effective_hz
+        waits = [0.0] * n
+        unit = jitter.unit
+        if self.mode == DatapathMode.KERNEL:
+            fixed = self.costs.fixed_latency
+            site = HashJitter.SITE_FIXED_WAIT
+            for i in range(n):
+                waits[i] = fixed * (
+                    1.0 + 0.25 * unit((keys[i] << 6) | key_shift_or, site))
+        else:
+            drain = self.costs.drain_jitter
+            site = HashJitter.SITE_DRAIN_WAIT
+            anomaly = self._anomaly_scale(num_queues)
+            if anomaly:
+                site2 = HashJitter.SITE_DRAIN_ANOMALY
+                for i in range(n):
+                    key = (keys[i] << 6) | key_shift_or
+                    waits[i] = (drain * unit(key, site)
+                                + anomaly * (0.6 + 0.8 * unit(key, site2)))
+            else:
+                for i in range(n):
+                    waits[i] = drain * unit(
+                        (keys[i] << 6) | key_shift_or, site)
+        if sharers > 1:
+            slice_span = (sharers - 1) * self.costs.sched_slice
+            site = HashJitter.SITE_SCHED_WAIT
+            for i in range(n):
+                waits[i] += slice_span * unit(
+                    (keys[i] << 6) | key_shift_or, site)
+        return svc, waits
+
+    def _anomaly_scale(self, num_queues: int) -> float:
+        """Mean wait of the ~1 ms Baseline multi-queue effect at low
+        per-queue rates (0 when the anomaly does not apply)."""
         if num_queues < 2 or self.offered_rate_hint_pps is None:
             return 0.0
         per_queue = self.offered_rate_hint_pps / num_queues
         if per_queue >= self.costs.drain_anomaly_threshold_pps:
             return 0.0
-        return rng.uniform(0.6, 1.4) * self.costs.drain_anomaly_wait
+        return self.costs.drain_anomaly_wait

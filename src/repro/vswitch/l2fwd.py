@@ -22,7 +22,8 @@ from typing import Dict, Optional
 
 from repro.net.addresses import MacAddress
 from repro.net.interfaces import PortPair
-from repro.net.packet import Frame
+from repro.net.packet import Frame, FrameBatch
+from repro.sim.hashjit import HashJitter
 from repro.sim.kernel import Simulator
 from repro.units import USEC
 
@@ -56,16 +57,26 @@ class L2Fwd:
         self.sim = sim
         self.freq_hz = freq_hz
         self.rng = rng if rng is not None else random.Random(0)
+        #: Drain wait is keyed per frame so the batched path reproduces
+        #: the per-frame oracle draw for draw.
+        self._jitter = HashJitter.from_name(name)
         self.drain_interval = drain_interval
         self._ports: Dict[int, PortPair] = {}
         self._routes: Dict[int, _Route] = {}
+        #: Bumped on every route change; cached chain-route decisions
+        #: elsewhere key their validity on it.
+        self.epoch = 0
         self.forwarded = 0
         self.unrouted = 0
+        self._rx_stamp = f"{name}.rx"
+        self._tx_stamp = f"{name}.tx"
 
     def add_port(self, pair: PortPair) -> int:
         index = len(self._ports)
         self._ports[index] = pair
         pair.rx.connect(lambda frame, i=index: self._ingress(i, frame))
+        pair.rx.connect_batch(
+            lambda batch, i=index: self._ingress_batch(i, batch))
         return index
 
     def set_route(self, in_index: int, out_index: int,
@@ -75,15 +86,17 @@ class L2Fwd:
         if in_index not in self._ports or out_index not in self._ports:
             raise KeyError(f"unknown port index in route {in_index}->{out_index}")
         self._routes[in_index] = _Route(out_index, new_dst_mac, new_src_mac)
+        self.epoch += 1
 
     def _ingress(self, in_index: int, frame: Frame) -> None:
-        frame.stamp(f"{self.name}.rx")
+        frame.stamp(self._rx_stamp)
         route = self._routes.get(in_index)
         if route is None:
             self.unrouted += 1
             return
         delay = L2FWD_CYCLES / self.freq_hz
-        delay += self.rng.uniform(0.0, self.drain_interval)
+        delay += self.drain_interval * self._jitter.unit(
+            frame.frame_id, HashJitter.SITE_L2FWD_DRAIN)
         frame.charge("tenant", delay)
         if self.sim is not None:
             self.sim.call_later(delay, self._forward, route, frame)
@@ -95,5 +108,27 @@ class L2Fwd:
         if route.new_src_mac is not None:
             frame.src_mac = route.new_src_mac
         self.forwarded += 1
-        frame.stamp(f"{self.name}.tx")
+        frame.stamp(self._tx_stamp)
         self._ports[route.out_index].transmit(frame)
+
+    def _ingress_batch(self, in_index: int, batch: FrameBatch) -> None:
+        """Batched forward: per-member drain draws (identical to the
+        per-frame path -- keyed by frame id), one MAC rewrite on the
+        exemplar, one downstream hand-off."""
+        route = self._routes.get(in_index)
+        n = len(batch)
+        if route is None:
+            self.unrouted += n
+            return
+        base = L2FWD_CYCLES / self.freq_hz
+        drain = self.drain_interval
+        unit = self._jitter.unit
+        site = HashJitter.SITE_L2FWD_DRAIN
+        batch.advance_per_member(
+            [base + drain * unit(fid, site) for fid in batch.frame_ids])
+        frame = batch.frame
+        frame.dst_mac = route.new_dst_mac
+        if route.new_src_mac is not None:
+            frame.src_mac = route.new_src_mac
+        self.forwarded += n
+        self._ports[route.out_index].transmit_batch(batch, self.sim)

@@ -97,6 +97,28 @@ class MegaflowCache:
             self.stats.evictions += 1
         return self.upcall_cycles
 
+    def lookup_cost_batch(self, frame: Frame, in_port: int,
+                          n: int) -> float:
+        """Extra cycles the *first* of ``n`` same-key packets costs.
+
+        Replicates ``n`` sequential :meth:`lookup_cost` calls: at most
+        the first misses (install + upcall), the rest hit.  Frames 2..n
+        cost 0 extra, so the caller only needs the one return value.
+        """
+        key = flow_signature(frame, in_port)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] += n
+            self.stats.hits += n
+            return 0.0
+        self.stats.misses += 1
+        self.stats.hits += n - 1
+        self._entries[key] = n
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return self.upcall_cycles
+
     def invalidate(self) -> None:
         """Flush (flow-table revalidation after rule changes)."""
         self._entries.clear()

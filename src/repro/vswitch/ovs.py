@@ -27,9 +27,10 @@ from repro.errors import ConfigurationError
 from repro.host.cpu import ComputeShare
 from repro.net.addresses import MacAddress
 from repro.net.interfaces import PortPair
-from repro.net.packet import Frame
+from repro.net.packet import Frame, FrameBatch
+from repro.sim.hashjit import HashJitter
 from repro.sim.kernel import Simulator
-from repro.sim.resources import FairServiceStation
+from repro.sim.resources import BatchFairStation, FairServiceStation
 
 #: Per-port rx ring depth when the bridge runs in timed mode.
 RX_RING_DEPTH = 512
@@ -47,6 +48,10 @@ class BridgePort:
     pair: PortPair
     rx_frames: int = 0
     tx_frames: int = 0
+    #: Pre-built trace-stamp labels (the dataplane stamps every frame;
+    #: building the f-string per packet is measurable overhead).
+    rx_stamp: str = ""
+    tx_stamp: str = ""
 
 
 @dataclass
@@ -88,6 +93,282 @@ class _PlanTemplate:
 #: Bound on the bridge's pass-plan cache (same scale as the EMC).
 PLAN_CACHE_CAPACITY = 8192
 
+_INF = float("inf")
+
+
+class _FusedRoute:
+    """The analytically-known continuation of a forwarding plan.
+
+    Built by the deployment's route resolver when a plan's single
+    egress leads -- through NIC/VEB/PCIe legs and at most one tenant
+    forwarder -- deterministically to another (or the same) bridge's
+    batch station, with a warm plan template and megaflow entry waiting
+    there and an unbounded flush margin beyond it.  A fused pass group
+    uses it to *pre-register* each member at the downstream station the
+    moment the member commits upstream, deferring the physical chain
+    traversal to one accounting sweep per burst.
+    """
+
+    __slots__ = ("delay_const", "drain_interval", "drain_unit",
+                 "drain_site", "app", "app_epoch", "bridge",
+                 "in_port_no", "template", "template_key", "flow_key",
+                 "out_ports", "model", "share", "num_queues",
+                 "num_ports", "jitter", "key_or", "station", "cycles")
+
+
+class _FusedSink:
+    """Accumulates one fused burst at the downstream bridge's station.
+
+    Grows by one member per upstream commit (identity + service time
+    captured *at commit*, before any later hop re-sorts batch arrays)
+    and is sealed when the upstream group can no longer grow.  The
+    exemplar header arrives later, on the burst's single accounting
+    traversal of the physical chain; by then every member is already
+    admitted (or ring-dropped) downstream.  Duck-types the group
+    protocol of :class:`~repro.sim.resources.BatchFairStation` and the
+    fields :meth:`OvsBridge._execute_batch` reads.
+    """
+
+    #: Terminal: the sub-batch this sink flushes is ordinary traffic.
+    sink = None
+    margin = _INF
+
+    __slots__ = ("route", "bridge", "key", "out_ports", "svc", "batch",
+                 "_ids", "_created", "_done_idx", "_done_ts",
+                 "_submitted", "_resolved", "_sealed")
+
+    def __init__(self, route: _FusedRoute) -> None:
+        self.route = route
+        self.bridge = route.bridge
+        self.key = route.in_port_no
+        self.out_ports = route.out_ports
+        self.svc: List[float] = []
+        self.batch: Optional[FrameBatch] = None
+        self._ids: List[int] = []
+        self._created: List[float] = []
+        self._done_idx: List[int] = []
+        self._done_ts: List[float] = []
+        self._submitted = 0
+        self._resolved = 0
+        self._sealed = False
+
+    def append(self, frame_id: int, created_at: float,
+               service: float) -> int:
+        j = self._submitted
+        self._submitted = j + 1
+        self._ids.append(frame_id)
+        self._created.append(created_at)
+        self.svc.append(service)
+        return j
+
+    def attach_part(self, part: FrameBatch) -> None:
+        """Bind the accounting traversal's exemplar header.
+
+        Member arrays alias the sink's own lists, so a part that
+        arrives while the upstream group is still committing (end-of-run
+        drain) automatically covers later members too.
+        """
+        if self.batch is None:
+            self.batch = FrameBatch(part.frame, self._ids, [],
+                                    self._created)
+
+    def seal(self) -> None:
+        """Upstream group exhausted: the member set is final."""
+        self._sealed = True
+        if self._resolved == self._submitted:
+            self.flush(self.bridge.sim.now)
+            try:
+                self.route.station._dirty.remove(self)
+            except ValueError:
+                pass
+
+    # -- station group protocol ---------------------------------------
+
+    def commit(self, j: int, t: float) -> bool:
+        self._resolved += 1
+        self._done_idx.append(j)
+        self._done_ts.append(t)
+        return len(self._done_idx) == 1
+
+    def drop(self, j: int) -> None:
+        self._resolved += 1
+
+    def is_done(self) -> bool:
+        return self._sealed and self._resolved == self._submitted
+
+    def oldest_commit(self) -> Optional[float]:
+        return self._done_ts[0] if self._done_ts else None
+
+    def flush(self, now: float) -> None:
+        if self._done_idx and self.batch is not None:
+            self.bridge._execute_batch(self)
+            self._done_idx = []
+            self._done_ts = []
+
+
+class _BatchPassGroup:
+    """One batched burst's passage through the bridge's service station.
+
+    Registered with a :class:`BatchFairStation` as a whole: the station
+    admits members at their own arrival timestamps (``sub_ts``), serves
+    them under rx-ring fairness, and hands finished members back via
+    ``commit`` in finish order (so their timestamps arrive sorted).
+    Committed members re-accumulate here until ``flush`` emits them
+    downstream as one sub-batch through the bridge's ``_execute_batch``.
+    """
+
+    __slots__ = ("bridge", "batch", "key", "sub_ts", "svc", "margin",
+                 "out_ports", "rewrites", "_done_idx", "_done_ts",
+                 "_remaining")
+
+    def __init__(self, bridge: "OvsBridge", batch: FrameBatch,
+                 plan: "_ForwardPlan", sub_ts: List[float],
+                 svc: List[float], margin: float) -> None:
+        self.bridge = bridge
+        self.batch = batch
+        self.key = plan.in_port
+        self.sub_ts = sub_ts
+        self.svc = svc
+        self.margin = margin
+        self.out_ports = plan.out_ports
+        self.rewrites = plan.rewrites
+        self._done_idx: List[int] = []
+        self._done_ts: List[float] = []
+        #: Members still expected to commit or drop; 0 means the
+        #: sub-batch can never grow again and should flush.
+        self._remaining = len(sub_ts)
+
+    def commit(self, i: int, t: float) -> bool:
+        self._remaining -= 1
+        self._done_idx.append(i)
+        self._done_ts.append(t)
+        return len(self._done_idx) == 1
+
+    def drop(self, i: int) -> None:
+        self._remaining -= 1
+
+    def is_done(self) -> bool:
+        return self._remaining == 0
+
+    def oldest_commit(self) -> Optional[float]:
+        return self._done_ts[0] if self._done_ts else None
+
+    def flush(self, now: float) -> None:
+        if self._done_idx:
+            self.bridge._execute_batch(self)
+            self._done_idx = []
+            self._done_ts = []
+
+
+class _FusedPassGroup(_BatchPassGroup):
+    """A pass group whose members *pre-register* downstream on commit.
+
+    Instead of flushing committed members into a physical chain
+    traversal per margin window, each commit computes the member's
+    downstream admission analytically (chain delay + jittered waits,
+    identical draws to the hop-by-hop path) and registers it at the
+    next station immediately -- always contract-clean, since the
+    admission lies a full chain delay in the future.  The margin is
+    unbounded: the burst makes ONE accounting traversal of the chain,
+    at group completion, carrying counters/metering for every leg.
+    """
+
+    __slots__ = ("route", "sink")
+
+    def __init__(self, bridge: "OvsBridge", batch: FrameBatch,
+                 plan: "_ForwardPlan", sub_ts: List[float],
+                 svc: List[float], route: _FusedRoute) -> None:
+        super().__init__(bridge, batch, plan, sub_ts, svc, _INF)
+        self.route = route
+        self.sink: Optional[_FusedSink] = None
+
+    def commit(self, i: int, t: float) -> bool:
+        route = self.route
+        sink = self.sink
+        if sink is None:
+            sink = self.sink = _FusedSink(route)
+        batch = self.batch
+        fid = batch.frame_ids[i]
+        arrival = t + route.delay_const
+        if route.drain_interval:
+            arrival += route.drain_interval * route.drain_unit(
+                fid, route.drain_site)
+        timing = route.model.timing(
+            route.cycles,
+            effective_hz=route.share.effective_hz(),
+            sharers=route.share.sharers,
+            num_queues=route.num_queues,
+            jitter=route.jitter,
+            key=(fid << 6) | route.key_or,
+        )
+        j = sink.append(fid, batch.created_at[i], timing.service)
+        route.station.submit_member(
+            sink, j,
+            arrival + timing.fixed_wait + timing.sched_wait
+            + timing.drain_wait)
+        self._remaining -= 1
+        self._done_idx.append(i)
+        self._done_ts.append(t)
+        return len(self._done_idx) == 1
+
+    def drop(self, i: int) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self._done_idx:
+            # Every member ring-dropped before a single commit: no
+            # flush will come, so the (empty or partial) sink must
+            # still be sealed here.
+            if self.sink is not None:
+                self.sink.seal()
+
+    def flush(self, now: float) -> None:
+        if self._done_idx:
+            self.bridge._execute_batch(self)
+            self._done_idx = []
+            self._done_ts = []
+        if self._remaining == 0 and self.sink is not None:
+            self.sink.seal()
+
+
+class _SoloPlanGroup:
+    """A single per-frame plan admitted through a batch station.
+
+    Lets the classic per-frame ingress (plan-cache misses, traced runs)
+    share one admission heap with batched arrivals.  Margin 0: the plan
+    executes at its own finish wake, exactly when the per-frame station
+    would have run it.
+    """
+
+    __slots__ = ("bridge", "plan", "key", "sub_ts", "svc", "_done")
+
+    margin = 0.0
+
+    def __init__(self, bridge: "OvsBridge", plan: "_ForwardPlan",
+                 now: float) -> None:
+        self.bridge = bridge
+        self.plan = plan
+        self.key = plan.in_port
+        self.sub_ts = (now,)
+        self.svc = (plan._service_time,)  # type: ignore[attr-defined]
+        self._done: Optional[float] = None
+
+    def commit(self, i: int, t: float) -> bool:
+        self._done = t
+        return True
+
+    def drop(self, i: int) -> None:
+        pass
+
+    def is_done(self) -> bool:
+        return self._done is not None
+
+    def oldest_commit(self) -> Optional[float]:
+        return self._done
+
+    def flush(self, now: float) -> None:
+        if self._done is not None:
+            self._done = None
+            self.bridge._execute(self.plan)
+
 
 class OvsBridge:
     """A programmable learning/flow switch."""
@@ -104,6 +385,9 @@ class OvsBridge:
         self.name = name
         self.sim = sim
         self.rng = rng if rng is not None else random.Random(0)
+        #: Per-frame keyed jitter for pass timing variance (identical
+        #: draws on the per-frame and batched paths).
+        self._jitter = HashJitter.from_name(name)
         #: Exact-match cache over whole pipeline passes: header signature
         #: -> replayable plan.  Flushed whenever any table changes.
         self._plan_cache: Dict[tuple, _PlanTemplate] = {}
@@ -127,6 +411,10 @@ class OvsBridge:
         self._mac_table: Dict[MacAddress, int] = {}
         self._stations: List[FairServiceStation] = []
         self._shares: List[ComputeShare] = []
+        #: True once :meth:`set_batch_stations` swapped the cores over.
+        self._batch_mode = False
+        self._flush_margin = 0.0
+        self._margin_fn = None
         self.drops_no_match = 0
         self.drops_action = 0
         self.passes = 0
@@ -137,8 +425,13 @@ class OvsBridge:
         """Attach a port; the bridge becomes the consumer of ``pair``."""
         port = BridgePort(self._next_port_no, name, port_class, pair)
         self._next_port_no += 1
+        port.rx_stamp = f"{self.name}.p{port.port_no}.rx"
+        port.tx_stamp = f"{self.name}.p{port.port_no}.tx"
         self._ports[port.port_no] = port
         pair.rx.connect(lambda frame, p=port: self._ingress(p, frame))
+        if self._batch_mode:
+            pair.rx.connect_batch(
+                lambda batch, p=port: self._ingress_batch(p, batch))
         return port
 
     def del_port(self, port_no: int) -> None:
@@ -212,6 +505,35 @@ class OvsBridge:
             for i in range(len(shares))
         ]
 
+    def set_batch_stations(self, flush_margin: float = 0.0,
+                           margin_fn=None) -> None:
+        """Swap the per-core stations for batch-admitting ones.
+
+        ``flush_margin`` is the deployment-computed lower bound on the
+        delay between this bridge's egress and the next timestamped
+        admission point in the chain; 0 (flush at every wake) is always
+        safe.  ``margin_fn(plan)``, when given, resolves that bound per
+        forwarding plan instead (the deployment knows where each egress
+        VF's traffic lands: fabric-bound plans get ``inf`` and flush
+        once per burst).  Every port -- existing and future -- also gets
+        a batched rx handler so upstream components can hand whole
+        bursts in.  Must be called after :meth:`set_compute`.
+        """
+        if self.sim is None or self.model is None or not self._shares:
+            raise ConfigurationError(
+                f"bridge {self.name}: batched stations require timed compute")
+        self._batch_mode = True
+        self._flush_margin = flush_margin
+        self._margin_fn = margin_fn
+        self._stations = [
+            BatchFairStation(self.sim, queue_capacity=RX_RING_DEPTH,
+                             name=f"{self.name}.core{i}")
+            for i in range(len(self._shares))
+        ]
+        for port in self._ports.values():
+            port.pair.rx.connect_batch(
+                lambda batch, p=port: self._ingress_batch(p, batch))
+
     @property
     def num_cores(self) -> int:
         return len(self._shares)
@@ -225,7 +547,7 @@ class OvsBridge:
 
     def _ingress(self, port: BridgePort, frame: Frame) -> None:
         port.rx_frames += 1
-        frame.stamp(f"{self.name}.p{port.port_no}.rx")
+        frame.stamp(port.rx_stamp)
         key = emc_signature(frame, port.port_no)
         template = self._plan_cache.get(key)
         _obs.TRACER.bridge_rx(self.name, frame, port.port_no,
@@ -388,7 +710,10 @@ class OvsBridge:
             effective_hz=share.effective_hz(),
             sharers=share.sharers,
             num_queues=len(self._stations),
-            rng=self.rng,
+            jitter=self._jitter,
+            # Mix the ingress port into the key so a frame's first and
+            # second pass through the same bridge draw independently.
+            key=(plan.frame.frame_id << 6) | (plan.in_port & 63),
         )
         plan._service_time = timing.service  # type: ignore[attr-defined]
         plan._t_dispatch = self.sim.now  # type: ignore[attr-defined]
@@ -404,7 +729,11 @@ class OvsBridge:
     def _submit(self, index: int, plan: _ForwardPlan) -> None:
         # Keyed by ingress port: each port's rx ring gets a fair share
         # of the core under overload (NAPI/PMD round-robin polling).
-        self._stations[index].submit(plan.in_port, plan)
+        if self._batch_mode:
+            self._stations[index].submit_group(
+                _SoloPlanGroup(self, plan, self.sim.now))
+        else:
+            self._stations[index].submit(plan.in_port, plan)
 
     def rx_drops(self) -> int:
         """Frames dropped at full rx rings (timed mode)."""
@@ -432,9 +761,170 @@ class OvsBridge:
                 continue
             frame = plan.frame if i == len(plan.out_ports) - 1 else plan.frame.copy()
             port.tx_frames += 1
-            frame.stamp(f"{self.name}.p{port_no}.tx")
+            frame.stamp(port.tx_stamp)
             _obs.TRACER.bridge_tx(self.name, frame, port_no)
             port.pair.transmit(frame)
+
+    # -- batched dataplane -------------------------------------------------
+    #
+    # The struct-of-arrays fast path: a whole same-flow burst classifies
+    # once per flow bucket (replaying the cached pass plan with xN
+    # counter bumps), gets per-member jittered timing in one loop, and
+    # registers with its core's BatchFairStation as a single group.
+    # Served members flow back out through _execute_batch as sub-batches.
+    # Runs only with tracing off; per-frame hop stamps and latency
+    # charges are not maintained on this path.
+
+    def _ingress_batch(self, port: BridgePort, batch: FrameBatch) -> None:
+        """Batched ingress: classify once per flow bucket.
+
+        Only plan-cache hits batch -- a cached plan is callback-free and
+        header-determined, so one replay with multiplied counters is
+        exact.  On a miss (or in functional mode) members take the
+        per-frame path at their own timestamps: the first walk installs
+        the plan at the right simulated time, and the flow's *next*
+        burst batches.
+        """
+        sink = batch.fused_sink
+        if sink is not None:
+            self._ingress_accounting(port, batch, sink)
+            return
+        frame = batch.frame
+        key = emc_signature(frame, port.port_no)
+        template = self._plan_cache.get(key)
+        if template is None or not self._stations:
+            sim = self.sim
+            for i, t in enumerate(batch.ts):
+                sim.schedule(t, self._ingress, port, batch.frame_at(i))
+            return
+        n = len(batch)
+        port.rx_frames += n
+        self.plan_cache_hits += n
+        plan = self._replay_batch(template, port, frame, n)
+        if plan.dropped:
+            if _billing.METER.enabled:
+                _billing.METER.drop(frame.tenant_id,
+                                    plan.drop_reason or "consumed", n)
+            return
+        self.passes += n
+        self._dispatch_batch(plan, batch)
+
+    def _ingress_accounting(self, port: BridgePort, batch: FrameBatch,
+                            sink: _FusedSink) -> None:
+        """Replay a fused burst's pass at this bridge, sans dispatch.
+
+        The members were already admitted at (and served by) the
+        station when their upstream commits pre-registered them; this
+        traversal replays the observable side effects of the pass --
+        port/table/cache counters, header rewrites on the exemplar --
+        and hands the header to the sink that emits the burst.
+        """
+        n = len(batch)
+        port.rx_frames += n
+        self.plan_cache_hits += n
+        self._replay_batch(sink.route.template, port, batch.frame, n)
+        self.passes += n
+        if self.cache is not None:
+            self.cache.lookup_cost_batch(batch.frame, port.port_no, n)
+        sink.attach_part(batch)
+
+    def _replay_batch(self, template: _PlanTemplate, port: BridgePort,
+                      frame: Frame, n: int) -> _ForwardPlan:
+        """xN :meth:`_replay`: one pass over the steps with multiplied
+        counter bumps; header rewrites apply once to the exemplar."""
+        self._learn(frame.src_mac, port.port_no)
+        for op, target, rule in template.steps:
+            if op == _HIT:
+                target.lookups += n
+                rule.n_packets += n
+                rule.n_bytes += frame.wire_size() * n
+            elif op == _MISS:
+                target.lookups += n
+                target.misses += n
+            else:
+                target.apply(frame)
+        if template.drop_kind == "no_match":
+            self.drops_no_match += n
+        elif template.drop_kind == "action":
+            self.drops_action += n
+        reason = template.drop_kind
+        if reason is None and template.dropped:
+            reason = "no_egress"
+        return _ForwardPlan(frame=frame, in_port=port.port_no,
+                            out_ports=list(template.out_ports),
+                            rewrites=template.rewrites,
+                            dropped=template.dropped,
+                            drop_reason=reason)
+
+    def _dispatch_batch(self, plan: _ForwardPlan, batch: FrameBatch) -> None:
+        """Timed mode for a whole bucket: per-member jittered timing
+        (identical draws to the per-frame path -- keyed by frame id and
+        ingress port), one group registration with the flow's core."""
+        model = self.model
+        assert model is not None
+        index = plan.frame.flow_id % len(self._stations)
+        share = self._shares[index]
+        out_class = self._ports[plan.out_ports[0]].port_class
+        in_class = self._ports[plan.in_port].port_class
+        cycles = model.pass_cycles(
+            in_class, out_class, plan.rewrites, num_ports=len(self._ports))
+        extra = 0.0
+        if self.cache is not None:
+            # Only the first member can miss; the rest hit the entry it
+            # installs and cost nothing extra.
+            extra = self.cache.lookup_cost_batch(plan.frame, plan.in_port,
+                                                 len(batch))
+        svc, waits = model.timing_batch(
+            cycles + extra, cycles, effective_hz=share.effective_hz(),
+            sharers=share.sharers, num_queues=len(self._stations),
+            jitter=self._jitter, keys=batch.frame_ids,
+            key_shift_or=plan.in_port & 63)
+        ts = batch.ts
+        sub_ts = [ts[i] + waits[i] for i in range(len(ts))]
+        margin_fn = self._margin_fn
+        margin = (margin_fn(plan) if margin_fn is not None
+                  else self._flush_margin)
+        if type(margin) is _FusedRoute:
+            group: _BatchPassGroup = _FusedPassGroup(
+                self, batch, plan, sub_ts, svc, margin)
+        else:
+            group = _BatchPassGroup(self, batch, plan, sub_ts, svc, margin)
+        self._stations[index].submit_group(group)
+
+    def _execute_batch(self, group: _BatchPassGroup) -> None:
+        """Flush a group's committed members downstream as a sub-batch."""
+        batch = group.batch
+        idx = group._done_idx
+        n = len(idx)
+        meter = _billing.METER
+        if meter.enabled:
+            svc = group.svc
+            meter.cpu(batch.frame.tenant_id,
+                      sum(svc[i] for i in idx), n)
+        sub = FrameBatch(
+            batch.frame.replica(),
+            [batch.frame_ids[i] for i in idx],
+            list(group._done_ts),
+            [batch.created_at[i] for i in idx],
+        )
+        sub.fused_sink = getattr(group, "sink", None)
+        out_ports = group.out_ports
+        m = len(out_ports)
+        # Mirror _execute's id draws: a copy per member for every
+        # *existing* non-last egress, in port order, frame-major.
+        targets = [(j, self._ports.get(p)) for j, p in enumerate(out_ports)]
+        targets = [(j, p) for j, p in targets if p is not None]
+        copies = sub.fanout_copies(
+            sum(1 for j, _ in targets if j < m - 1))
+        ci = 0
+        for j, port in targets:
+            if j < m - 1:
+                out = copies[ci]
+                ci += 1
+            else:
+                out = sub
+            port.tx_frames += n
+            port.pair.transmit_batch(out, self.sim)
 
     # -- introspection -----------------------------------------------------
 

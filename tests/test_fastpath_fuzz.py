@@ -285,3 +285,210 @@ class TestVebDecisionCacheDifferential:
         sw.forward(UPLINK, 10, frame, now=2.0)  # cached hit
         assert sw.decision_cache_hits == 1
         assert sw._table[(10, MACS[5])].last_seen == 2.0
+
+
+# -- batched mediation chain vs per-frame oracle -------------------------
+
+#: t_out on the batched path carries a bounded wire-occupancy
+#: approximation when a held burst retro-serializes (see
+#: repro/net/link.py); everything else must be byte-identical.
+TOUT_ABS_TOL = 5e-6
+TOUT_FRACTION = 0.02
+
+#: A mid-run vswitch crash that heals: exercises the batch blackhole
+#: handlers installed by the orchestrator and the chaos_pending() gate
+#: that keeps fused routes off while faults are armed.
+CRASH_PLAN = None  # built lazily; FaultPlan import is heavier
+
+
+def _crash_plan():
+    global CRASH_PLAN
+    if CRASH_PLAN is None:
+        from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+        CRASH_PLAN = FaultPlan(faults=(
+            FaultSpec(kind=FaultKind.VSWITCH_CRASH, target="compartment:0",
+                      at=0.003, duration=0.003),
+        ))
+    return CRASH_PLAN
+
+
+def _run_fig5(batch, burst, tracing, metering, faulted, duration):
+    """One Fig. 5 L2 run; returns every observable the exactness
+    contract compares."""
+    import math
+    from collections import defaultdict
+
+    import repro.billing as billing
+    from repro.billing.meter import TenantMeter
+    from repro import obs
+    from repro.core import SecurityLevel, TrafficScenario, build_deployment
+    from repro.core.spec import DeploymentSpec
+    from repro.faults import runtime as chaos
+    from repro.traffic import TestbedHarness
+
+    if metering:
+        billing.install(TenantMeter())
+    if faulted:
+        chaos.activate(_crash_plan(), seed=7)
+    spec = DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=2)
+    d = build_deployment(spec, TrafficScenario.P2V)
+    tracer = obs.enable_tracing(d.sim) if tracing else None
+    try:
+        h = TestbedHarness(d, batch=batch)
+        if burst is not None:
+            h.lg.burst = burst
+        h.configure_tenant_flows(rate_per_flow_pps=200_000)
+        result = h.run(duration=duration)
+        mon = h.monitor
+        per_flow_eg = defaultdict(int)
+        for _t, f in mon.egress_times:
+            per_flow_eg[f] += 1
+        meter = billing.METER.totals() if metering else None
+        drop_spans = (sorted((s.component, s.outcome, s.trace_id)
+                             for s in tracer.drops())
+                      if tracing else None)
+        bridge_drops = {
+            b.name: (b.drops_no_match, b.drops_action, b.rx_drops(),
+                     b.plan_cache_hits, b.passes)
+            for b in d.bridges
+        }
+        nicd = d.server.nic.total_drops()
+        return {
+            "sent": result.sent,
+            "delivered": result.delivered,
+            "per_flow": dict(h.sink.per_flow),
+            "samples_tin": sorted((s.flow_id, round(s.t_in, 12))
+                                  for s in mon.samples),
+            "tout_by_key": {(s.flow_id, round(s.t_in, 12)): s.t_out
+                            for s in mon.samples},
+            "eg_count": dict(per_flow_eg),
+            "bridge_drops": bridge_drops,
+            "nic_drops": (nicd.spoof, nicd.filtered, nicd.no_destination,
+                          nicd.unconfigured_vf, nicd.rate_limited),
+            "meter": meter,
+            "drop_spans": drop_spans,
+            "unmatched": mon.unmatched_egress,
+            "loss": mon.loss_count(),
+        }
+    finally:
+        if tracing:
+            obs.disable_tracing()
+        if faulted:
+            chaos.deactivate()
+        if metering:
+            billing.uninstall(billing.METER)
+
+
+def _assert_exact(oracle, batched):
+    """The exactness contract: everything byte-identical except the
+    bounded t_out approximation and FP-accumulated CPU meters."""
+    import math
+
+    for key in ("sent", "delivered", "per_flow", "samples_tin",
+                "eg_count", "bridge_drops", "nic_drops", "drop_spans",
+                "unmatched", "loss"):
+        assert oracle[key] == batched[key], key
+    if oracle["meter"] is not None:
+        for cat in oracle["meter"]:
+            av, bv = oracle["meter"][cat], batched["meter"][cat]
+            if cat == "cpu":
+                for t in set(av) | set(bv):
+                    assert math.isclose(av.get(t, 0.0), bv.get(t, 0.0),
+                                        rel_tol=1e-9, abs_tol=1e-15), \
+                        f"meter.cpu[{t}]"
+            else:
+                assert av == bv, f"meter.{cat}"
+    devs = []
+    for key, t in oracle["tout_by_key"].items():
+        tb = batched["tout_by_key"].get(key)
+        assert tb is not None, f"missing egress sample {key}"
+        devs.append(abs(tb - t))
+    if devs:
+        deviating = sum(1 for dv in devs if dv > 1e-12)
+        assert max(devs) <= TOUT_ABS_TOL
+        assert deviating <= TOUT_FRACTION * len(devs)
+
+
+class TestBatchedChainDifferential:
+    """The struct-of-arrays mediation chain vs the per-frame oracle on
+    the full Fig. 5 L2 topology: identical delivery sets and order,
+    drop reasons, metering totals -- across batch shapes, tracing,
+    metering, and a mid-run crash/heal fault plan."""
+
+    @pytest.mark.parametrize("burst", [1, 7, 32])
+    def test_burst_shapes(self, burst):
+        oracle = _run_fig5(batch=False, burst=None, tracing=False,
+                           metering=False, faulted=False, duration=0.008)
+        batched = _run_fig5(batch=True, burst=burst, tracing=False,
+                            metering=False, faulted=False, duration=0.008)
+        _assert_exact(oracle, batched)
+
+    @pytest.mark.parametrize("metering", [False, True])
+    @pytest.mark.parametrize("tracing", [False, True])
+    def test_tracing_metering_matrix(self, tracing, metering):
+        oracle = _run_fig5(batch=False, burst=None, tracing=tracing,
+                           metering=metering, faulted=False,
+                           duration=0.006)
+        batched = _run_fig5(batch=True, burst=None, tracing=tracing,
+                            metering=metering, faulted=False,
+                            duration=0.006)
+        _assert_exact(oracle, batched)
+
+    @pytest.mark.parametrize("metering", [False, True])
+    def test_fault_plan(self, metering):
+        """A vswitch crash mid-run: a pending fault plan forces the
+        per-frame oracle path (fault/heal instants land at arbitrary
+        sim times, and a batch straddling one would deliver or drop as
+        a unit where the oracle splits it), so a batch-requested run
+        must produce byte-identical results."""
+        oracle = _run_fig5(batch=False, burst=None, tracing=False,
+                           metering=metering, faulted=True,
+                           duration=0.008)
+        batched = _run_fig5(batch=True, burst=None, tracing=False,
+                            metering=metering, faulted=True,
+                            duration=0.008)
+        assert oracle["delivered"] < oracle["sent"]  # crash actually bit
+        _assert_exact(oracle, batched)
+
+    def test_fault_plan_forces_per_frame_path(self):
+        """The chaos_pending() gate itself: with a plan armed the
+        harness must not flip the generator into batched emission."""
+        from repro.core import (SecurityLevel, TrafficScenario,
+                                build_deployment)
+        from repro.core.spec import DeploymentSpec
+        from repro.faults import runtime as chaos
+        from repro.traffic import TestbedHarness
+
+        chaos.activate(_crash_plan(), seed=7)
+        try:
+            spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                                  num_vswitch_vms=2)
+            d = build_deployment(spec, TrafficScenario.P2V)
+            h = TestbedHarness(d, batch=True)
+            h.configure_tenant_flows(rate_per_flow_pps=200_000)
+            h.run(duration=0.002)
+            assert h.lg.batch is False
+        finally:
+            chaos.deactivate()
+
+    def test_billing_reconciliation_on_batched_path(self):
+        """MeteringSession windows + invariants must reconcile on the
+        batched path, not just match the oracle's totals."""
+        from repro.billing.session import MeteringSession
+        from repro.core import (SecurityLevel, TrafficScenario,
+                                build_deployment)
+        from repro.core.spec import DeploymentSpec
+        from repro.traffic import TestbedHarness
+
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        h = TestbedHarness(d, batch=True)
+        h.configure_tenant_flows(rate_per_flow_pps=200_000)
+        session = MeteringSession(d, h, interval=0.002)
+        session.arm(0.01)
+        result = h.run(duration=0.01)
+        summary = session.finish()
+        assert summary["reconciled"], summary["failures"]
+        assert summary["windows"] >= 5
+        assert result.sent == 8001

@@ -39,6 +39,22 @@ BENCH_TARGETS = ("benchmarks/test_microbench.py",
 OBS_DISABLED_BENCH = "test_e2e_des_packet_rate"
 OBS_ENABLED_BENCH = "test_e2e_traced_packet_rate"
 
+#: Maximum enabled-tracer overhead over the untraced e2e run.  The
+#: tracer records raw tuples on the hot path and materializes spans
+#: lazily at query time, so recording must stay cheap.
+OBS_GATE_MAX = 1.30
+
+#: The batched-fastpath pair: the per-frame oracle e2e run and the
+#: identical run through the struct-of-arrays mediation chain.  Their
+#: ratio is the batch speedup factor -- the PR's headline number,
+#: re-recorded into the baseline on every run and gated below.
+BATCH_E2E_BENCH = "test_e2e_batched_packet_rate"
+
+#: Minimum oracle-vs-batched speedup on the Fig. 5 L2 e2e scenario.
+#: ROADMAP targets 3x; 2.5x is the hard floor below which the batched
+#: chain is not paying for its complexity and the run fails.
+BATCH_GATE_MIN = 2.5
+
 #: The sweep-backend pair: the sequential 8-point sweep (gated like
 #: every benchmark) and the identical sweep through the warm worker
 #: pool.  The resulting speedup factor is re-recorded into the baseline
@@ -170,6 +186,79 @@ def report_obs_overhead(current: dict) -> None:
     print(f"\nObservability: enabled-tracer e2e overhead {factor:.2f}x "
           f"({current[OBS_ENABLED_BENCH]['min_us']:.0f}us traced vs "
           f"{current[OBS_DISABLED_BENCH]['min_us']:.0f}us disabled)")
+
+
+def gate_obs_overhead(current: dict) -> int:
+    """Fail the run when enabled-tracer recording costs more than the
+    budget over the untraced e2e run."""
+    factor = obs_overhead_factor(current)
+    if factor is None:
+        return 0
+    if factor > OBS_GATE_MAX:
+        print(f"Observability gate FAILED: {factor:.2f}x > "
+              f"{OBS_GATE_MAX}x enabled-tracer overhead")
+        return 1
+    print(f"Observability gate OK: {factor:.2f}x <= {OBS_GATE_MAX}x")
+    return 0
+
+
+def record_obs_overhead(current: dict) -> None:
+    """Persist the enabled-tracer overhead factor into the baseline on
+    every run, like the sweep and metering factors."""
+    factor = obs_overhead_factor(current)
+    if factor is None or not os.path.exists(BASELINE_PATH):
+        return
+    baseline = load_baseline()
+    baseline["obs_overhead_factor"] = round(factor, 3)
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def batch_speedup_factor(current: dict):
+    """min(per-frame oracle) / min(batched) of the e2e pair, or None
+    if either benchmark is absent from the run."""
+    des = current.get(OBS_DISABLED_BENCH)
+    batched = current.get(BATCH_E2E_BENCH)
+    if not des or not batched or not batched["min_us"]:
+        return None
+    return des["min_us"] / batched["min_us"]
+
+
+def report_batch_speedup(current: dict) -> None:
+    factor = batch_speedup_factor(current)
+    if factor is None:
+        return
+    print(f"Batch: struct-of-arrays e2e speedup {factor:.2f}x over the "
+          f"per-frame oracle "
+          f"({current[OBS_DISABLED_BENCH]['min_us'] / 1e3:.0f}ms oracle vs "
+          f"{current[BATCH_E2E_BENCH]['min_us'] / 1e3:.0f}ms batched)")
+
+
+def record_batch_speedup(current: dict) -> None:
+    """Persist the batch speedup headline into the baseline on every
+    run, like the sweep and metering factors."""
+    factor = batch_speedup_factor(current)
+    if factor is None or not os.path.exists(BASELINE_PATH):
+        return
+    baseline = load_baseline()
+    baseline["batch_e2e_speedup_factor"] = round(factor, 3)
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def gate_batch_speedup(current: dict) -> int:
+    """Fail the run when the batched chain stops paying for itself."""
+    factor = batch_speedup_factor(current)
+    if factor is None:
+        return 0
+    if factor < BATCH_GATE_MIN:
+        print(f"Batch speedup gate FAILED: {factor:.2f}x < "
+              f"{BATCH_GATE_MIN}x over the per-frame oracle")
+        return 1
+    print(f"Batch speedup gate OK: {factor:.2f}x >= {BATCH_GATE_MIN}x")
+    return 0
 
 
 def sweep_speedup_factor(current: dict):
@@ -340,6 +429,9 @@ def update_baseline(current: dict, baseline: dict) -> None:
     factor = obs_overhead_factor(current)
     if factor is not None:
         baseline["obs_overhead_factor"] = round(factor, 3)
+    batch = batch_speedup_factor(current)
+    if batch is not None:
+        baseline["batch_e2e_speedup_factor"] = round(batch, 3)
     speedup = sweep_speedup_factor(current)
     if speedup is not None:
         baseline["sweep_pool_speedup_factor"] = round(speedup, 3)
@@ -381,10 +473,13 @@ def main() -> int:
     if args.update:
         update_baseline(current, baseline)
         report_obs_overhead(current)
+        report_batch_speedup(current)
         report_metering_overhead(current)
         report_sweep_speedup(current)
         report_fabric_speedup(current)
-        rc = gate_sweep_speedup(current)
+        rc = gate_obs_overhead(current)
+        rc = max(rc, gate_batch_speedup(current))
+        rc = max(rc, gate_sweep_speedup(current))
         rc = max(rc, gate_fabric_speedup(current))
         # The off-side compares against the baseline this run just
         # rewrote, so only the on-side factor is meaningful here.
@@ -397,12 +492,17 @@ def main() -> int:
           f"(tolerance {args.tolerance:.0%}):")
     rc = gate(current, baseline, args.tolerance, partial=partial)
     report_obs_overhead(current)
+    report_batch_speedup(current)
     report_metering_overhead(current)
     report_sweep_speedup(current)
     report_fabric_speedup(current)
+    rc = max(rc, gate_obs_overhead(current))
+    rc = max(rc, gate_batch_speedup(current))
     rc = max(rc, gate_sweep_speedup(current))
     rc = max(rc, gate_fabric_speedup(current))
     rc = max(rc, gate_metering(current, baseline))
+    record_obs_overhead(current)
+    record_batch_speedup(current)
     record_sweep_speedup(current)
     record_metering_overhead(current)
     record_fabric_speedup(current)

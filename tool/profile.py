@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""cProfile harness for the Fig. 5 e2e scenario.
+
+Profiles one end-to-end run of the paper's throughput topology (MTS
+L2, 2 vswitch VMs, 4 tenant flows at 200 kpps each) and prints the
+top functions by cumulative time -- the lens that found and then
+verified the batched-fastpath wins recorded in EXPERIMENTS.md.
+
+Usage::
+
+    python tool/profile.py              # batched fast path (default)
+    python tool/profile.py --oracle     # per-frame oracle path
+    python tool/profile.py --top 30     # more rows
+    python tool/profile.py --duration 0.05
+    python tool/profile.py --out prof.pstats   # also dump raw stats
+    make profile                        # batched + oracle, top-20 each
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# This file is named like the stdlib ``profile`` module that cProfile
+# imports; drop the script's own directory from the path so the real
+# one wins, then make the repo importable.
+_TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path = [p for p in sys.path
+            if os.path.abspath(p or ".") != _TOOL_DIR]
+sys.modules.pop("profile", None)
+
+import argparse
+import cProfile
+import pstats
+
+REPO_ROOT = os.path.dirname(_TOOL_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def run_fig5(duration: float, batch: bool) -> dict:
+    from repro.core import SecurityLevel, TrafficScenario, build_deployment
+    from repro.core.spec import DeploymentSpec
+    from repro.traffic import TestbedHarness
+
+    spec = DeploymentSpec(level=SecurityLevel.LEVEL_2, num_vswitch_vms=2)
+    deployment = build_deployment(spec, TrafficScenario.P2V)
+    harness = TestbedHarness(deployment, batch=batch)
+    harness.configure_tenant_flows(rate_per_flow_pps=200_000)
+    result = harness.run(duration=duration)
+    return {"sent": result.sent, "delivered": result.delivered}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--oracle", action="store_true",
+                        help="profile the per-frame oracle path instead "
+                             "of the batched fast path")
+    parser.add_argument("--duration", type=float, default=0.05,
+                        help="simulated seconds of traffic (default 0.05)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of the cumulative-time table "
+                             "(default 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "calls"],
+                        help="pstats sort key (default cumulative)")
+    parser.add_argument("--out", default=None,
+                        help="also dump raw pstats to this path")
+    args = parser.parse_args()
+
+    label = "oracle (per-frame)" if args.oracle else "batched fast path"
+    print(f"Profiling Fig. 5 L2 e2e, {label}, "
+          f"duration={args.duration}s ...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    counts = run_fig5(args.duration, batch=not args.oracle)
+    profiler.disable()
+    print(f"sent={counts['sent']} delivered={counts['delivered']}\n")
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw pstats written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
