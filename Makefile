@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-update bench-micro profile sweep-bench sweep-smoke chaos-smoke billing-smoke fabric-smoke
+.PHONY: test bench bench-update bench-micro profile sweep-bench sweep-smoke chaos-smoke billing-smoke fabric-smoke control-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -79,6 +79,22 @@ fabric-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fabric \
 		--servers 4 --tenants 16 --study-flows 1 \
 		--duration 0.1 --validate --check
+
+# End-to-end smoke of the resident control plane: 30 s of simulated
+# tenant churn with three compartment crashes, the autoscaler live and
+# the watchdog migrating crash victims.  --check fails on any lifecycle
+# invariant violation or a migrated tenant that never resumed
+# forwarding; the events file proves the lifecycle log shipped.
+control-smoke:
+	rm -rf .control-smoke
+	mkdir -p .control-smoke
+	PYTHONPATH=src $(PYTHON) -m repro serve \
+		--duration 30 --arrival-rate 2 --crashes 3 \
+		--repair-after 10 --seed 42 --check \
+		--cache-dir .control-smoke/cache \
+		--events-out .control-smoke/events.jsonl
+	test -s .control-smoke/events.jsonl
+	rm -rf .control-smoke
 
 # End-to-end smoke of the billing pipeline: meter the noisy-neighbor
 # workload on every level (clean + compartment-crash runs), fail

@@ -347,6 +347,40 @@ def test_e2e_traced_packet_rate(benchmark):
     assert benchmark(run) == 8001
 
 
+@pytest.mark.benchmark(group="e2e")
+def test_e2e_controlplane_packet_rate(benchmark):
+    """The same Fig. 5 e2e run with an IDLE resident control plane
+    sharing the simulator -- heartbeat probes and autoscaler ticks ride
+    the event loop, but no tenants arrive, so this prices the service's
+    standing overhead.  tool/bench.py divides this benchmark's min by
+    test_e2e_des_packet_rate's for the control-plane overhead factor
+    (gated <= 1.1x).  Probe/tick periods are shrunk to fire ~10x/5x in
+    the 10 ms window; at the default 50 ms heartbeat they would never
+    fire and the benchmark would price nothing."""
+    from repro.controlplane import AutoscalePolicySpec, ChurnPlan, ControlPlane
+    from repro.core import SecurityLevel, TrafficScenario, build_deployment
+    from repro.core.spec import DeploymentSpec
+    from repro.traffic import TestbedHarness
+
+    def run():
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        h = TestbedHarness(d)
+        h.configure_tenant_flows(rate_per_flow_pps=200_000)
+        plan = ChurnPlan(
+            duration=0.01, arrival_rate=0.0, heartbeat=0.001,
+            autoscale=AutoscalePolicySpec(interval=0.002, cooldown=0.004))
+        service = ControlPlane(plan, seed=0, sim=d.sim)
+        service.start(horizon=0.01)
+        result = h.run(duration=0.01)
+        values = service.finish()
+        assert values["violations"] == 0
+        return result.sent
+
+    assert benchmark(run) == 8001
+
+
 @pytest.mark.benchmark(group="micro")
 def test_capacity_solve_rate(benchmark):
     from repro.core import SecurityLevel, TrafficScenario, build_deployment

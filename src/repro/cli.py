@@ -529,6 +529,11 @@ def cmd_billing(args: argparse.Namespace) -> int:
     # bill the recovery lands on.
     chaos_specs = make_specs(faults=scripted_crash(
         compartment=0, at=args.duration / 3.0))
+    # The churn composition: the resident control plane's migration and
+    # autoscale re-sync work, billed as recovery line items.
+    from repro.controlplane.workload import default_plan, scenario
+    churn_spec = scenario(default_plan(duration=30.0), seed=args.seed,
+                          label="churn", metering=True)
 
     backend = (SequentialBackend() if args.jobs in (None, 1)
                else ProcessPoolBackend(max_workers=args.jobs,
@@ -538,6 +543,7 @@ def cmd_billing(args: argparse.Namespace) -> int:
         engine = Engine(backend=backend, store=store)
         clean_results = engine.run(clean_specs)
         chaos_results = engine.run(chaos_specs)
+        churn_results = engine.run([churn_spec])
     finally:
         if hasattr(backend, "close"):
             backend.close()
@@ -590,9 +596,27 @@ def cmd_billing(args: argparse.Namespace) -> int:
         title="Who pays for the compartment-0 crash? (resync seconds "
               "charged per tenant)").render())
 
-    cached = sum(1 for r in clean_results + chaos_results if r.cached)
-    reconciled = len(clean_results) + len(chaos_results) - len(failures)
-    print(f"\n{len(clean_results) + len(chaos_results)} metered runs "
+    churn_payers = {}
+    for result in churn_results:
+        records, summary = split(result)
+        churn_payers[result.label] = summary.get("fault_payers", {})
+        if not summary.get("reconciled", False):
+            failures.append((result.label,
+                             summary.get("failures", ["no summary"])))
+        for rec in records:
+            all_records.append({"label": result.label, **rec.to_dict()})
+        for inv in invoices_from_records(records):
+            all_invoices.append({"label": result.label, **inv.to_dict()})
+    print()
+    print(billing_report.fault_payer_table(
+        churn_payers,
+        title="Who pays for control-plane churn? (migration + autoscale "
+              "re-sync seconds charged per tenant)").render())
+
+    all_results = clean_results + chaos_results + churn_results
+    cached = sum(1 for r in all_results if r.cached)
+    reconciled = len(all_results) - len(failures)
+    print(f"\n{len(all_results)} metered runs "
           f"({cached} cached): {reconciled} reconciled with accounting, "
           f"{len(failures)} failed")
     for label, errs in failures:
@@ -610,6 +634,107 @@ def cmd_billing(args: argparse.Namespace) -> int:
         print(f"billing check FAILED: {len(failures)} runs did not "
               f"reconcile with core/accounting", file=sys.stderr)
         return 2
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident control plane through a churn campaign and
+    report lifecycle, SLO and autoscaler tables."""
+    import json
+    from repro.controlplane.plan import ChurnPlan
+    from repro.controlplane.workload import default_plan, scenario
+    from repro.measure.reporting import Series, Table
+    from repro.scenario import (
+        Engine,
+        NullStore,
+        ProcessPoolBackend,
+        ResultStore,
+        SequentialBackend,
+    )
+
+    if args.plan:
+        with open(args.plan) as handle:
+            plan = ChurnPlan.from_dict(json.load(handle))
+    else:
+        plan = default_plan(duration=args.duration,
+                            arrival_rate=args.arrival_rate,
+                            crashes=args.crashes,
+                            mean_lifetime=args.mean_lifetime,
+                            seedable_repair=args.repair_after)
+    spec = scenario(plan, seed=args.seed, label="churn")
+    backend = (SequentialBackend() if args.jobs in (None, 1)
+               else ProcessPoolBackend(max_workers=args.jobs,
+                                       chunk=args.chunk))
+    store = NullStore() if args.no_cache else ResultStore(args.cache_dir)
+    try:
+        results = Engine(backend=backend, store=store).run([spec])
+    finally:
+        if hasattr(backend, "close"):
+            backend.close()
+    result = results[0]
+    v = result.values
+
+    lifecycle = Table(
+        title=f"Tenant lifecycle over {plan.duration:.0f}s of churn "
+              f"({'cached' if result.cached else 'fresh'})",
+        fmt=lambda x: f"{x:.0f}")
+    series = Series(label="tenants")
+    for key in ("arrivals", "placements", "departures", "rejections",
+                "evictions", "live_final", "active_final"):
+        series.add(key.replace("_final", ""), v.get(key, 0.0))
+    lifecycle.add_series(series)
+    print(lifecycle.render())
+
+    slo = Table(title="Control-plane SLOs", fmt=lambda x: f"{x:.4g}")
+    series = Series(label="slo")
+    series.add("admit_s", v.get("admission_latency_mean", 0.0))
+    series.add("detect_s", v.get("detect_latency_mean", 0.0))
+    series.add("downtime_s", v.get("migration_downtime_mean", 0.0))
+    series.add("avail", v.get("availability", 0.0))
+    series.add("resumed", v.get("migration_resumed_fraction", 0.0))
+    slo.add_series(series)
+    print()
+    print(slo.render())
+
+    healing = Table(title="Self-healing and autoscaling",
+                    fmt=lambda x: f"{x:.0f}")
+    series = Series(label="pool")
+    for key, col in (("crashes", "crashes"), ("detections", "detected"),
+                     ("repairs", "repaired"),
+                     ("migrations_started", "migr"),
+                     ("migrations_completed", "migr_ok"),
+                     ("scale_ups", "up"), ("scale_downs", "down"),
+                     ("breaker_trips", "breaker"),
+                     ("pool_final", "pool"),
+                     ("violations", "viol")):
+        series.add(col, v.get(key, 0.0))
+    healing.add_series(series)
+    print()
+    print(healing.render())
+    print(f"\nrecovery work billed: "
+          f"{v.get('recovery_seconds_total', 0.0) * 1e3:.2f} ms across "
+          f"{v.get('migrations_completed', 0.0):.0f} migrations "
+          f"and {v.get('scale_ups', 0.0):.0f} boots")
+
+    if args.events_out:
+        with open(args.events_out, "w") as handle:
+            for event in result.events:
+                handle.write(json.dumps(event, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+        print(f"wrote {len(result.events)} events to {args.events_out}")
+
+    if args.check:
+        problems = []
+        if v.get("violations", 0.0) > 0:
+            problems.append(f"{v['violations']:.0f} invariant violations")
+        if v.get("migration_resumed_fraction", 1.0) < 1.0:
+            problems.append("migrated tenants did not all resume")
+        if plan.crashes and v.get("migrations_completed", 0.0) <= 0:
+            problems.append("crashes injected but nothing migrated")
+        if problems:
+            print("serve check FAILED: " + "; ".join(problems),
+                  file=sys.stderr)
+            return 2
     return 0
 
 
@@ -801,6 +926,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless every metered run "
                         "reconciles with core/accounting (CI smoke)")
     p.set_defaults(func=cmd_billing)
+
+    p = sub.add_parser(
+        "serve",
+        help="resident control plane: tenant churn with admission, "
+             "autoscaling and self-healing live migration")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="churn horizon, simulated seconds (default: 60)")
+    p.add_argument("--arrival-rate", type=float, default=2.0,
+                   help="Poisson tenant arrivals per second (default: 2)")
+    p.add_argument("--mean-lifetime", type=float, default=30.0,
+                   help="mean tenant lifetime, seconds (default: 30)")
+    p.add_argument("--crashes", type=int, default=3,
+                   help="scripted compartment crashes spread across the "
+                        "run (default: 3)")
+    p.add_argument("--repair-after", type=float, default=10.0,
+                   help="scripted repair delay per crash (default: 10)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plan", metavar="CHURN.json",
+                   help="full churn plan (overrides the flags above)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: in-process)")
+    p.add_argument("--chunk", type=int, default=None)
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't write the result store")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result store directory (default: .repro-cache)")
+    p.add_argument("--events-out", metavar="EVENTS.jsonl",
+                   help="write the lifecycle event log")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero on any lifecycle-invariant "
+                        "violation or unrecovered migration (CI smoke)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "obs", help="run one traced deployment and dump its telemetry")

@@ -1,0 +1,112 @@
+"""Admission control: capacity leases over the open compartment pool.
+
+The controller answers one question -- "can this request plausibly be
+seated right now?" -- *before* the placement engine spends control-plane
+latency on it, and answers it conservatively enough that granting a
+lease never double-books a seat (the Orion no-double-allocation rule:
+admission and placement agree because both count against the same lease
+table).
+
+A lease is one reserved seat, held from ADMITTED until the tenant
+either becomes ACTIVE (the seat converts into real occupancy) or is
+EVICTED (the seat frees).  Availability is computed against the
+*healthy, open* pool:
+
+- a shared (isolation-1) request of group ``g`` needs a free seat in an
+  open compartment already running ``g``, or an empty open compartment;
+- a dedicated (isolation>=2) request needs an empty open compartment.
+
+Empty compartments are a shared resource between groups and dedicated
+requests, so outstanding leases that could only be satisfied by an
+empty compartment are all charged against the same empty-slot count.
+When no seat can be leased the request is shed immediately with a
+reason (``pool-full`` / ``no-empty-compartment``) -- the control plane
+rejects rather than wedges, and the autoscaler sees the resulting
+utilization pressure and grows the pool for the next arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.fabric.placement import TenantReq
+
+
+@dataclass
+class Lease:
+    """One reserved seat."""
+
+    tenant_id: int
+    group: int
+    dedicated: bool
+    granted_at: float
+
+
+class AdmissionController:
+    """Seat-lease bookkeeping over a view of the open pool.
+
+    The owning service calls :meth:`try_admit` on arrival and
+    :meth:`release` when the lease converts (activation) or dies
+    (eviction).  ``pool_view`` is a callable returning the current
+    ``{(server, k): (group_or_None, occupants)}`` map of healthy open
+    compartments -- the service owns that state; the controller only
+    counts it.
+    """
+
+    def __init__(self, pool_view, tenants_per_compartment: int) -> None:
+        self._pool_view = pool_view
+        self.cap = tenants_per_compartment
+        self.leases: Dict[int, Lease] = {}
+
+    def outstanding(self) -> int:
+        return len(self.leases)
+
+    def _availability(self, req: TenantReq) -> Optional[str]:
+        """None when a seat can be leased, else the shed reason."""
+        pool = self._pool_view()
+        if not pool:
+            return "pool-empty"
+        empty = 0
+        shared_free = 0
+        for slot in sorted(pool):
+            group, occupants = pool[slot]
+            if occupants == 0:
+                empty += 1
+            elif group == req.group and req.isolation < 2:
+                shared_free += max(0, self.cap - occupants)
+        # Outstanding leases consume their own category first; shared
+        # leases beyond their group's open seats fall back onto the
+        # empty-compartment budget, same as dedicated ones.
+        ded_leased = sum(1 for l in self.leases.values() if l.dedicated)
+        shared_leased_same = sum(
+            1 for l in self.leases.values()
+            if not l.dedicated and l.group == req.group)
+        empty_budget = empty - ded_leased
+        if req.isolation >= 2:
+            if empty_budget <= 0:
+                return "no-empty-compartment"
+            return None
+        free_same = shared_free - shared_leased_same
+        if free_same > 0:
+            return None
+        # Group seats exhausted: the request needs a fresh compartment.
+        overflow = max(0, shared_leased_same - shared_free)
+        if empty_budget - overflow <= 0:
+            return "pool-full"
+        return None
+
+    def try_admit(self, req: TenantReq,
+                  now: float) -> Tuple[bool, Optional[str]]:
+        """Grant a lease, or return ``(False, reason)`` to shed."""
+        reason = self._availability(req)
+        if reason is not None:
+            return False, reason
+        self.leases[req.tenant_id] = Lease(
+            tenant_id=req.tenant_id, group=req.group,
+            dedicated=req.isolation >= 2, granted_at=now)
+        return True, None
+
+    def release(self, tenant_id: int) -> None:
+        """Free the lease (activation converted it, or eviction)."""
+        self.leases.pop(tenant_id, None)

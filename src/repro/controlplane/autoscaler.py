@@ -1,0 +1,133 @@
+"""Closed-loop vswitch-VM pool autoscaling (the Orion-Dynamic idiom).
+
+Every ``interval`` the service measures the open pool's utilization
+(aggregate forwarding demand over aggregate modeled compartment
+capacity) and the :class:`PoolAutoscaler` turns it into a pool-size
+decision:
+
+1. the *ideal* pool is the size that would put utilization exactly at
+   the setpoint (``demand / (capacity * target)``);
+2. a PID over ``ideal - current`` smooths the approach (the integral
+   term absorbs steady drift, the derivative damps arrival bursts);
+3. hysteresis gates the output: no action inside the utilization
+   deadband, and never more often than the cooldown;
+4. a scale-storm circuit breaker opens when actions cluster --
+   ``storm_threshold`` actions inside ``storm_window`` freezes scaling
+   for ``storm_hold`` seconds (counted, visible in the SLO tables).
+
+The autoscaler only *decides*; opening and draining compartments --
+and live-migrating residents off a shrinking one -- stays with the
+service, which owns placement state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.controlplane.plan import AutoscalePolicySpec
+
+
+class PIDController:
+    """Textbook discrete PID with an anti-windup clamp."""
+
+    def __init__(self, kp: float, ki: float, kd: float,
+                 integral_limit: float = 10.0) -> None:
+        self.kp, self.ki, self.kd = kp, ki, kd
+        self.integral = 0.0
+        self.integral_limit = integral_limit
+        self._last_error: Optional[float] = None
+
+    def step(self, error: float, dt: float) -> float:
+        self.integral += error * dt
+        self.integral = max(-self.integral_limit,
+                            min(self.integral_limit, self.integral))
+        derivative = 0.0
+        if self._last_error is not None and dt > 0:
+            derivative = (error - self._last_error) / dt
+        self._last_error = error
+        return (self.kp * error + self.ki * self.integral
+                + self.kd * derivative)
+
+    def reset(self) -> None:
+        self.integral = 0.0
+        self._last_error = None
+
+
+@dataclass
+class ScaleDecision:
+    """What the control loop wants done this tick."""
+
+    #: Compartments to open (>0) or drain-and-close (<0); 0 = hold.
+    delta: int = 0
+    #: Why a non-zero request was suppressed ("deadband", "cooldown",
+    #: "breaker", "at-min", "at-max"), or "" when acted on / idle.
+    suppressed: str = ""
+    utilization: float = 0.0
+
+
+class PoolAutoscaler:
+    """Hysteresis + breaker around a :class:`PIDController`."""
+
+    def __init__(self, spec: AutoscalePolicySpec, max_pool_limit: int,
+                 min_pool: Optional[int] = None) -> None:
+        self.spec = spec
+        self.pid = PIDController(spec.kp, spec.ki, spec.kd)
+        self.min_pool = min(min_pool if min_pool is not None
+                            else spec.min_pool, max_pool_limit)
+        self.max_pool = (min(spec.max_pool, max_pool_limit)
+                         if spec.max_pool else max_pool_limit)
+        self._last_action_at: Optional[float] = None
+        self._action_times: List[float] = []
+        self._breaker_open_until: Optional[float] = None
+        self.breaker_trips = 0
+
+    def breaker_open(self, now: float) -> bool:
+        return (self._breaker_open_until is not None
+                and now < self._breaker_open_until)
+
+    def _record_action(self, now: float) -> None:
+        self._last_action_at = now
+        self._action_times.append(now)
+        window = self.spec.storm_window
+        self._action_times = [t for t in self._action_times
+                              if now - t <= window]
+        if len(self._action_times) >= self.spec.storm_threshold:
+            self._breaker_open_until = now + self.spec.storm_hold
+            self.breaker_trips += 1
+            self._action_times.clear()
+            self.pid.reset()
+
+    def decide(self, now: float, demand_pps: float,
+               pool_size: int) -> ScaleDecision:
+        """One control tick.  The caller applies ``delta`` and reports
+        it back implicitly via the next tick's ``pool_size``."""
+        spec = self.spec
+        capacity = max(1, pool_size) * spec.compartment_capacity_pps
+        utilization = demand_pps / capacity
+        ideal = demand_pps / (spec.compartment_capacity_pps
+                              * spec.target_utilization)
+        error = ideal - pool_size
+        signal = self.pid.step(error, spec.interval)
+        decision = ScaleDecision(utilization=utilization)
+        if abs(utilization - spec.target_utilization) <= spec.deadband:
+            decision.suppressed = "deadband"
+            return decision
+        delta = int(round(signal))
+        if delta == 0:
+            return decision
+        if self.breaker_open(now):
+            decision.suppressed = "breaker"
+            return decision
+        if (self._last_action_at is not None
+                and now - self._last_action_at < spec.cooldown):
+            decision.suppressed = "cooldown"
+            return decision
+        target = max(self.min_pool, min(self.max_pool, pool_size + delta))
+        delta = target - pool_size
+        if delta == 0:
+            decision.suppressed = ("at-max" if signal > 0 else "at-min")
+            return decision
+        decision.delta = delta
+        self._record_action(now)
+        return decision

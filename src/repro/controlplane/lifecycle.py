@@ -1,0 +1,203 @@
+"""The tenant-lifecycle state machine of the resident control plane.
+
+Every tenant the service ever sees owns a :class:`TenantRecord` that
+walks an explicit state graph (the ironic conductor idiom: a static
+transition table, every move validated against it, no implicit states):
+
+.. code-block:: text
+
+    REQUESTED -> ADMITTED -> PLACING -> ACTIVE <-> MIGRATING
+        |            |          |        |  ^          |
+        v            v          v        v  |          v
+     EVICTED      EVICTED    EVICTED  DEGRADED --> DRAINING -> TERMINATED
+                                         |
+                                         v
+                                      EVICTED
+
+``TERMINATED`` (graceful departure) and ``EVICTED`` (shed, placement
+failure, or migration budget exhausted) are terminal.  Illegal moves
+raise :class:`LifecycleError` -- the caller has a bug, and the audit
+counts it rather than papering over it.  Every legal transition is
+appended to the record's history, counted in ``obs.REGISTRY``
+(``controlplane_transitions_total{src,dst}``) and logged as a
+structured event dict by the service.
+
+Accrual bookkeeping also lives here: each record integrates offered /
+delivered / dropped packets between state boundaries (fluid model --
+rates are constant between events), which is what makes "conservation
+of in-flight packets" an auditable invariant: ``offered`` accrues in
+one place, ``delivered + dropped`` in another, and any tenant lost in
+limbo breaks the equality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import ValidationError
+from repro.fabric.placement import TenantReq
+
+
+class LifecycleError(ValidationError):
+    """An illegal state transition was attempted."""
+
+
+class TenantState(enum.Enum):
+    """The lifecycle states (values are the wire/log names)."""
+
+    REQUESTED = "requested"
+    ADMITTED = "admitted"
+    PLACING = "placing"
+    ACTIVE = "active"
+    MIGRATING = "migrating"
+    DRAINING = "draining"
+    TERMINATED = "terminated"
+    DEGRADED = "degraded"
+    EVICTED = "evicted"
+
+
+#: The full legal-transition table.  Anything not listed raises.
+TRANSITIONS: Dict[TenantState, FrozenSet[TenantState]] = {
+    TenantState.REQUESTED: frozenset({
+        TenantState.ADMITTED, TenantState.EVICTED}),
+    TenantState.ADMITTED: frozenset({
+        TenantState.PLACING, TenantState.EVICTED}),
+    TenantState.PLACING: frozenset({
+        TenantState.ACTIVE, TenantState.EVICTED}),
+    TenantState.ACTIVE: frozenset({
+        TenantState.MIGRATING, TenantState.DEGRADED,
+        TenantState.DRAINING}),
+    TenantState.DEGRADED: frozenset({
+        TenantState.MIGRATING, TenantState.ACTIVE,
+        TenantState.DRAINING, TenantState.EVICTED}),
+    TenantState.MIGRATING: frozenset({
+        TenantState.ACTIVE, TenantState.DEGRADED,
+        TenantState.DRAINING, TenantState.EVICTED}),
+    TenantState.DRAINING: frozenset({TenantState.TERMINATED}),
+    TenantState.TERMINATED: frozenset(),
+    TenantState.EVICTED: frozenset(),
+}
+
+#: States a tenant can never leave.
+TERMINAL_STATES = frozenset(
+    {s for s, nxt in TRANSITIONS.items() if not nxt})
+
+#: States in which the tenant owns a compartment seat.
+PLACED_STATES = frozenset({
+    TenantState.ACTIVE, TenantState.MIGRATING,
+    TenantState.DRAINING, TenantState.DEGRADED})
+
+#: Placed states in which the tenant's traffic is offered to the
+#: fabric (it delivers only when the compartment is also healthy).
+FORWARDING_STATES = PLACED_STATES
+
+#: Placed states in which a healthy compartment actually delivers.
+DELIVERING_STATES = frozenset({TenantState.ACTIVE, TenantState.DRAINING})
+
+
+def _transition_counter():
+    return obs.REGISTRY.counter(
+        "controlplane_transitions_total",
+        "Validated tenant lifecycle transitions",
+        labels=("src", "dst"))
+
+
+def _violation_counter():
+    return obs.REGISTRY.counter(
+        "controlplane_illegal_transitions_total",
+        "Rejected (illegal) lifecycle transition attempts")
+
+
+@dataclass
+class TenantRecord:
+    """One tenant's lifecycle state, placement, and packet accrual."""
+
+    req: TenantReq
+    requested_at: float
+    #: Drawn at arrival; the departure fires ``lifetime`` after the
+    #: tenant first becomes ACTIVE.
+    lifetime: float
+    state: TenantState = TenantState.REQUESTED
+    #: ``(server, compartment)`` while in a placed state, else None.
+    slot: Optional[Tuple[int, int]] = None
+    #: Placement attempts burned so far (admission backoff budget).
+    retries: int = 0
+    #: Migration placement attempts for the in-flight recovery.
+    migration_retries: int = 0
+    migrations_started: int = 0
+    migrations_completed: int = 0
+    migrate_started_at: Optional[float] = None
+    departure_scheduled: bool = False
+    #: ``(time, src, dst, reason)`` audit trail.
+    history: List[Tuple[float, str, str, str]] = field(default_factory=list)
+    #: Monotonic epoch bumped on every transition; deferred completions
+    #: (placement latency, migration downtime, drain) capture it and
+    #: no-op when the record moved on in the meantime.
+    epoch: int = 0
+    first_active_at: Optional[float] = None
+    ended_at: Optional[float] = None
+    # -- fluid packet accrual --------------------------------------------
+    offered: float = 0.0
+    delivered: float = 0.0
+    dropped: float = 0.0
+    last_accrued: float = 0.0
+    #: Delivered packets since the last completed migration (proves the
+    #: tenant resumed forwarding on its new compartment).
+    delivered_since_migration: float = 0.0
+    #: Healthy residence seconds since the last completed migration.
+    healthy_since_migration: float = 0.0
+    #: Recovery work (flow re-sync, ARP re-learn, autoscale boot share)
+    #: billed to this tenant, in seconds.
+    recovery_seconds: float = 0.0
+
+    @property
+    def tenant_id(self) -> int:
+        return self.req.tenant_id
+
+    def advance(self, to: TenantState, now: float, reason: str = "") -> None:
+        """Validate and apply one transition; raises LifecycleError on
+        an illegal move (and counts the attempt)."""
+        if to not in TRANSITIONS[self.state]:
+            _violation_counter().inc()
+            raise LifecycleError(
+                f"tenant {self.tenant_id}: illegal transition "
+                f"{self.state.value} -> {to.value}"
+                + (f" ({reason})" if reason else ""))
+        src = self.state
+        self.state = to
+        self.epoch += 1
+        self.history.append((now, src.value, to.value, reason))
+        _transition_counter().labels(src=src.value, dst=to.value).inc()
+        if to is TenantState.ACTIVE and self.first_active_at is None:
+            self.first_active_at = now
+        if to in TERMINAL_STATES:
+            self.ended_at = now
+
+    def accrue(self, now: float, healthy: bool) -> None:
+        """Integrate offered/delivered/dropped up to ``now``.  Rates
+        only change at events, so lazy accrual at every boundary is
+        exact.  ``healthy`` is the tenant's compartment health over the
+        elapsed span (callers accrue *before* flipping health)."""
+        dt = now - self.last_accrued
+        self.last_accrued = now
+        if dt <= 0.0:
+            return
+        if self.state not in FORWARDING_STATES or self.slot is None:
+            return
+        pkts = self.req.demand_pps * dt
+        self.offered += pkts
+        if self.state in DELIVERING_STATES and healthy:
+            self.delivered += pkts
+            self.delivered_since_migration += pkts
+            if self.migrations_completed:
+                self.healthy_since_migration += dt
+        else:
+            self.dropped += pkts
+
+    def conservation_error(self) -> float:
+        """|offered - delivered - dropped| relative to offered."""
+        gap = abs(self.offered - (self.delivered + self.dropped))
+        return gap / max(1.0, self.offered)

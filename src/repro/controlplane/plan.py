@@ -1,0 +1,310 @@
+"""Declarative churn campaigns: the control plane's scenario input.
+
+A :class:`ChurnPlan` is to the resident control plane what a
+:class:`~repro.faults.plan.FaultPlan` is to the chaos layer: a frozen,
+JSON-round-trippable description of the arrival process, the fabric
+geometry, the admission/autoscale policies and the crash schedule.  The
+``controlplane.churn`` workload carries the plan's canonical JSON as a
+spec *param*, so it folds into the spec's content hash -- two runs with
+different churn knobs can never collide in the result cache, and the
+same plan + seed replays the identical trace from any backend.
+
+Recovery costs reuse :class:`~repro.faults.plan.RestartPolicySpec` (the
+PR 4 supervisor model): a migrated tenant pays flow-table re-sync per
+rule plus ARP re-learning per entry, and the migration window adds the
+warm-standby failover latency on top of the drain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.faults.plan import RestartPolicySpec
+
+
+@dataclass(frozen=True)
+class AdmissionPolicySpec:
+    """Admission-controller knobs: lease latency, retry backoff, shed."""
+
+    #: Control-plane latency of granting a lease (REQUESTED->ADMITTED).
+    admit_latency: float = 0.005
+    #: Control-plane latency of programming a placement (PLACING->ACTIVE).
+    place_latency: float = 0.01
+    #: Placement attempts before the tenant is shed (EVICTED).
+    max_retries: int = 4
+    #: Attempt ``k`` retries after ``base * factor**(k-1)`` (jittered).
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    #: Uniform jitter fraction on each backoff (+-jitter * delay).
+    backoff_jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_factor < 1:
+            raise ValidationError("backoff must be positive and grow")
+        if not 0 <= self.backoff_jitter < 1:
+            raise ValidationError("backoff_jitter must be in [0, 1)")
+
+    def to_dict(self) -> dict:
+        return {
+            "admit_latency": self.admit_latency,
+            "place_latency": self.place_latency,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_jitter": self.backoff_jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AdmissionPolicySpec":
+        unknown = set(data) - set(cls().to_dict())
+        if unknown:
+            raise ValidationError(
+                f"unknown admission fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class AutoscalePolicySpec:
+    """The vswitch-VM pool autoscaler: closed-loop PID on compartment
+    CPU load, with hysteresis and a scale-storm circuit breaker (the
+    Orion-Dynamic idiom)."""
+
+    enabled: bool = True
+    #: Control-loop period (simulated seconds).
+    interval: float = 1.0
+    #: Utilization setpoint the PID regulates the pool towards.
+    target_utilization: float = 0.6
+    #: PID gains over the error "ideal pool size - current pool size".
+    kp: float = 0.8
+    ki: float = 0.1
+    kd: float = 0.0
+    #: Hysteresis: no action while |util - target| <= deadband.
+    deadband: float = 0.1
+    #: Minimum seconds between scale actions.
+    cooldown: float = 2.0
+    #: Pool bounds; ``max_pool=0`` means the fabric geometry limit.
+    min_pool: int = 2
+    max_pool: int = 0
+    #: Breaker: this many scale actions within ``storm_window`` opens
+    #: the breaker for ``storm_hold`` seconds.
+    storm_threshold: int = 4
+    storm_window: float = 10.0
+    storm_hold: float = 30.0
+    #: Modeled forwarding capacity of one vswitch-VM compartment.
+    compartment_capacity_pps: float = 400_000.0
+    #: Boot + flow-sync seconds a fresh compartment costs (billed to
+    #: the tenants of the overloaded compartment that triggered it).
+    boot_resync_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValidationError("autoscale interval must be positive")
+        if not 0 < self.target_utilization < 1:
+            raise ValidationError("target_utilization must be in (0, 1)")
+        if self.min_pool < 1:
+            raise ValidationError("min_pool must be >= 1")
+        if self.compartment_capacity_pps <= 0:
+            raise ValidationError("compartment capacity must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "interval": self.interval,
+            "target_utilization": self.target_utilization,
+            "kp": self.kp, "ki": self.ki, "kd": self.kd,
+            "deadband": self.deadband,
+            "cooldown": self.cooldown,
+            "min_pool": self.min_pool,
+            "max_pool": self.max_pool,
+            "storm_threshold": self.storm_threshold,
+            "storm_window": self.storm_window,
+            "storm_hold": self.storm_hold,
+            "compartment_capacity_pps": self.compartment_capacity_pps,
+            "boot_resync_seconds": self.boot_resync_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AutoscalePolicySpec":
+        unknown = set(data) - set(cls().to_dict())
+        if unknown:
+            raise ValidationError(
+                f"unknown autoscale fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One scripted compartment crash."""
+
+    #: Simulated seconds from the start of the run.
+    at: float
+    #: ``"auto"`` picks the most-loaded healthy compartment at fire
+    #: time; ``"s:k"`` pins server ``s`` compartment ``k``.
+    target: str = "auto"
+    #: Scripted repair delay; ``None`` leaves the compartment down
+    #: (the pool replaces it via the autoscaler).
+    repair_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValidationError("crash time must be >= 0")
+        if self.repair_after is not None and self.repair_after <= 0:
+            raise ValidationError("repair_after must be positive")
+
+    def to_dict(self) -> dict:
+        return {"at": self.at, "target": self.target,
+                "repair_after": self.repair_after}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CrashSpec":
+        unknown = set(data) - {"at", "target", "repair_after"}
+        if unknown:
+            raise ValidationError(f"unknown crash fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A whole churn campaign: arrivals, geometry, policies, crashes."""
+
+    #: Campaign horizon in simulated seconds (arrivals stop here; the
+    #: service keeps running until the run's own horizon).
+    duration: float = 60.0
+    #: Poisson tenant arrival rate (1/s); 0 disables churn (idle mode).
+    arrival_rate: float = 0.5
+    #: Mean exponential tenant lifetime, counted from activation.
+    mean_lifetime: float = 120.0
+    #: Per-tenant demand: uniform in ``demand_pps * (1 +- spread)``.
+    demand_pps: float = 20_000.0
+    demand_spread: float = 0.5
+    #: Security zones arrivals are drawn into (uniform).
+    num_groups: int = 4
+    #: Fraction of arrivals requiring a dedicated compartment
+    #: (isolation level 2).
+    dedicated_fraction: float = 0.1
+    # -- fabric geometry --------------------------------------------------
+    servers: int = 4
+    compartments_per_server: int = 4
+    tenants_per_compartment: int = 8
+    # -- detection / recovery ---------------------------------------------
+    #: Watchdog probe interval (detection latency bound).
+    heartbeat: float = 0.05
+    #: Graceful-departure and pre-migration drain time.
+    drain_latency: float = 0.05
+    #: Flow rules / ARP entries per tenant, priced through the
+    #: supervisor policy's re-sync constants on every migration.
+    rules_per_tenant: int = 12
+    arp_entries_per_tenant: int = 2
+    #: Scripted compartment crashes.
+    crashes: Tuple[CrashSpec, ...] = ()
+    #: Stochastic crashes: exponential inter-failure times (and
+    #: optional exponential repair) drawn off named seed streams.
+    crash_mtbf: Optional[float] = None
+    crash_mttr: Optional[float] = None
+    admission: AdmissionPolicySpec = field(
+        default_factory=AdmissionPolicySpec)
+    autoscale: AutoscalePolicySpec = field(
+        default_factory=AutoscalePolicySpec)
+    #: Supervisor recovery-cost model (PR 4): re-sync per rule, ARP
+    #: re-learn per entry, failover latency, migration retry budget.
+    policy: RestartPolicySpec = field(default_factory=RestartPolicySpec)
+
+    def __post_init__(self) -> None:
+        crashes = tuple(
+            c if isinstance(c, CrashSpec) else CrashSpec.from_dict(c)
+            for c in self.crashes)
+        object.__setattr__(self, "crashes", crashes)
+        if isinstance(self.admission, Mapping):
+            object.__setattr__(
+                self, "admission",
+                AdmissionPolicySpec.from_dict(self.admission))
+        if isinstance(self.autoscale, Mapping):
+            object.__setattr__(
+                self, "autoscale",
+                AutoscalePolicySpec.from_dict(self.autoscale))
+        if isinstance(self.policy, Mapping):
+            object.__setattr__(
+                self, "policy", RestartPolicySpec.from_dict(self.policy))
+        if self.duration <= 0:
+            raise ValidationError("duration must be positive")
+        if self.arrival_rate < 0:
+            raise ValidationError("arrival_rate must be >= 0")
+        if self.mean_lifetime <= 0:
+            raise ValidationError("mean_lifetime must be positive")
+        if self.servers < 1 or self.compartments_per_server < 1:
+            raise ValidationError("need at least one server/compartment")
+        if self.heartbeat <= 0 or self.drain_latency < 0:
+            raise ValidationError("heartbeat/drain must be sane")
+        if not 0 <= self.dedicated_fraction <= 1:
+            raise ValidationError("dedicated_fraction must be in [0, 1]")
+        if self.crash_mtbf is not None and self.crash_mtbf <= 0:
+            raise ValidationError("crash_mtbf must be positive")
+        if self.crash_mttr is not None and self.crash_mttr <= 0:
+            raise ValidationError("crash_mttr must be positive")
+
+    @property
+    def total_slots(self) -> int:
+        return self.servers * self.compartments_per_server
+
+    def migration_resync_seconds(self) -> float:
+        """Per-tenant flow-table + ARP re-sync cost of one migration."""
+        return (self.rules_per_tenant * self.policy.resync_per_rule
+                + self.arp_entries_per_tenant
+                * self.policy.arp_relearn_per_entry)
+
+    def migration_downtime(self) -> float:
+        """Modeled per-tenant downtime of one live migration: drain the
+        old seat, fail over, re-sync rules and ARP at the new one."""
+        return (self.drain_latency + self.policy.failover_latency
+                + self.migration_resync_seconds())
+
+    def to_dict(self) -> dict:
+        return {
+            "duration": self.duration,
+            "arrival_rate": self.arrival_rate,
+            "mean_lifetime": self.mean_lifetime,
+            "demand_pps": self.demand_pps,
+            "demand_spread": self.demand_spread,
+            "num_groups": self.num_groups,
+            "dedicated_fraction": self.dedicated_fraction,
+            "servers": self.servers,
+            "compartments_per_server": self.compartments_per_server,
+            "tenants_per_compartment": self.tenants_per_compartment,
+            "heartbeat": self.heartbeat,
+            "drain_latency": self.drain_latency,
+            "rules_per_tenant": self.rules_per_tenant,
+            "arp_entries_per_tenant": self.arp_entries_per_tenant,
+            "crashes": [c.to_dict() for c in self.crashes],
+            "crash_mtbf": self.crash_mtbf,
+            "crash_mttr": self.crash_mttr,
+            "admission": self.admission.to_dict(),
+            "autoscale": self.autoscale.to_dict(),
+            "policy": self.policy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChurnPlan":
+        known = set(cls().to_dict())
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown churn-plan fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["crashes"] = tuple(
+            CrashSpec.from_dict(c) for c in kwargs.get("crashes", ()))
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Canonical (sorted, whitespace-free) JSON -- the form carried
+        in ``ScenarioSpec.params`` so it hashes stably."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChurnPlan":
+        return cls.from_dict(json.loads(text))

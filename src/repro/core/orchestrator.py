@@ -371,6 +371,10 @@ class MtsOrchestrator:
         record = MigrationRecord(tenant_id=tenant_id, source=source,
                                  target=target, started_at=started,
                                  completed_at=started + downtime)
+        # The chain is rewiring until completion lands: hold the
+        # batched fast path onto the per-frame oracle for the window.
+        from repro.faults import runtime as _chaos
+        _chaos.lifecycle_begin()
         d.sim.call_later(downtime, self._complete_migration, tenant_id,
                          target)
         self.migrations.append(record)
@@ -412,6 +416,8 @@ class MtsOrchestrator:
         self._install_filters(tenant_id, view)
         self._setup_arp(tenant_id, view)
         self.tenant_compartment[tenant_id] = target
+        from repro.faults import runtime as _chaos
+        _chaos.lifecycle_end()
 
     # -- fault injection ----------------------------------------------------
 

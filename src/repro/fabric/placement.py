@@ -455,6 +455,65 @@ def _edge_cost(slots: _Slots, placement: Placement,
     return cost
 
 
+def incremental_place(reqs: Sequence[TenantReq], placement: Placement,
+                      topology: FabricTopology,
+                      compartments_per_server: int,
+                      tenants_per_compartment: int,
+                      tenants_to_place: Sequence[int],
+                      open_slots: Optional[Iterable[Tuple[int, int]]] = None,
+                      ) -> Dict[int, Tuple[int, int]]:
+    """Seat ``tenants_to_place`` into an existing placement without
+    moving residents (online arrivals; live migration off a failed
+    compartment).  Residents are every tenant of ``placement`` not in
+    ``tenants_to_place``; each newcomer lands greedily on the feasible
+    slot with the lowest incremental edge cost, under exactly the
+    security constraints the offline policies enforce.  ``open_slots``,
+    when given, restricts candidates to that pool (the control plane's
+    open/healthy compartments).  Returns ``{tenant: (server, k)}`` for
+    the newcomers only; raises :class:`PlacementError` when any of
+    them cannot be seated.
+    """
+    slots = _Slots(reqs, topology, compartments_per_server,
+                   tenants_per_compartment)
+    moving = set(tenants_to_place)
+    assignment: Dict[int, Tuple[int, int]] = {
+        t: slot for t, slot in placement.assignment.items()
+        if t not in moving}
+    scratch = Placement(assignment, policy="incremental")
+    for tid in sorted(assignment):
+        slots.add(slots.req_of[tid], *assignment[tid])
+    if open_slots is not None:
+        pool = sorted(set(open_slots))
+    else:
+        pool = [(s, k) for s in range(topology.num_servers)
+                for k in range(slots.K)]
+    placed: Dict[int, Tuple[int, int]] = {}
+    order = sorted(moving, key=lambda t: (-slots.req_of[t].demand_pps, t))
+    for tid in order:
+        req = slots.req_of[tid]
+        best: Optional[Tuple] = None
+        for server, k in pool:
+            if not slots.feasible(req, server, k):
+                continue
+            opens_new = 0 if slots.members.get((server, k)) else 1
+            assignment[tid] = (server, k)
+            cost = _edge_cost(slots, scratch, topology, req)
+            del assignment[tid]
+            key = (cost, opens_new, slots.server_load.get(server, 0.0),
+                   server, k)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise PlacementError(
+                f"no feasible slot for tenant {tid} "
+                f"(group {req.group}, isolation {req.isolation})")
+        slot = (best[-2], best[-1])
+        slots.add(req, *slot)
+        assignment[tid] = slot
+        placed[tid] = slot
+    return placed
+
+
 def local_search(reqs: Sequence[TenantReq], placement: Placement,
                  topology: FabricTopology, compartments_per_server: int,
                  tenants_per_compartment: int,

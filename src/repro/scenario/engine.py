@@ -77,6 +77,24 @@ SHIPPED_COUNTERS = (
     "billing_",
     # Fabric-switch flood/forward/per-port counters (fabric workloads).
     "fabric_",
+    # Control-plane lifecycle/autoscale counters (controlplane.churn).
+    # Enumerated (not the bare prefix) because the controlplane family
+    # also has gauges and histograms, which must not fold as counters.
+    "controlplane_transitions_total",
+    "controlplane_illegal_transitions_total",
+    "controlplane_invariant_violations_total",
+    "controlplane_arrivals_total",
+    "controlplane_rejections_total",
+    "controlplane_placements_total",
+    "controlplane_placement_retries_total",
+    "controlplane_departures_total",
+    "controlplane_evictions_total",
+    "controlplane_crashes_total",
+    "controlplane_detections_total",
+    "controlplane_repairs_total",
+    "controlplane_migrations_total",
+    "controlplane_migrations_completed_total",
+    "controlplane_scale_events_total",
 )
 
 _KEY_RE = re.compile(r"^(?P<name>\w+)(?:\{(?P<labels>.*)\})?$")

@@ -52,6 +52,7 @@ WORKLOADS: Dict[str, str] = {
     "ext.chaos": "repro.faults.campaign:measure_scenario",
     "fabric.placement": "repro.fabric.workload:measure_placement",
     "fabric.hybrid": "repro.fabric.workload:measure_scenario",
+    "controlplane.churn": "repro.controlplane.workload:measure_scenario",
     # Pool-backend self-tests: lethal only inside a worker process.
     "chaos.crashy": "repro.faults.diagnostics:measure_crashy",
     "chaos.sleepy": "repro.faults.diagnostics:measure_sleepy",

@@ -471,6 +471,88 @@ class TestBatchedChainDifferential:
         finally:
             chaos.deactivate()
 
+    def _run_churn_case(self, batch, duration=0.008):
+        """One scripted-churn run: a live migration armed before the
+        harness starts, scheduled mid-run via ChurnScript."""
+        from collections import defaultdict
+
+        from repro.controlplane.driver import ChurnScript
+        from repro.core import (SecurityLevel, TrafficScenario,
+                                build_deployment)
+        from repro.core.spec import DeploymentSpec
+        from repro.traffic import TestbedHarness
+
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        h = TestbedHarness(d, batch=batch)
+        h.configure_tenant_flows(rate_per_flow_pps=200_000)
+        script = ChurnScript(d)
+        try:
+            script.schedule_migration(0.003, tenant_id=0, target=1)
+            result = h.run(duration=duration)
+        finally:
+            script.close()
+        mon = h.monitor
+        per_flow_eg = defaultdict(int)
+        for _t, f in mon.egress_times:
+            per_flow_eg[f] += 1
+        return {
+            "sent": result.sent,
+            "delivered": result.delivered,
+            "per_flow": dict(h.sink.per_flow),
+            "samples_tin": sorted((s.flow_id, round(s.t_in, 12))
+                                  for s in mon.samples),
+            "tout_by_key": {(s.flow_id, round(s.t_in, 12)): s.t_out
+                            for s in mon.samples},
+            "eg_count": dict(per_flow_eg),
+            "unmatched": mon.unmatched_egress,
+            "loss": mon.loss_count(),
+            "lg_batch": h.lg.batch,
+            "migrations": list(script.completed),
+        }
+
+    def test_churn_migration_differential(self):
+        """A ChurnScript-scheduled live migration mid-run: the armed
+        lifecycle hold must force the per-frame oracle path (a batch
+        straddling the migration instant would deliver as a unit where
+        connectivity actually dropped mid-burst), and a batch-requested
+        run must be byte-identical to the oracle."""
+        oracle = self._run_churn_case(batch=False)
+        batched = self._run_churn_case(batch=True)
+        assert batched["lg_batch"] is False  # the gate held
+        assert oracle["migrations"] == batched["migrations"]
+        assert len(oracle["migrations"]) == 1
+        assert oracle["delivered"] < oracle["sent"]  # downtime bit
+        for key in ("sent", "delivered", "per_flow", "samples_tin",
+                    "tout_by_key", "eg_count", "unmatched", "loss"):
+            assert oracle[key] == batched[key], key
+
+    def test_churn_holds_drain(self):
+        """Lifecycle holds must not leak: pending before the ops fire,
+        clear after the run (else every later run is deoptimized)."""
+        from repro.controlplane.driver import ChurnScript
+        from repro.core import (SecurityLevel, TrafficScenario,
+                                build_deployment)
+        from repro.core.spec import DeploymentSpec
+        from repro.faults import runtime as chaos
+        from repro.traffic import TestbedHarness
+
+        assert chaos.chaos_pending() is False
+        spec = DeploymentSpec(level=SecurityLevel.LEVEL_2,
+                              num_vswitch_vms=2)
+        d = build_deployment(spec, TrafficScenario.P2V)
+        h = TestbedHarness(d, batch=True)
+        h.configure_tenant_flows(rate_per_flow_pps=200_000)
+        script = ChurnScript(d)
+        try:
+            script.schedule_migration(0.001, tenant_id=0, target=1)
+            assert chaos.chaos_pending() is True  # armed = pending
+            h.run(duration=0.004)
+        finally:
+            script.close()
+        assert chaos.chaos_pending() is False  # drained, no leak
+
     def test_billing_reconciliation_on_batched_path(self):
         """MeteringSession windows + invariants must reconcile on the
         batched path, not just match the oracle's totals."""

@@ -91,6 +91,15 @@ METERING_ON_GATE = 1.6
 #: because the disabled tap is pure overhead for everyone.
 METERING_OFF_GATE = 1.1
 
+#: The control-plane pair: the plain e2e run and the identical run with
+#: an IDLE resident control plane sharing the simulator (heartbeat
+#: probes and autoscaler ticks fire, no tenants arrive).
+CONTROL_PLANE_BENCH = "test_e2e_controlplane_packet_rate"
+#: Maximum standing overhead the idle control plane may add to the e2e
+#: run.  The service is resident in every churn experiment, so its
+#: do-nothing cost must stay near-free.
+CONTROL_PLANE_GATE = 1.1
+
 
 def available_cores() -> int:
     """Cores usable by this process (affinity/cgroup mask when the
@@ -423,6 +432,53 @@ def gate_metering(current: dict, baseline: dict,
     return rc
 
 
+def control_plane_overhead_factor(current: dict):
+    """min(resident control plane) / min(plain) of the e2e pair, or
+    None if either benchmark is absent from the run."""
+    plain = current.get(OBS_DISABLED_BENCH)
+    resident = current.get(CONTROL_PLANE_BENCH)
+    if not plain or not resident or not plain["min_us"]:
+        return None
+    return resident["min_us"] / plain["min_us"]
+
+
+def report_control_plane_overhead(current: dict) -> None:
+    factor = control_plane_overhead_factor(current)
+    if factor is None:
+        return
+    print(f"Control plane: idle resident-service e2e overhead "
+          f"{factor:.2f}x "
+          f"({current[CONTROL_PLANE_BENCH]['min_us']:.0f}us resident vs "
+          f"{current[OBS_DISABLED_BENCH]['min_us']:.0f}us plain)")
+
+
+def record_control_plane_overhead(current: dict) -> None:
+    """Persist the idle control-plane factor into the baseline on
+    every run, like the sweep and metering factors."""
+    factor = control_plane_overhead_factor(current)
+    if factor is None or not os.path.exists(BASELINE_PATH):
+        return
+    baseline = load_baseline()
+    baseline["control_plane_overhead_factor"] = round(factor, 3)
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def gate_control_plane(current: dict) -> int:
+    """Fail the run when an idle control plane drags the e2e run."""
+    factor = control_plane_overhead_factor(current)
+    if factor is None:
+        return 0
+    if factor > CONTROL_PLANE_GATE:
+        print(f"Control-plane gate FAILED: {factor:.2f}x > "
+              f"{CONTROL_PLANE_GATE}x idle-resident overhead")
+        return 1
+    print(f"Control-plane gate OK: {factor:.2f}x <= "
+          f"{CONTROL_PLANE_GATE}x")
+    return 0
+
+
 def update_baseline(current: dict, baseline: dict) -> None:
     baseline = dict(baseline)
     baseline["benchmarks"] = current
@@ -441,6 +497,9 @@ def update_baseline(current: dict, baseline: dict) -> None:
     metering = metering_overhead_factor(current)
     if metering is not None:
         baseline["metering_overhead_factor"] = round(metering, 3)
+    control = control_plane_overhead_factor(current)
+    if control is not None:
+        baseline["control_plane_overhead_factor"] = round(control, 3)
     with open(BASELINE_PATH, "w") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -475,12 +534,14 @@ def main() -> int:
         report_obs_overhead(current)
         report_batch_speedup(current)
         report_metering_overhead(current)
+        report_control_plane_overhead(current)
         report_sweep_speedup(current)
         report_fabric_speedup(current)
         rc = gate_obs_overhead(current)
         rc = max(rc, gate_batch_speedup(current))
         rc = max(rc, gate_sweep_speedup(current))
         rc = max(rc, gate_fabric_speedup(current))
+        rc = max(rc, gate_control_plane(current))
         # The off-side compares against the baseline this run just
         # rewrote, so only the on-side factor is meaningful here.
         return max(rc, gate_metering(current, baseline, check_off=False))
@@ -494,18 +555,21 @@ def main() -> int:
     report_obs_overhead(current)
     report_batch_speedup(current)
     report_metering_overhead(current)
+    report_control_plane_overhead(current)
     report_sweep_speedup(current)
     report_fabric_speedup(current)
     rc = max(rc, gate_obs_overhead(current))
     rc = max(rc, gate_batch_speedup(current))
     rc = max(rc, gate_sweep_speedup(current))
     rc = max(rc, gate_fabric_speedup(current))
+    rc = max(rc, gate_control_plane(current))
     rc = max(rc, gate_metering(current, baseline))
     record_obs_overhead(current)
     record_batch_speedup(current)
     record_sweep_speedup(current)
     record_metering_overhead(current)
     record_fabric_speedup(current)
+    record_control_plane_overhead(current)
     return rc
 
 
